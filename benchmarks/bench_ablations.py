@@ -1,0 +1,79 @@
+"""Ablation benchmarks A1–A4: robustness of the reproduced results.
+
+Each sweeps a design knob or the seed space and asserts the conclusion
+survives the sweep (see :mod:`repro.harness.ablations`).
+"""
+
+from conftest import run_and_report
+
+from repro.harness.ablations import (
+    a1_recovery_seed_sweep,
+    a2_gossip_interval_ablation,
+    a3_loss_retransmission_cost,
+    a4_delta_latency_distribution,
+)
+
+
+def test_a1_recovery_seed_sweep(benchmark):
+    rows = run_and_report(
+        benchmark,
+        a1_recovery_seed_sweep,
+        "A1 — recovery cycles across 20 seeds",
+        rounds=1,
+    )
+    for row in rows:
+        assert row["max"] <= 6  # O(1) distributionally, not just on average
+        assert row["p95"] <= 4
+
+
+def test_a2_gossip_interval(benchmark):
+    rows = run_and_report(
+        benchmark,
+        a2_gossip_interval_ablation,
+        "A2 — gossip-interval ablation",
+        rounds=1,
+    )
+    # Cycles stay bounded regardless of loop period…
+    assert all(row["recovery_cycles_max"] <= 6 for row in rows)
+    # …while wall-clock recovery scales with the period.
+    assert rows[-1]["recovery_time_mean"] > rows[0]["recovery_time_mean"]
+
+
+def test_a3_loss_retransmission(benchmark):
+    rows = run_and_report(
+        benchmark,
+        a3_loss_retransmission_cost,
+        "A3 — retransmission inflation under loss",
+        rounds=1,
+    )
+    lossless = rows[0]
+    assert lossless["inflation"] == 1.0  # exactly 2(n-1) with no loss
+    heavy = rows[-1]
+    assert heavy["write_msgs_max"] > lossless["write_msgs_max"]
+
+
+def test_a4_delta_latency_distribution(benchmark):
+    rows = run_and_report(
+        benchmark,
+        a4_delta_latency_distribution,
+        "A4 — snapshot latency percentiles vs delta",
+        rounds=1,
+    )
+    p95 = [row["latency_p95"] for row in rows]
+    assert p95 == sorted(p95)  # grows with delta
+    for row in rows:
+        assert row["latency_max"] <= 6.0 * (row["delta"] + 2)
+
+
+def test_a5_recovery_flatness(benchmark):
+    from repro.harness.ablations import a5_recovery_flatness_in_n
+
+    rows = run_and_report(
+        benchmark,
+        a5_recovery_flatness_in_n,
+        "A5 — recovery cycles vs n: regression slope",
+        rounds=1,
+    )
+    row = rows[0]
+    assert row["flat"], row  # slope indistinguishable from growth-free
+    assert row["max_cycles"] <= 6

@@ -1,0 +1,23 @@
+"""E3 (related work): stacked ABD+scan vs DGFR non-stacking snapshot.
+
+Paper claim (via Delporte-Gallet et al.): stacking the shared-memory
+snapshot on the ABD register emulation costs ≈8n messages over 4 round
+trips per snapshot, versus 2n messages over a single round trip for the
+non-stacking approach — a 4× message ratio.
+"""
+
+from conftest import run_and_report
+
+from repro.harness.costs import e03_stacking_comparison
+
+
+def test_e03_stacking(benchmark):
+    rows = run_and_report(
+        benchmark,
+        e03_stacking_comparison,
+        "E3 — stacked (8n, 4RT) vs DGFR (2n, 1RT)",
+    )
+    for row in rows:
+        assert row["stacked_rtts"] == 4
+        assert row["dgfr_rtts"] == 1
+        assert 3.0 <= row["ratio"] <= 5.0  # ~4x

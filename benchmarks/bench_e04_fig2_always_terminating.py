@@ -1,0 +1,25 @@
+"""E4 (Figure 2): Algorithm 2 uses O(n²) messages per snapshot.
+
+Every node serves every snapshot task through its own majority query
+rounds, and SNAP/END travel by reliable broadcast — the quadratic totals
+the paper's Figure 2 illustrates.
+"""
+
+from conftest import run_and_report
+
+from repro.harness.costs import e04_always_terminating_costs
+
+
+def test_e04_fig2_always_terminating(benchmark):
+    rows = run_and_report(
+        benchmark,
+        e04_always_terminating_costs,
+        "E4 / Fig.2 — Algorithm 2 snapshot costs",
+    )
+    # Quadratic growth: doubling-ish n must grow totals superlinearly.
+    first, last = rows[0], rows[-1]
+    n_ratio = last["n"] / first["n"]
+    assert last["total_msgs"] / first["total_msgs"] > n_ratio * 1.5
+    for row in rows:
+        # Query traffic alone is at least n * 2(n-1) style quadratic.
+        assert row["query_msgs"] >= row["n"] * (row["n"] - 1)

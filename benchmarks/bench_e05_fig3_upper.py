@@ -1,0 +1,31 @@
+"""E5 (Figure 3, upper): Algorithm 3 snapshot messages vs δ.
+
+Paper claim: with large δ an uncontended snapshot costs O(n) messages
+(Algorithm 1-like); with δ=0 every node helps (Algorithm 2-like, O(n²));
+either way it undercuts Algorithm 2's reliable-broadcast-heavy totals.
+"""
+
+from conftest import run_and_report
+
+from repro.harness.costs import e05_delta_snapshot_costs
+
+
+def test_e05_fig3_upper(benchmark):
+    rows = run_and_report(
+        benchmark,
+        e05_delta_snapshot_costs,
+        "E5 / Fig.3 upper — Algorithm 3 snapshot messages vs delta",
+    )
+    for row in rows:
+        n = row["n"]
+        # δ=∞: O(n) — a single query round plus one SAVE round.
+        assert row["dinf_msgs"] <= 6 * n
+        # δ=0 engages helpers: strictly more traffic than δ=∞.
+        assert row["d0_msgs"] > row["dinf_msgs"]
+        # And still cheaper than Algorithm 2 for the same task.
+        assert row["alg2_msgs"] > row["d0_msgs"]
+    # δ=∞ grows linearly; δ=0 superlinearly.
+    first, last = rows[0], rows[-1]
+    n_ratio = last["n"] / first["n"]
+    assert last["dinf_msgs"] / first["dinf_msgs"] <= n_ratio * 1.5
+    assert last["d0_msgs"] / first["d0_msgs"] > n_ratio * 1.2

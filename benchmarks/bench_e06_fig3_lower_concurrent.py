@@ -1,0 +1,22 @@
+"""E6 (Figure 3, lower): all-nodes-concurrent snapshot invocations.
+
+Paper claim: Algorithm 2 serves one task at a time at O(n²) messages
+each; Algorithm 3's many-jobs stealing batches all concurrent tasks, so
+total messages (and effective throughput) improve with n.
+"""
+
+from conftest import run_and_report
+
+from repro.harness.costs import e06_concurrent_snapshots
+
+
+def test_e06_fig3_lower_concurrent(benchmark):
+    rows = run_and_report(
+        benchmark,
+        e06_concurrent_snapshots,
+        "E6 / Fig.3 lower — concurrent snapshots, Alg 2 vs Alg 3",
+    )
+    for row in rows:
+        assert row["alg3_msgs"] < row["alg2_msgs"]
+    # The advantage grows with n.
+    assert rows[-1]["msg_ratio"] >= rows[0]["msg_ratio"]

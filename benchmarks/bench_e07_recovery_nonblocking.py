@@ -1,0 +1,26 @@
+"""E7 (Theorem 1): Algorithm 1 recovers within O(1) asynchronous cycles.
+
+Arbitrary corruption of ts/ssn/registers/channels; the measured
+cycles-to-consistency must be a small constant, flat in n.
+"""
+
+from conftest import run_and_report
+
+from repro.harness.recovery import e07_recovery_nonblocking
+
+
+def test_e07_recovery_nonblocking(benchmark):
+    rows = run_and_report(
+        benchmark,
+        e07_recovery_nonblocking,
+        "E7 / Theorem 1 — Algorithm 1 recovery cycles",
+    )
+    for row in rows:
+        for column, value in row.items():
+            if column == "n":
+                continue
+            assert isinstance(value, int) and value <= 6, (column, value)
+    # Flat in n: largest n no worse than smallest + 2.
+    worst_small = max(v for k, v in rows[0].items() if k != "n")
+    worst_large = max(v for k, v in rows[-1].items() if k != "n")
+    assert worst_large <= worst_small + 2

@@ -1,0 +1,20 @@
+"""E8 (Theorem 2): Algorithm 3 reaches a Definition-1 consistent state
+within O(1) asynchronous cycles from an arbitrary state (including
+corrupted pndTsk entries and vector clocks)."""
+
+from conftest import run_and_report
+
+from repro.harness.recovery import e08_recovery_always
+
+
+def test_e08_recovery_always(benchmark):
+    rows = run_and_report(
+        benchmark,
+        e08_recovery_always,
+        "E8 / Theorem 2 — Algorithm 3 recovery cycles",
+    )
+    for row in rows:
+        for column, value in row.items():
+            if column == "n":
+                continue
+            assert isinstance(value, int) and value <= 6, (column, value)

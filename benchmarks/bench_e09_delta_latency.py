@@ -1,0 +1,22 @@
+"""E9 (Theorem 3): snapshot termination within O(δ) cycles under load.
+
+Saturating writers plus one snapshot; latency (in asynchronous cycles)
+must stay bounded by a small multiple of δ+1 and grow at most linearly.
+"""
+
+from conftest import run_and_report
+
+from repro.harness.latency import e09_delta_latency
+
+
+def test_e09_delta_latency(benchmark):
+    rows = run_and_report(
+        benchmark,
+        e09_delta_latency,
+        "E9 / Theorem 3 — snapshot latency under load vs delta",
+    )
+    for row in rows:
+        # O(δ): latency ≤ c·(δ+1) with a small constant.
+        assert row["latency_cycles"] <= 4 * (row["delta"] + 1)
+    # All finite: the snapshot always terminated.
+    assert all(row["latency_time"] < 1000 for row in rows)

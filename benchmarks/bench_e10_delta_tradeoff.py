@@ -1,0 +1,29 @@
+"""E10 (Contribution 2): the δ latency/communication/throughput trade-off.
+
+Small δ: snapshots finish fast and cheap for the snapshotter but block
+writers (low write rate).  Large δ: writers run free but snapshots cost
+more messages and time — unboundedly at δ=∞.
+"""
+
+import math
+
+from conftest import run_and_report
+
+from repro.harness.latency import e10_delta_tradeoff
+
+
+def test_e10_delta_tradeoff(benchmark):
+    rows = run_and_report(
+        benchmark,
+        e10_delta_tradeoff,
+        "E10 — delta trade-off: messages vs write throughput",
+        rounds=1,
+    )
+    # Write throughput increases with delta.
+    rates = [row["write_rate"] for row in rows]
+    assert rates[-1] > rates[0]
+    # Snapshot latency increases with delta; infinite at delta=inf.
+    latencies = [row["snap_latency"] for row in rows]
+    assert math.isinf(latencies[-1])
+    finite = [value for value in latencies if not math.isinf(value)]
+    assert finite == sorted(finite)

@@ -1,0 +1,22 @@
+"""E11 (Contribution 2): ≥δ writes between consecutive blocking periods.
+
+The δ-counting guarantees helpers only engage after observing δ writes
+concurrent with a snapshot task, so between two helping (write-blocking)
+episodes at least δ write operations complete.
+"""
+
+from conftest import run_and_report
+
+from repro.harness.latency import e11_writes_between_blocks
+
+
+def test_e11_writes_between_blocks(benchmark):
+    rows = run_and_report(
+        benchmark,
+        e11_writes_between_blocks,
+        "E11 — writes between blocking periods (delta=6)",
+        rounds=1,
+    )
+    assert rows, "no blocking episodes observed"
+    for row in rows:
+        assert row["claim_met"], row

@@ -1,0 +1,27 @@
+"""E12 (Section 3): snapshot liveness per algorithm under write load.
+
+The non-blocking algorithms (and Algorithm 3 at δ=∞) may starve while
+writes keep coming, yet complete once writes cease; the
+always-terminating algorithms (and finite δ) never starve.
+"""
+
+from conftest import run_and_report
+
+from repro.harness.latency import e12_nonblocking_starvation
+
+
+def test_e12_nonblocking_starvation(benchmark):
+    rows = run_and_report(
+        benchmark,
+        e12_nonblocking_starvation,
+        "E12 — snapshot liveness under saturating writes",
+        rounds=1,
+    )
+    outcome = {row["algorithm"]: row for row in rows}
+    assert outcome["dgfr-nonblocking"]["starved_under_load"]
+    assert outcome["ss-nonblocking"]["starved_under_load"]
+    assert outcome["ss-always (delta=inf)"]["starved_under_load"]
+    assert not outcome["ss-always (delta=4)"]["starved_under_load"]
+    assert not outcome["dgfr-always"]["starved_under_load"]
+    # Non-blocking: every snapshot completed once writes ceased.
+    assert all(row["completed_after_writes_ceased"] for row in rows)

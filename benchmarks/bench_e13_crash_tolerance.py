@@ -1,0 +1,21 @@
+"""E13 (fault model): crash tolerance at the 2f < n bound.
+
+Operations terminate iff a majority survives; safety (linearizability of
+the completed history) holds regardless of how many nodes crash.
+"""
+
+from conftest import run_and_report
+
+from repro.harness.faults import e13_crash_tolerance
+
+
+def test_e13_crash_tolerance(benchmark):
+    rows = run_and_report(
+        benchmark,
+        e13_crash_tolerance,
+        "E13 — crash tolerance at the 2f < n bound",
+        rounds=1,
+    )
+    for row in rows:
+        assert row["ops_terminate"] == row["majority_alive"], row
+        assert row["history_safe"], row

@@ -1,0 +1,25 @@
+"""E14 (Section 5): bounded counters with consensus-based global reset.
+
+With a tiny MAXINT, sustained writes must trigger repeated global
+resets; register values survive, epochs agree, and only a bounded number
+of operations abort per reset (the paper's seldom-fairness criteria).
+"""
+
+from conftest import run_and_report
+
+from repro.harness.recovery import e14_bounded_reset
+
+
+def test_e14_bounded_reset(benchmark):
+    rows = run_and_report(
+        benchmark,
+        e14_bounded_reset,
+        "E14 — bounded counters + global reset (MAXINT=10)",
+    )
+    row = rows[0]
+    assert row["resets"] >= 1
+    assert row["values_survive"]
+    assert row["epochs_agree"]
+    # Bounded aborts: a handful per reset, not per operation.
+    assert row["writes_aborted"] <= 4 * row["resets"] + 2
+    assert row["writes_ok"] >= 100

@@ -1,0 +1,35 @@
+"""E15 (Contribution 1): message sizes — O(n·ν) operations vs O(ν) gossip.
+
+Sweeps the object size ν and cluster size n, measuring serialized bytes
+per WRITE (carries the whole register array) and per GOSSIP (carries one
+entry).
+"""
+
+from conftest import run_and_report
+
+from repro.harness.costs import e15_message_sizes
+
+
+def test_e15_message_sizes(benchmark):
+    rows = run_and_report(
+        benchmark,
+        e15_message_sizes,
+        "E15 — message sizes: O(n*nu) ops vs O(nu) gossip",
+    )
+    by_key = {(row["n"], row["nu_bytes"]): row for row in rows}
+    # Gossip is O(ν): independent of n for the same ν.
+    for nu in (16, 64, 256, 1024):
+        assert (
+            by_key[(4, nu)]["gossip_msg_bytes"]
+            == by_key[(12, nu)]["gossip_msg_bytes"]
+        )
+    # Write messages are O(n·ν): scale ~3x from n=4 to n=12 at large ν.
+    big = 1024
+    ratio = (
+        by_key[(12, big)]["write_msg_bytes"]
+        / by_key[(4, big)]["write_msg_bytes"]
+    )
+    assert 2.5 <= ratio <= 3.5
+    # Both scale linearly in ν at fixed n.
+    r4 = by_key[(4, 1024)]["write_msg_bytes"] / by_key[(4, 64)]["write_msg_bytes"]
+    assert 10 <= r4 <= 20  # 16x nu growth, minus constant headers

@@ -1,0 +1,74 @@
+"""Performance benchmarks of the library itself (not paper claims).
+
+How fast is the substrate?  These numbers bound experiment turnaround:
+kernel event throughput, per-operation simulation cost vs cluster size,
+and model-checker schedules/second.
+"""
+
+import pytest
+
+from repro import ClusterConfig, SnapshotCluster
+from repro.sim.kernel import Kernel
+
+
+def test_kernel_event_throughput(benchmark):
+    """Raw scheduler throughput: timer events per second."""
+
+    def run():
+        kernel = Kernel()
+        count = 0
+
+        def tick():
+            nonlocal count
+            count += 1
+            if count < 20_000:
+                kernel.call_later(0.001, tick)
+
+        kernel.call_later(0.001, tick)
+        kernel.run()
+        return count
+
+    assert benchmark(run) == 20_000
+
+
+@pytest.mark.parametrize("n", [4, 16, 32])
+def test_write_operation_cost(benchmark, n):
+    """Simulated write cost vs cluster size (message fan-out dominates)."""
+    cluster = SnapshotCluster(
+        "ss-nonblocking", ClusterConfig(n=n, seed=0), start=False
+    )
+    counter = iter(range(10**9))
+
+    def one_write():
+        cluster.write_sync(0, next(counter))
+
+    benchmark(one_write)
+
+
+def test_snapshot_operation_cost(benchmark):
+    cluster = SnapshotCluster(
+        "ss-always", ClusterConfig(n=8, seed=0, delta=2)
+    )
+    cluster.write_sync(0, b"x")
+
+    def one_snapshot():
+        cluster.snapshot_sync(1)
+
+    benchmark(one_snapshot)
+
+
+def test_model_checker_schedules_per_second(benchmark):
+    from repro.verify import explore_snapshot_scenario
+
+    def run():
+        return explore_snapshot_scenario(
+            "dgfr-nonblocking",
+            [("write", 0, "v"), ("snapshot", 1, None)],
+            n=3,
+            max_runs=50,
+            max_depth=10,
+            start_loops=False,
+        )
+
+    result = benchmark(run)
+    assert result.runs == 50 or result.exhausted

@@ -1,0 +1,54 @@
+"""Fault-injection demo: why self-stabilization matters.
+
+Side-by-side narrative of the paper's core robustness claim.  A transient
+fault arbitrarily corrupts every node's state and every in-flight
+message.  The original Delporte-Gallet et al. algorithm never recovers —
+a corrupted-high register entry shadows a writer forever.  The paper's
+self-stabilizing variant heals within a few asynchronous cycles and
+subsequent operations are linearizable again.
+
+Run:  python examples/fault_recovery_demo.py
+"""
+
+from repro import ClusterConfig, SnapshotCluster
+from repro.analysis.invariants import definition1_consistent
+from repro.core.register import TimestampedValue
+from repro.fault import TransientFaultInjector
+
+
+def demo(algorithm: str) -> None:
+    print(f"=== {algorithm} ===")
+    cluster = SnapshotCluster(algorithm, ClusterConfig(n=5, seed=3))
+
+    cluster.write_sync(0, "genuine-v1")
+    print("before fault  :", cluster.snapshot_sync(1).values[0])
+
+    # Transient fault: every replica's view of node 0 jumps to a bogus
+    # future timestamp (plus general corruption of indices and channels).
+    injector = TransientFaultInjector(cluster, seed=99)
+    for node in range(1, 5):
+        cluster.node(node).reg[0] = TimestampedValue(10_000, "CORRUPTED")
+    injector.corrupt_write_indices(node_ids=[0], value=1)
+    injector.scramble_channels()
+
+    # Let the system run for a few asynchronous cycles.
+    cluster.tracker.reset()
+    cluster.run_until(cluster.tracker.wait_cycles(6), max_events=None)
+    consistent = definition1_consistent(cluster).ok
+    print("state consistent after 6 cycles:", consistent)
+
+    # Node 0 writes again. Does the system see it?
+    cluster.write_sync(0, "genuine-v2")
+    observed = cluster.snapshot_sync(1).values[0]
+    print("after new write:", observed)
+    verdict = "RECOVERED" if observed == "genuine-v2" else "STUCK FOREVER"
+    print(f"verdict        : {verdict}\n")
+
+
+def main() -> None:
+    demo("dgfr-nonblocking")   # the baseline: never recovers
+    demo("ss-nonblocking")     # paper's Algorithm 1: heals in O(1) cycles
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,29 @@
+"""Regenerate the paper's Figures 1–3 as ASCII space-time diagrams.
+
+The paper's only figures are message-flow drawings of the algorithms'
+executions.  This example replays the exact scenarios (a write, then a
+snapshot, then a second write — and, for Figure 3 lower, concurrent
+snapshot invocations by all nodes) with message tracing enabled and
+renders each as a space-time diagram: one lane per node, time flowing
+downward, one arrow per network message.
+
+Compare fig1-upper (no gossip) with fig1-lower (GOSSIP rows that never
+interfere with operations), and fig2 (every node runs query rounds) with
+fig3-upper (only the initiator queries; one SAVE round delivers the
+result).
+
+Run:  python examples/paper_figures.py
+      python -m repro figures fig2        # single figure via the CLI
+"""
+
+from repro.harness.figures import FIGURES, render_figure
+
+
+def main() -> None:
+    for name in FIGURES:
+        print(render_figure(name))
+        print("\n" + "=" * 72 + "\n")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,40 @@
+"""Quickstart: a 5-node self-stabilizing snapshot object in 30 lines.
+
+Builds a simulated cluster running the paper's Algorithm 3 (the
+self-stabilizing always-terminating snapshot object with δ=2), performs
+writes from several nodes, and takes an atomic snapshot.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import ClusterConfig, SnapshotCluster
+
+
+def main() -> None:
+    config = ClusterConfig(n=5, delta=2, seed=42)
+    cluster = SnapshotCluster("ss-always", config)
+
+    # Each node owns one single-writer register; write from three of them.
+    cluster.write_sync(0, b"alpha")
+    cluster.write_sync(1, b"beta")
+    cluster.write_sync(2, b"gamma")
+    cluster.write_sync(0, b"alpha-v2")  # overwrite node 0's register
+
+    # Any node can take an atomic snapshot of all registers.
+    result = cluster.snapshot_sync(4)
+    print("snapshot values :", result.values)
+    print("vector clock    :", result.vector_clock)
+
+    # The recorded history is linearizable — verify it mechanically.
+    from repro.analysis.linearizability import check_snapshot_history
+
+    report = check_snapshot_history(cluster.history.records(), config.n)
+    print("linearizable    :", report.ok)
+
+    stats = cluster.metrics.snapshot()
+    print("network messages:", stats.total_messages, "by kind:",
+          dict(sorted(stats.messages_by_kind.items())))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,64 @@
+"""Self-stabilizing snapshot objects for asynchronous failure-prone systems.
+
+A reproduction of Georgiou, Lundström & Schiller (PODC 2019): linearizable
+snapshot objects emulated over asynchronous message passing, tolerating
+node crashes, message loss/duplication/reordering, *and* transient faults
+(arbitrary state corruption), with bounded-time recovery.
+
+Quickstart::
+
+    from repro import ClusterConfig, SnapshotCluster
+
+    cluster = SnapshotCluster("ss-always", ClusterConfig(n=5, delta=3))
+    cluster.write_sync(0, b"hello")
+    result = cluster.snapshot_sync(1)
+    print(result.values)
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-claim reproduction index.
+"""
+
+from repro.config import UNBOUNDED_DELTA, ChannelConfig, ClusterConfig
+from repro.core import (
+    ALGORITHMS,
+    DgfrAlwaysTerminating,
+    DgfrNonBlocking,
+    RegisterArray,
+    SelfStabilizingAlwaysTerminating,
+    SelfStabilizingNonBlocking,
+    SnapshotCluster,
+    SnapshotResult,
+    TimestampedValue,
+)
+from repro.core.cluster import register_algorithm
+from repro.errors import ReproError
+from repro.stabilization import (
+    BoundedSelfStabilizingAlwaysTerminating,
+    BoundedSelfStabilizingNonBlocking,
+)
+from repro.stacked import StackedSnapshot
+
+register_algorithm("stacked", StackedSnapshot)
+register_algorithm("bounded-ss-nonblocking", BoundedSelfStabilizingNonBlocking)
+register_algorithm(
+    "bounded-ss-always", BoundedSelfStabilizingAlwaysTerminating
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ALGORITHMS",
+    "ChannelConfig",
+    "ClusterConfig",
+    "DgfrAlwaysTerminating",
+    "DgfrNonBlocking",
+    "RegisterArray",
+    "ReproError",
+    "SelfStabilizingAlwaysTerminating",
+    "SelfStabilizingNonBlocking",
+    "SnapshotCluster",
+    "SnapshotResult",
+    "TimestampedValue",
+    "UNBOUNDED_DELTA",
+    "__version__",
+]

@@ -1,0 +1,15 @@
+"""Analysis toolkit: histories, linearizability, metrics, cycle tracking."""
+
+from repro.analysis.cycles import CycleTracker
+from repro.analysis.history import SNAPSHOT, WRITE, HistoryRecorder, OperationRecord
+from repro.analysis.metrics import MetricsCollector, MetricsSnapshot
+
+__all__ = [
+    "CycleTracker",
+    "HistoryRecorder",
+    "MetricsCollector",
+    "MetricsSnapshot",
+    "OperationRecord",
+    "SNAPSHOT",
+    "WRITE",
+]

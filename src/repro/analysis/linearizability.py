@@ -1,0 +1,253 @@
+"""Linearizability checking for SWMR snapshot-object histories.
+
+Two checkers with very different cost/completeness trade-offs:
+
+* :func:`check_snapshot_history` — a **specialized polynomial checker**
+  exploiting the SWMR snapshot semantics.  Each write by node ``i``
+  carries a unique, per-writer-increasing timestamp, so a snapshot result
+  is fully described by its vector clock.  The checker verifies the
+  classic necessary-and-jointly-sufficient conditions: per-writer
+  timestamp monotonicity, total ⪯-order (comparability) of snapshot
+  vectors, real-time order among snapshots, real-time order between
+  writes and snapshots in both directions, and value agreement.
+* :func:`check_exhaustive` — a **Wing & Gill style exhaustive checker**
+  (memoized DFS over linearization prefixes) that works directly from the
+  sequential specification.  Exponential, so only for small histories;
+  the property-based tests cross-validate the specialized checker
+  against it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from functools import lru_cache
+from typing import Iterable, Sequence
+
+from repro.analysis.history import SNAPSHOT, WRITE, OperationRecord
+from repro.errors import HistoryError
+
+__all__ = ["CheckReport", "check_snapshot_history", "check_exhaustive"]
+
+
+@dataclass(slots=True)
+class CheckReport:
+    """Outcome of a linearizability check."""
+
+    ok: bool = True
+    violations: list[str] = field(default_factory=list)
+
+    def fail(self, message: str) -> None:
+        """Record one violation."""
+        self.ok = False
+        self.violations.append(message)
+
+    def __bool__(self) -> bool:
+        return self.ok
+
+    def summary(self) -> str:
+        """Human-readable verdict."""
+        if self.ok:
+            return "linearizable"
+        head = "\n  ".join(self.violations[:10])
+        extra = len(self.violations) - 10
+        tail = f"\n  … and {extra} more" if extra > 0 else ""
+        return f"NOT linearizable ({len(self.violations)} violations):\n  {head}{tail}"
+
+
+def _vc_leq(a: Sequence[int], b: Sequence[int]) -> bool:
+    return all(x <= y for x, y in zip(a, b))
+
+
+def check_snapshot_history(
+    records: Iterable[OperationRecord],
+    n: int,
+    check_values: bool = True,
+) -> CheckReport:
+    """Check a completed SWMR snapshot-object history for linearizability.
+
+    Parameters
+    ----------
+    records:
+        Operation records; pending operations are ignored except that a
+        pending write's value may legitimately appear in snapshots.
+    n:
+        Number of nodes (length of snapshot vectors).
+    check_values:
+        Also verify that snapshot values equal the written values for
+        matching timestamps (disable when values are scrambled on purpose,
+        e.g. right after transient-fault injection).
+    """
+    report = CheckReport()
+    records = list(records)
+    # Aborted operations (e.g. rejected by a global reset) impose no
+    # constraints: an aborted write is treated like a pending one (it may
+    # or may not have taken effect); an aborted snapshot returned nothing.
+    writes = [r for r in records if r.kind == WRITE and not r.aborted]
+    snapshots = [
+        r
+        for r in records
+        if r.kind == SNAPSHOT and r.completed and not r.aborted
+    ]
+
+    # 1. Per-writer timestamps: unique and increasing in invocation order.
+    writes_by_node: dict[int, list[OperationRecord]] = {}
+    for write in writes:
+        writes_by_node.setdefault(write.node_id, []).append(write)
+    write_table: dict[tuple[int, int], OperationRecord] = {}
+    for node_id, node_writes in writes_by_node.items():
+        node_writes.sort(key=lambda r: r.invoked_at)
+        previous_ts = 0
+        for write in node_writes:
+            if write.result is None:
+                continue  # pending write: no timestamp evidence
+            ts = write.result
+            if ts <= previous_ts:
+                report.fail(
+                    f"write ts not increasing at node {node_id}: "
+                    f"{ts} after {previous_ts} (op {write.op_id})"
+                )
+            previous_ts = max(previous_ts, ts)
+            write_table[(node_id, ts)] = write
+
+    # 2. Snapshot structural sanity.
+    for snap in snapshots:
+        vc = snap.result.vector_clock
+        if len(vc) != n:
+            raise HistoryError(
+                f"snapshot op {snap.op_id}: vector of length {len(vc)}, "
+                f"expected {n}"
+            )
+
+    # 3. Snapshots must be totally ordered by ⪯ (atomicity).
+    ordered = sorted(snapshots, key=lambda s: (sum(s.result.vector_clock),))
+    for earlier, later in zip(ordered, ordered[1:]):
+        if not _vc_leq(earlier.result.vector_clock, later.result.vector_clock):
+            report.fail(
+                f"snapshots {earlier.op_id} and {later.op_id} are "
+                f"⪯-incomparable: {earlier.result.vector_clock} vs "
+                f"{later.result.vector_clock}"
+            )
+
+    # 4. Real-time order among snapshots.
+    for first in snapshots:
+        for second in snapshots:
+            if first.precedes(second) and not _vc_leq(
+                first.result.vector_clock, second.result.vector_clock
+            ):
+                report.fail(
+                    f"snapshot {second.op_id} (after {first.op_id} in real "
+                    f"time) returned an older vector"
+                )
+
+    # 5. Real-time order between writes and snapshots.
+    for write in writes:
+        if write.result is None:
+            continue
+        ts = write.result
+        node_id = write.node_id
+        for snap in snapshots:
+            vc = snap.result.vector_clock
+            if write.precedes(snap) and vc[node_id] < ts:
+                report.fail(
+                    f"snapshot {snap.op_id} misses write {write.op_id} "
+                    f"(node {node_id}, ts {ts}) that preceded it; "
+                    f"saw ts {vc[node_id]}"
+                )
+            if snap.precedes(write) and vc[node_id] >= ts:
+                report.fail(
+                    f"snapshot {snap.op_id} saw future write {write.op_id} "
+                    f"(node {node_id}, ts {ts}) invoked after it responded"
+                )
+
+    # 6. Value agreement: returned values match the writes they cite.
+    if check_values:
+        for snap in snapshots:
+            vc = snap.result.vector_clock
+            values = snap.result.values
+            for node_id, ts in enumerate(vc):
+                if ts == 0:
+                    if values[node_id] is not None:
+                        report.fail(
+                            f"snapshot {snap.op_id}: entry {node_id} has "
+                            f"ts 0 but non-⊥ value {values[node_id]!r}"
+                        )
+                    continue
+                write = write_table.get((node_id, ts))
+                if write is not None and values[node_id] != write.argument:
+                    report.fail(
+                        f"snapshot {snap.op_id}: entry {node_id} cites write "
+                        f"ts {ts} but value {values[node_id]!r} != written "
+                        f"{write.argument!r}"
+                    )
+
+    return report
+
+
+def check_exhaustive(records: Iterable[OperationRecord], n: int) -> bool:
+    """Exhaustive (Wing & Gill) linearizability check for small histories.
+
+    Searches for a permutation of the completed operations that respects
+    real-time order and the sequential snapshot-object specification
+    (every snapshot returns exactly the register state produced by the
+    writes linearized before it).  Memoized on the set of linearized
+    operations; practical up to roughly a dozen operations.
+    """
+    ops = [r for r in records if r.completed and not r.aborted]
+    total = len(ops)
+    if total > 20:
+        raise HistoryError(
+            f"exhaustive checker given {total} operations; it is meant for "
+            "small cross-validation histories (<= 20)"
+        )
+    # Precompute the real-time precedence relation as bitmasks.
+    must_precede = [0] * total  # bit j set => ops[j] must come before ops[i]
+    for i, later in enumerate(ops):
+        for j, earlier in enumerate(ops):
+            if i != j and earlier.precedes(later):
+                must_precede[i] |= 1 << j
+
+    # Per-writer order: writes by the same node in ts order (SWMR).
+    write_indices: dict[int, list[int]] = {}
+    for index, op in enumerate(ops):
+        if op.kind == WRITE:
+            write_indices.setdefault(op.node_id, []).append(index)
+    for indices in write_indices.values():
+        indices.sort(key=lambda idx: ops[idx].result)
+        for previous, current in zip(indices, indices[1:]):
+            must_precede[current] |= 1 << previous
+
+    full_mask = (1 << total) - 1
+
+    def register_state(mask: int) -> tuple[int, ...]:
+        """Vector clock implied by the writes linearized in ``mask``."""
+        state = [0] * n
+        for index in range(total):
+            if mask & (1 << index) and ops[index].kind == WRITE:
+                op = ops[index]
+                state[op.node_id] = max(state[op.node_id], op.result)
+        return tuple(state)
+
+    @lru_cache(maxsize=None)
+    def search(mask: int) -> bool:
+        if mask == full_mask:
+            return True
+        state = register_state(mask)
+        for index in range(total):
+            bit = 1 << index
+            if mask & bit:
+                continue
+            if must_precede[index] & ~mask:
+                continue  # some predecessor not yet linearized
+            op = ops[index]
+            if op.kind == SNAPSHOT:
+                expected = list(state)
+                if tuple(op.result.vector_clock) != tuple(expected):
+                    continue
+            if search(mask | bit):
+                return True
+        return False
+
+    try:
+        return search(0)
+    finally:
+        search.cache_clear()

@@ -1,0 +1,147 @@
+"""Message accounting for communication-cost experiments.
+
+The paper's claims are stated in messages and bits ("O(n) messages of
+O(n·ν) bits", "O(n²) gossip messages of O(ν) bits").  The network fabric
+reports every send here, tagged with the message kind, so benchmarks can
+regenerate those counts.  :meth:`MetricsCollector.window` measures the
+traffic attributable to one operation in a quiescent run.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Iterator
+
+__all__ = ["MetricsCollector", "MetricsSnapshot", "TrafficWindow"]
+
+
+@dataclass(frozen=True, slots=True)
+class MetricsSnapshot:
+    """An immutable point-in-time copy of the collector's counters."""
+
+    messages_by_kind: dict[str, int]
+    bytes_by_kind: dict[str, int]
+    dropped_loss: int
+    dropped_capacity: int
+    duplicated: int
+
+    @property
+    def total_messages(self) -> int:
+        """Total network messages sent (loopback self-delivery excluded)."""
+        return sum(self.messages_by_kind.values())
+
+    @property
+    def total_bytes(self) -> int:
+        """Total payload bytes sent over the network."""
+        return sum(self.bytes_by_kind.values())
+
+    def diff(self, earlier: "MetricsSnapshot") -> "MetricsSnapshot":
+        """Counter-wise difference ``self - earlier``."""
+        return MetricsSnapshot(
+            messages_by_kind={
+                kind: count - earlier.messages_by_kind.get(kind, 0)
+                for kind, count in self.messages_by_kind.items()
+                if count - earlier.messages_by_kind.get(kind, 0)
+            },
+            bytes_by_kind={
+                kind: count - earlier.bytes_by_kind.get(kind, 0)
+                for kind, count in self.bytes_by_kind.items()
+                if count - earlier.bytes_by_kind.get(kind, 0)
+            },
+            dropped_loss=self.dropped_loss - earlier.dropped_loss,
+            dropped_capacity=self.dropped_capacity - earlier.dropped_capacity,
+            duplicated=self.duplicated - earlier.duplicated,
+        )
+
+    def messages(self, *kinds: str) -> int:
+        """Message count summed over the given kinds (all kinds if none)."""
+        if not kinds:
+            return self.total_messages
+        return sum(self.messages_by_kind.get(kind, 0) for kind in kinds)
+
+    def bytes_for(self, *kinds: str) -> int:
+        """Byte count summed over the given kinds (all kinds if none)."""
+        if not kinds:
+            return self.total_bytes
+        return sum(self.bytes_by_kind.get(kind, 0) for kind in kinds)
+
+
+@dataclass(slots=True)
+class TrafficWindow:
+    """Mutable holder filled in when a :meth:`MetricsCollector.window` closes."""
+
+    stats: MetricsSnapshot | None = None
+
+    def __getattr__(self, name):  # pragma: no cover - convenience passthrough
+        raise AttributeError(name)
+
+
+class MetricsCollector:
+    """Accumulates per-kind message counts and byte volumes.
+
+    One collector serves a whole cluster; the network fabric calls
+    :meth:`record_send` on every message that actually enters a channel
+    (i.e. after loopback short-circuiting, before loss is applied — a lost
+    message was still *sent*, which is what the complexity claims count).
+    """
+
+    def __init__(self) -> None:
+        self._messages: Counter[str] = Counter()
+        self._bytes: Counter[str] = Counter()
+        self._per_sender: Counter[tuple[int, str]] = Counter()
+        self.dropped_loss = 0
+        self.dropped_capacity = 0
+        self.duplicated = 0
+
+    def record_send(self, src: int, dst: int, kind: str, size: int) -> None:
+        """Account one message of ``kind`` and ``size`` bytes from ``src``."""
+        self._messages[kind] += 1
+        self._bytes[kind] += size
+        self._per_sender[(src, kind)] += 1
+
+    def record_loss(self) -> None:
+        """Account a message dropped by the channel loss model."""
+        self.dropped_loss += 1
+
+    def record_capacity_drop(self) -> None:
+        """Account a message dropped because the channel was full."""
+        self.dropped_capacity += 1
+
+    def record_duplication(self) -> None:
+        """Account a spontaneous channel duplication."""
+        self.duplicated += 1
+
+    def sender_messages(self, src: int, kind: str | None = None) -> int:
+        """Messages sent by one node, optionally restricted to a kind."""
+        if kind is not None:
+            return self._per_sender[(src, kind)]
+        return sum(
+            count for (sender, _), count in self._per_sender.items() if sender == src
+        )
+
+    def snapshot(self) -> MetricsSnapshot:
+        """An immutable copy of the current counters."""
+        return MetricsSnapshot(
+            messages_by_kind=dict(self._messages),
+            bytes_by_kind=dict(self._bytes),
+            dropped_loss=self.dropped_loss,
+            dropped_capacity=self.dropped_capacity,
+            duplicated=self.duplicated,
+        )
+
+    @contextmanager
+    def window(self) -> Iterator[TrafficWindow]:
+        """Measure the traffic sent while the ``with`` block executes.
+
+        In a quiescent cluster (no concurrent operations, gossip excluded by
+        kind filtering), this is the per-operation message cost the paper's
+        complexity claims describe.
+        """
+        before = self.snapshot()
+        holder = TrafficWindow()
+        try:
+            yield holder
+        finally:
+            holder.stats = self.snapshot().diff(before)

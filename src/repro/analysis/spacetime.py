@@ -1,0 +1,105 @@
+"""ASCII space-time diagrams from message traces.
+
+Renders a :class:`~repro.analysis.trace.MessageTrace` as a diagram in the
+style of the paper's Figures 1–3: one column (lane) per node, time
+flowing downward, each message drawn as an arrow row from its sender's
+lane to its receiver's lane, labelled with the message kind.  Operation
+boundaries inserted with :meth:`MessageTrace.mark` appear as bracketed
+annotations in the owning lane.
+
+Example output (write at p0, then a snapshot at p2)::
+
+    time     p0        p1        p2        p3
+    ----- --------- --------- --------- ---------
+      0.0 [write
+      0.0 ●──WRITE─▶
+      0.0 ●──────────WRITE───▶
+      ...
+"""
+
+from __future__ import annotations
+
+from repro.analysis.trace import MessageTrace, TraceEvent
+
+__all__ = ["render_spacetime"]
+
+#: Width of each node lane in characters.
+_LANE = 10
+
+
+def _arrow_row(n: int, event: TraceEvent) -> str:
+    """One diagram row for a send/deliver arrow between two lanes."""
+    width = n * _LANE
+    row = [" "] * width
+    src_center = event.src * _LANE + _LANE // 2
+    dst_center = event.dst * _LANE + _LANE // 2
+    left, right = sorted((src_center, dst_center))
+    for position in range(left, right + 1):
+        row[position] = "─"
+    row[src_center] = "●"
+    row[dst_center] = "▶" if dst_center > src_center else "◀"
+    # Overlay the message kind along the arrow shaft.
+    label = event.kind
+    shaft = right - left - 2
+    if shaft >= len(label) > 0:
+        start = (left + right - len(label)) // 2 + 1
+        for offset, char in enumerate(label):
+            row[start + offset] = char
+    prefix = "…" if event.event == "deliver" else " "
+    return prefix + "".join(row).rstrip()
+
+
+def _mark_row(n: int, event: TraceEvent) -> str:
+    center = event.src * _LANE + 1
+    label = f"[{event.kind}]"
+    row = [" "] * max(n * _LANE, center + len(label))
+    for offset, char in enumerate(label):
+        row[center + offset] = char
+    return " " + "".join(row).rstrip()
+
+
+def render_spacetime(
+    trace: MessageTrace,
+    n: int,
+    max_rows: int = 60,
+    include_deliveries: bool = False,
+    title: str = "",
+) -> str:
+    """Render the trace as an ASCII space-time diagram.
+
+    Parameters
+    ----------
+    trace:
+        Recorded events (sends, deliveries, marks).
+    n:
+        Number of node lanes.
+    max_rows:
+        Truncate long traces after this many rows (a summary line notes
+        how many events were elided).
+    include_deliveries:
+        Also draw a (dotted-prefix) row for each delivery; off by default
+        because send rows already show the arrow's endpoints.
+    """
+    header_lanes = "".join(f"p{k}".center(_LANE) for k in range(n))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(f"{'time':>7} {header_lanes}")
+    lines.append(f"{'-' * 7} {'-' * (n * _LANE)}")
+    rows = 0
+    elided = 0
+    for event in trace:
+        if event.event == "deliver" and not include_deliveries:
+            continue
+        if rows >= max_rows:
+            elided += 1
+            continue
+        if event.event == "mark":
+            body = _mark_row(n, event)
+        else:
+            body = _arrow_row(n, event)
+        lines.append(f"{event.time:7.1f}{body}")
+        rows += 1
+    if elided:
+        lines.append(f"        … {elided} more events elided …")
+    return "\n".join(lines)

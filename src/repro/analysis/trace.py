@@ -1,0 +1,98 @@
+"""Message-trace recording for space-time diagrams and debugging.
+
+Attaches to a :class:`~repro.net.network.Network` via its
+``trace_listeners`` hook and records every send and delivery as a
+:class:`TraceEvent`.  The renderer in :mod:`repro.analysis.spacetime`
+turns a trace into the kind of space-time diagram the paper's Figures
+1–3 draw.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable
+
+__all__ = ["TraceEvent", "MessageTrace"]
+
+
+@dataclass(frozen=True, slots=True)
+class TraceEvent:
+    """One network event.
+
+    ``event`` is ``"send"`` or ``"deliver"``; ``mark`` entries (from
+    :meth:`MessageTrace.mark`) use ``"mark"`` with ``src`` as the node
+    and ``kind`` as the label (e.g. ``write() invoked``).
+    """
+
+    event: str
+    time: float
+    src: int
+    dst: int
+    kind: str
+
+
+class MessageTrace:
+    """Records network events (and caller-inserted marks) in time order."""
+
+    def __init__(self, network=None) -> None:
+        self.events: list[TraceEvent] = []
+        self._network = network
+        if network is not None:
+            network.trace_listeners.append(self._on_event)
+
+    def _on_event(
+        self, event: str, time: float, src: int, dst: int, kind: str
+    ) -> None:
+        self.events.append(TraceEvent(event, time, src, dst, kind))
+
+    def mark(self, node: int, label: str, time: float) -> None:
+        """Insert an annotation (e.g. an operation boundary) at a node."""
+        self.events.append(TraceEvent("mark", time, node, node, label))
+
+    def detach(self) -> None:
+        """Stop recording."""
+        if self._network is not None:
+            try:
+                self._network.trace_listeners.remove(self._on_event)
+            except ValueError:
+                pass
+
+    # -- queries -----------------------------------------------------------------
+
+    def sends(self, kind: str | None = None) -> list[TraceEvent]:
+        """Send events, optionally filtered by message kind."""
+        return [
+            e
+            for e in self.events
+            if e.event == "send" and (kind is None or e.kind == kind)
+        ]
+
+    def deliveries(self, kind: str | None = None) -> list[TraceEvent]:
+        """Delivery events, optionally filtered by message kind."""
+        return [
+            e
+            for e in self.events
+            if e.event == "deliver" and (kind is None or e.kind == kind)
+        ]
+
+    def between(self, start: float, end: float) -> "MessageTrace":
+        """A sub-trace restricted to a time window."""
+        sub = MessageTrace()
+        sub.events = [e for e in self.events if start <= e.time <= end]
+        return sub
+
+    def filtered(self, keep: Callable[[TraceEvent], bool]) -> "MessageTrace":
+        """A sub-trace containing only events accepted by ``keep``."""
+        sub = MessageTrace()
+        sub.events = [e for e in self.events if keep(e)]
+        return sub
+
+    def kinds(self) -> set[str]:
+        """Distinct message kinds present in the trace."""
+        return {e.kind for e in self.events if e.event != "mark"}
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self) -> Iterable[TraceEvent]:
+        return iter(sorted(self.events, key=lambda e: e.time))

@@ -1,0 +1,18 @@
+"""Applications built on the snapshot-object API.
+
+The paper motivates snapshot objects as a foundation that makes
+"the design and analysis of algorithms that base their implementation
+on shared registers easier"; this package demonstrates it with the
+classic constructions: a linearizable distributed counter, a phase
+barrier, and stable-global-predicate detection.
+"""
+
+from repro.apps.barrier import PhaseBarrier, PredicateDetector
+from repro.apps.counter import CounterReading, DistributedCounter
+
+__all__ = [
+    "CounterReading",
+    "DistributedCounter",
+    "PhaseBarrier",
+    "PredicateDetector",
+]

@@ -1,0 +1,117 @@
+"""Phase barrier and global-predicate detection on the snapshot object.
+
+Two more classic snapshot applications:
+
+* :class:`PhaseBarrier` — each node writes its current phase number;
+  a node passes the barrier for phase *p* once a snapshot shows every
+  participant at phase ≥ *p*.  Atomicity makes the rule safe: the
+  observed cut is a real global state, so no node can be observed ahead
+  while actually behind.
+* :class:`PredicateDetector` — evaluates a stable global predicate over
+  consistent cuts.  For *stable* predicates (once true, forever true —
+  e.g. "every node has checkpointed"), atomic snapshots give sound and
+  complete detection.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Sequence
+
+from repro.core.cluster import SnapshotCluster
+
+__all__ = ["PhaseBarrier", "PredicateDetector"]
+
+
+class PhaseBarrier:
+    """A reusable multi-phase barrier over a snapshot-object cluster.
+
+    Participants call :meth:`enter` to announce a phase, then
+    :meth:`await_phase` to block until every participant reached it.
+    Non-participating nodes (e.g. pure observers) can be excluded via
+    ``participants``.
+    """
+
+    def __init__(
+        self,
+        cluster: SnapshotCluster,
+        participants: Sequence[int] | None = None,
+        poll_interval: float = 2.0,
+    ) -> None:
+        self._cluster = cluster
+        self.participants = (
+            list(participants)
+            if participants is not None
+            else list(range(cluster.config.n))
+        )
+        self._poll_interval = poll_interval
+
+    async def enter(self, node_id: int, phase: int) -> None:
+        """Announce that ``node_id`` reached ``phase``."""
+        if phase < 1:
+            raise ValueError(f"phases start at 1, got {phase}")
+        await self._cluster.write(node_id, phase)
+
+    async def await_phase(self, node_id: int, phase: int) -> tuple[int, ...]:
+        """Block until a snapshot shows every participant at ≥ ``phase``.
+
+        Returns the observed phase vector (participants only).  Polls
+        with fresh snapshots; each poll is a linearized global check.
+        """
+        while True:
+            view = await self._cluster.snapshot(node_id)
+            phases = tuple(
+                view.values[k] if isinstance(view.values[k], int) else 0
+                for k in self.participants
+            )
+            if all(p >= phase for p in phases):
+                return phases
+            await self._cluster.kernel.sleep(self._poll_interval)
+
+    async def run_phases(self, node_id: int, phases: int) -> None:
+        """Drive one participant through ``phases`` barrier rounds."""
+        for phase in range(1, phases + 1):
+            await self.enter(node_id, phase)
+            await self.await_phase(node_id, phase)
+
+
+class PredicateDetector:
+    """Detects a stable global predicate over consistent cuts.
+
+    ``predicate`` receives the snapshot's value tuple and returns a
+    bool.  :meth:`wait_until` polls snapshots until it holds; because
+    each poll is an atomic cut, a ``True`` verdict is evidence of a real
+    global state satisfying the predicate (sound), and stability makes
+    repeated polling complete.
+    """
+
+    def __init__(
+        self,
+        cluster: SnapshotCluster,
+        predicate: Callable[[tuple[Any, ...]], bool],
+        poll_interval: float = 2.0,
+    ) -> None:
+        self._cluster = cluster
+        self._predicate = predicate
+        self._poll_interval = poll_interval
+
+    async def check(self, node_id: int) -> bool:
+        """One linearized evaluation of the predicate."""
+        view = await self._cluster.snapshot(node_id)
+        return bool(self._predicate(view.values))
+
+    async def wait_until(self, node_id: int, max_polls: int | None = None):
+        """Poll until the predicate holds; returns the witnessing values.
+
+        Raises :class:`TimeoutError` after ``max_polls`` failed polls.
+        """
+        polls = 0
+        while True:
+            view = await self._cluster.snapshot(node_id)
+            if self._predicate(view.values):
+                return view.values
+            polls += 1
+            if max_polls is not None and polls >= max_polls:
+                raise TimeoutError(
+                    f"predicate still false after {polls} polls"
+                )
+            await self._cluster.kernel.sleep(self._poll_interval)

@@ -1,0 +1,98 @@
+"""A linearizable distributed counter built on the snapshot object.
+
+The textbook first application of atomic snapshots: each node owns one
+SWMR register holding its *local contribution*; incrementing is a write
+to the own register; reading is a snapshot whose entries are summed.
+Because the snapshot is atomic, reads are totally ordered and never miss
+a completed increment — properties a naive read-all-registers poller
+cannot give.
+
+The counter inherits every guarantee of the underlying algorithm: with
+``ss-*`` algorithms it self-stabilizes (after a transient fault, the
+count may transiently be arbitrary, but within O(1) cycles it again
+reflects exactly the completed increments — plus whatever corruption
+inflated surviving register values, which a fresh increment supersedes).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.cluster import SnapshotCluster
+
+__all__ = ["CounterReading", "DistributedCounter"]
+
+
+@dataclass(frozen=True, slots=True)
+class CounterReading:
+    """The outcome of a counter read.
+
+    ``total`` is the linearized sum; ``per_node`` the contributions;
+    ``vector_clock`` the underlying snapshot evidence (useful to compare
+    two readings: one dominates the other iff its clock does).
+    """
+
+    total: int
+    per_node: tuple[int, ...]
+    vector_clock: tuple[int, ...]
+
+    def dominates(self, earlier: "CounterReading") -> bool:
+        """Whether this reading is at least as recent, entrywise."""
+        return all(
+            a >= b for a, b in zip(self.vector_clock, earlier.vector_clock)
+        )
+
+
+class DistributedCounter:
+    """Increment/read counter over a snapshot-object cluster.
+
+    One counter instance wraps one cluster; each node's contribution
+    lives in its own register, so increments from different nodes never
+    contend.  ``amount`` may be any positive integer (batched adds).
+    """
+
+    def __init__(self, cluster: SnapshotCluster) -> None:
+        self._cluster = cluster
+        self._local: dict[int, int] = {}
+
+    async def increment(self, node_id: int, amount: int = 1) -> int:
+        """Add ``amount`` at ``node_id``; returns the node's contribution.
+
+        The node's current contribution is tracked locally (the register
+        is single-writer, so the local cache is authoritative between
+        transient faults) and the new total contribution is written.
+        """
+        if amount <= 0:
+            raise ValueError(f"amount must be positive, got {amount}")
+        current = self._local.get(node_id)
+        if current is None:
+            # Recover the contribution from the node's own register
+            # (e.g. first use, or after a detectable restart).
+            entry = self._cluster.node(node_id).reg[node_id]
+            current = entry.value if isinstance(entry.value, int) else 0
+        new_value = current + amount
+        await self._cluster.write(node_id, new_value)
+        self._local[node_id] = new_value
+        return new_value
+
+    async def read(self, node_id: int) -> CounterReading:
+        """Linearized read: snapshot and sum the contributions."""
+        view = await self._cluster.snapshot(node_id)
+        per_node = tuple(
+            value if isinstance(value, int) else 0 for value in view.values
+        )
+        return CounterReading(
+            total=sum(per_node),
+            per_node=per_node,
+            vector_clock=view.vector_clock,
+        )
+
+    # -- synchronous conveniences (simulated clusters) ----------------------------
+
+    def increment_sync(self, node_id: int, amount: int = 1) -> int:
+        """Run the kernel until one increment completes."""
+        return self._cluster.run_until(self.increment(node_id, amount))
+
+    def read_sync(self, node_id: int) -> CounterReading:
+        """Run the kernel until one read completes."""
+        return self._cluster.run_until(self.read(node_id))

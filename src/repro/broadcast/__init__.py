@@ -1,0 +1,5 @@
+"""Broadcast primitives (reliable broadcast for the Algorithm 2 baseline)."""
+
+from repro.broadcast.reliable import RbAckMessage, RbDataMessage, ReliableBroadcast
+
+__all__ = ["RbAckMessage", "RbDataMessage", "ReliableBroadcast"]

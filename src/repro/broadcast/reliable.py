@@ -1,0 +1,142 @@
+"""Reliable broadcast over unreliable channels.
+
+Algorithm 2 (the DGFR always-terminating baseline) assumes a
+``reliableBroadcast`` primitive for its ``SNAP`` (task announcement) and
+``END`` (task result) messages: if any correct node delivers a message,
+every correct node delivers it.
+
+This implementation combines two classic mechanisms:
+
+* **eager relay** — the first time a node learns a message it assumes
+  responsibility for it and starts retransmitting to every peer, so a
+  sender that crashes mid-broadcast cannot strand a partial delivery;
+* **per-peer acknowledgements with exponential backoff** — retransmission
+  to a peer stops once the peer acks, and the retry period doubles up to a
+  cap so permanently crashed peers cost vanishing bandwidth.
+
+The service is deliberately *not* self-stabilizing and uses unbounded
+per-message bookkeeping — exactly the property of Algorithm 2 that the
+paper's Algorithm 3 removes (bounded space being a prerequisite for
+self-stabilization; see DESIGN.md).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.errors import CancelledError
+from repro.net.message import Message
+from repro.net.node import Process
+
+__all__ = ["ReliableBroadcast", "RbDataMessage", "RbAckMessage"]
+
+#: Initial retransmission period multiplier (relative to the cluster's
+#: retransmit interval) and the backoff cap.
+_BACKOFF_FACTOR = 2.0
+_BACKOFF_CAP = 16.0
+
+
+@dataclass(frozen=True)
+class RbDataMessage(Message):
+    """A reliable-broadcast payload tagged with its unique (origin, seq)."""
+
+    KIND = "RB"
+    origin: int
+    seq: int
+    payload: Message
+
+
+@dataclass(frozen=True)
+class RbAckMessage(Message):
+    """Per-receiver acknowledgement of one (origin, seq)."""
+
+    KIND = "RBack"
+    origin: int
+    seq: int
+
+
+class ReliableBroadcast:
+    """Reliable-broadcast endpoint attached to one :class:`Process`.
+
+    Parameters
+    ----------
+    process:
+        The owning node; handlers for the RB wire messages are registered
+        on it.
+    deliver:
+        Application callback ``deliver(origin, payload)`` invoked exactly
+        once per broadcast message, in arrival order at this node.
+    """
+
+    def __init__(
+        self,
+        process: Process,
+        deliver: Callable[[int, Message], None],
+    ) -> None:
+        self._process = process
+        self._deliver = deliver
+        self._seq = itertools.count(1)
+        self._known: dict[tuple[int, int], Message] = {}
+        self._acked: dict[tuple[int, int], set[int]] = {}
+        process.register_handler(RbDataMessage.KIND, self._on_data)
+        process.register_handler(RbAckMessage.KIND, self._on_ack)
+
+    def broadcast(self, payload: Message) -> None:
+        """Reliably broadcast ``payload`` to every node (including self)."""
+        message_id = (self._process.node_id, next(self._seq))
+        self._learn(message_id, payload)
+
+    # -- wire handlers ---------------------------------------------------------
+
+    def _on_data(self, sender: int, message: RbDataMessage) -> None:
+        message_id = (message.origin, message.seq)
+        self._process.send(
+            sender, RbAckMessage(origin=message.origin, seq=message.seq)
+        )
+        self._learn(message_id, message.payload)
+
+    def _on_ack(self, sender: int, message: RbAckMessage) -> None:
+        acked = self._acked.get((message.origin, message.seq))
+        if acked is not None:
+            acked.add(sender)
+
+    # -- core -----------------------------------------------------------------------
+
+    def _learn(self, message_id: tuple[int, int], payload: Message) -> None:
+        if message_id in self._known:
+            return
+        self._known[message_id] = payload
+        self._acked[message_id] = {self._process.node_id}
+        self._deliver(message_id[0], payload)
+        self._process.kernel.create_task(
+            self._retransmit(message_id, payload),
+            name=f"rb{self._process.node_id}.{message_id}",
+        )
+
+    async def _retransmit(
+        self, message_id: tuple[int, int], payload: Message
+    ) -> None:
+        """Push the message to every un-acked peer until all have acked."""
+        origin, seq = message_id
+        wire = RbDataMessage(origin=origin, seq=seq, payload=payload)
+        interval = self._process.config.retransmit_interval
+        try:
+            while True:
+                acked = self._acked[message_id]
+                pending = [
+                    peer for peer in self._process.peers() if peer not in acked
+                ]
+                if not pending:
+                    return
+                await self._process.gate.passthrough()
+                for peer in pending:
+                    self._process.send(peer, wire)
+                await self._process.kernel.sleep(interval)
+                interval = min(
+                    interval * _BACKOFF_FACTOR,
+                    self._process.config.retransmit_interval * _BACKOFF_CAP,
+                )
+        except CancelledError:
+            raise

@@ -1,0 +1,33 @@
+"""Core snapshot-object algorithms (the paper's contribution + baselines).
+
+* :class:`~repro.core.dgfr_nonblocking.DgfrNonBlocking` — Delporte-Gallet
+  et al.'s non-blocking algorithm (baseline).
+* :class:`~repro.core.ss_nonblocking.SelfStabilizingNonBlocking` — the
+  paper's Algorithm 1.
+* :class:`~repro.core.dgfr_always.DgfrAlwaysTerminating` — Delporte-Gallet
+  et al.'s always-terminating algorithm (Algorithm 2, baseline).
+* :class:`~repro.core.ss_always.SelfStabilizingAlwaysTerminating` — the
+  paper's Algorithm 3 (with the δ latency/communication knob).
+"""
+
+from repro.core.base import SnapshotAlgorithm, SnapshotResult
+from repro.core.cluster import ALGORITHMS, SnapshotCluster
+from repro.core.dgfr_always import DgfrAlwaysTerminating
+from repro.core.dgfr_nonblocking import DgfrNonBlocking
+from repro.core.register import BOTTOM, RegisterArray, TimestampedValue
+from repro.core.ss_always import SelfStabilizingAlwaysTerminating
+from repro.core.ss_nonblocking import SelfStabilizingNonBlocking
+
+__all__ = [
+    "ALGORITHMS",
+    "BOTTOM",
+    "DgfrAlwaysTerminating",
+    "DgfrNonBlocking",
+    "RegisterArray",
+    "SelfStabilizingAlwaysTerminating",
+    "SelfStabilizingNonBlocking",
+    "SnapshotAlgorithm",
+    "SnapshotCluster",
+    "SnapshotResult",
+    "TimestampedValue",
+]

@@ -1,0 +1,174 @@
+"""Shared machinery of the Delporte-Gallet-family snapshot algorithms.
+
+All four algorithms (the DGFR non-blocking and always-terminating
+baselines, and their self-stabilizing variants) share:
+
+* the per-node state ``reg`` (an SWMR register-array buffer) and the write
+  index ``ts``;
+* the ``merge(Rec)`` macro — pointwise lattice join of received register
+  arrays, with the self-stabilizing variants additionally absorbing the
+  maximum observed own-entry timestamp into ``ts``;
+* the server-side WRITE/SNAPSHOT handler skeleton (merge, then ack);
+* the client-side ``baseWrite`` — bump ``ts``, install the value locally,
+  then ``repeat broadcast WRITE until majority of WRITEack(regJ ⪰ lReg)``.
+
+Concrete algorithms subclass :class:`SnapshotAlgorithm` and add their
+snapshot-side logic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterable
+
+from repro.config import ClusterConfig
+from repro.core.register import RegisterArray, TimestampedValue
+from repro.errors import ReproError
+from repro.net.message import Message
+from repro.net.node import Process
+from repro.net.quorum import AckCollector, broadcast_until
+from repro.sim.kernel import Kernel
+
+__all__ = [
+    "SnapshotAlgorithm",
+    "SnapshotResult",
+    "WriteMessage",
+    "WriteAckMessage",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class SnapshotResult:
+    """The outcome of a ``snapshot()`` operation.
+
+    Attributes
+    ----------
+    values:
+        One entry per node: the object value last written by that node
+        (``None`` where no write has occurred).
+    vector_clock:
+        The write indices of the returned values — the evidence the
+        linearizability checker consumes.
+    """
+
+    values: tuple[Any, ...]
+    vector_clock: tuple[int, ...]
+
+    @classmethod
+    def from_registers(cls, reg: RegisterArray) -> "SnapshotResult":
+        """Package a register-array state as an operation result."""
+        return cls(values=reg.snapshot_values(), vector_clock=reg.vector_clock())
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+
+@dataclass(frozen=True)
+class WriteMessage(Message):
+    """Client-side ``WRITE(lReg)``: the writer's whole register view."""
+
+    KIND = "WRITE"
+    reg: RegisterArray
+
+
+@dataclass(frozen=True)
+class WriteAckMessage(Message):
+    """Server-side ``WRITEack(reg)``: the replier's merged register view."""
+
+    KIND = "WRITEack"
+    reg: RegisterArray
+
+
+class SnapshotAlgorithm(Process):
+    """Base class: state, merge, write path, and server-side handlers.
+
+    Parameters mirror :class:`~repro.net.node.Process`; subclasses set the
+    class attribute :attr:`SELF_STABILIZING` to enable the boxed-code
+    additions of the paper (timestamp absorption in ``merge`` and the
+    do-forever cleanup/gossip, implemented in the subclasses).
+    """
+
+    #: Whether the boxed (self-stabilizing) code lines are active.
+    SELF_STABILIZING = False
+
+    def __init__(
+        self,
+        node_id: int,
+        kernel: Kernel,
+        network: Any,
+        config: ClusterConfig,
+    ) -> None:
+        super().__init__(node_id, kernel, network, config)
+        self.register_handler(WriteMessage.KIND, self._on_write)
+        # WRITEack has no server-side action; replies reach ack collectors.
+
+    # -- state ------------------------------------------------------------------
+
+    def initialize_state(self) -> None:
+        """Lines 2–4 / 32–35 / 68: indices to zero, registers to ⊥."""
+        self.ts: int = 0
+        self.reg: RegisterArray = RegisterArray(self.config.n)
+        self._ops_in_flight: set[str] = set()
+
+    # -- the merge(Rec) macro -----------------------------------------------------
+
+    def merge(self, received: Iterable[RegisterArray]) -> None:
+        """``merge(Rec)``: pointwise join of received register arrays.
+
+        In the self-stabilizing variants the macro additionally raises
+        ``ts`` to the largest own-entry timestamp seen (Algorithm 1 line 6
+        / Algorithm 3 line 72), which is what heals a corrupted-low ``ts``.
+        """
+        received = list(received)
+        if self.SELF_STABILIZING:
+            self.ts = max(
+                [self.ts, self.reg[self.node_id].ts]
+                + [r[self.node_id].ts for r in received]
+            )
+        for other in received:
+            self.reg.merge_from(other)
+
+    # -- server side -----------------------------------------------------------------
+
+    def _on_write(self, sender: int, message: WriteMessage) -> None:
+        """Lines 26–28: merge the writer's view, reply with our own."""
+        self.reg.merge_from(message.reg)
+        self.send(sender, WriteAckMessage(reg=self.reg.copy()))
+
+    # -- client side write path ----------------------------------------------------------
+
+    async def base_write(self, value: Any) -> int:
+        """Lines 13–15 (= ``baseWrite``, lines 48–51/84): one write round.
+
+        Returns the write's timestamp index (useful for histories).
+        """
+        self.ts += 1
+        self.reg[self.node_id] = TimestampedValue(self.ts, value)
+        l_reg = self.reg.copy()
+
+        def matches(sender: int, msg: Message) -> bool:
+            return l_reg.precedes_or_equals(msg.reg)
+
+        with AckCollector(
+            self, WriteAckMessage.KIND, self.majority, match=matches
+        ) as collector:
+            await broadcast_until(
+                self, lambda: WriteMessage(reg=self.reg.copy()), collector
+            )
+            replies = collector.reply_messages()
+        self.merge(msg.reg for msg in replies)
+        return l_reg[self.node_id].ts
+
+    # -- operation-invocation discipline --------------------------------------------------
+
+    def _begin_operation(self, name: str) -> None:
+        """Enforce the paper's sequential-client-per-node model."""
+        if name in self._ops_in_flight:
+            raise ReproError(
+                f"node {self.node_id}: {name} already in progress; the model "
+                "assumes one sequential client per node"
+            )
+        self._ops_in_flight.add(name)
+
+    def _end_operation(self, name: str) -> None:
+        self._ops_in_flight.discard(name)

@@ -1,0 +1,76 @@
+"""Standard-library logging integration for protocol debugging.
+
+The library itself never logs (hot paths stay silent); this module
+attaches observers to a cluster's existing hooks and forwards them to
+:mod:`logging`, giving a chronological protocol narrative::
+
+    import logging
+    from repro.debuglog import attach_debug_logging
+
+    logging.basicConfig(level=logging.DEBUG, format="%(message)s")
+    cluster = SnapshotCluster("ss-always", ClusterConfig(n=3))
+    detach = attach_debug_logging(cluster)
+    cluster.write_sync(0, b"x")
+    detach()
+
+Loggers used: ``repro.net`` (message sends/deliveries), ``repro.cycles``
+(asynchronous cycle boundaries).  Everything is prefixed with the
+simulated timestamp.
+"""
+
+from __future__ import annotations
+
+import logging
+from typing import Callable
+
+from repro.core.cluster import SnapshotCluster
+
+__all__ = ["attach_debug_logging"]
+
+_NET_LOGGER = logging.getLogger("repro.net")
+_CYCLE_LOGGER = logging.getLogger("repro.cycles")
+
+
+def attach_debug_logging(
+    cluster: SnapshotCluster,
+    net_level: int = logging.DEBUG,
+    cycle_level: int = logging.INFO,
+) -> Callable[[], None]:
+    """Attach loggers to a cluster's observability hooks.
+
+    Returns a zero-argument ``detach`` callable that removes the network
+    listener (cycle-boundary listeners are append-only on the tracker
+    and simply stop mattering once the cluster is discarded).
+    """
+
+    def on_network_event(
+        event: str, time: float, src: int, dst: int, kind: str
+    ) -> None:
+        _NET_LOGGER.log(
+            net_level,
+            "t=%8.2f %-7s p%d -> p%d  %s",
+            time,
+            event,
+            src,
+            dst,
+            kind,
+        )
+
+    def on_cycle(cycle: int) -> None:
+        _CYCLE_LOGGER.log(
+            cycle_level,
+            "t=%8.2f ======= asynchronous cycle %d complete =======",
+            cluster.kernel.now,
+            cycle,
+        )
+
+    cluster.network.trace_listeners.append(on_network_event)
+    cluster.tracker.add_boundary_listener(on_cycle)
+
+    def detach() -> None:
+        try:
+            cluster.network.trace_listeners.remove(on_network_event)
+        except ValueError:
+            pass
+
+    return detach

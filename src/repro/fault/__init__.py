@@ -1,0 +1,15 @@
+"""Fault injection: crashes, transient state corruption, partitions."""
+
+from repro.fault.adversary import PartitionSchedule, flapping_partition, isolate
+from repro.fault.crash import CrashEvent, CrashSchedule, random_minority
+from repro.fault.transient import TransientFaultInjector
+
+__all__ = [
+    "CrashEvent",
+    "CrashSchedule",
+    "PartitionSchedule",
+    "TransientFaultInjector",
+    "flapping_partition",
+    "isolate",
+    "random_minority",
+]

@@ -1,0 +1,73 @@
+"""Adversarial network scheduling: partitions and targeted isolation.
+
+The paper's asynchronous model lets an adversary delay any message
+arbitrarily; on top of the seeded random delays, these helpers drive
+*structured* adversity — healing partitions, isolating a minority, or
+repeatedly flapping connectivity — against a running cluster.  Safety
+(linearizability of completed operations) must survive all of them;
+liveness resumes once a majority is mutually connected again.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.core.cluster import SnapshotCluster
+
+__all__ = ["PartitionSchedule", "isolate", "flapping_partition"]
+
+
+def isolate(cluster: SnapshotCluster, nodes: Iterable[int]) -> None:
+    """Partition the given nodes away from the rest of the cluster."""
+    group = set(nodes)
+    rest = set(range(cluster.config.n)) - group
+    cluster.network.partition(group, rest)
+
+
+def flapping_partition(
+    cluster: SnapshotCluster,
+    groups: Sequence[set[int]],
+    period: float,
+    flaps: int,
+) -> None:
+    """Alternate between partitioned and healed every ``period`` units.
+
+    Schedules ``flaps`` partition/heal pairs on the cluster's kernel,
+    starting one ``period`` from now.
+    """
+    for flap in range(flaps):
+        start = (2 * flap + 1) * period
+        cluster.kernel.call_later(
+            start, lambda: cluster.network.partition(*groups)
+        )
+        cluster.kernel.call_later(start + period, cluster.network.heal)
+
+
+class PartitionSchedule:
+    """A scripted sequence of partition/heal events.
+
+    Each entry is ``(at, groups)`` where ``groups`` is a tuple of node
+    sets (empty tuple = heal).  Install once; events fire on the
+    cluster's simulated clock.
+    """
+
+    def __init__(
+        self,
+        cluster: SnapshotCluster,
+        events: Sequence[tuple[float, tuple[set[int], ...]]],
+    ) -> None:
+        self._cluster = cluster
+        self.events = sorted(events, key=lambda e: e[0])
+        self.applied: list[float] = []
+
+    def install(self) -> None:
+        """Schedule every event on the cluster's kernel."""
+        for at, groups in self.events:
+            self._cluster.kernel.call_at(at, self._apply, at, groups)
+
+    def _apply(self, at: float, groups: tuple[set[int], ...]) -> None:
+        if groups:
+            self._cluster.network.partition(*groups)
+        else:
+            self._cluster.network.heal()
+        self.applied.append(at)

@@ -1,0 +1,71 @@
+"""Crash-fault scheduling helpers.
+
+The paper's crash model: up to ``f`` nodes with ``2f < n`` may stop taking
+steps, possibly forever; a failing node may later *resume* (undetectable
+restart) or perform a *detectable restart* that reinitializes its
+variables.  These helpers drive those events against a cluster on a
+schedule, for both tests and the crash-tolerance benchmarks (E13).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.core.cluster import SnapshotCluster
+
+__all__ = ["CrashEvent", "CrashSchedule", "random_minority"]
+
+
+@dataclass(frozen=True, slots=True)
+class CrashEvent:
+    """One scheduled crash or resume.
+
+    ``at`` is simulated time; ``action`` is ``"crash"``, ``"resume"`` or
+    ``"restart"`` (resume with detectable restart).
+    """
+
+    at: float
+    node_id: int
+    action: str
+
+    _ACTIONS = ("crash", "resume", "restart")
+
+    def __post_init__(self) -> None:
+        if self.action not in self._ACTIONS:
+            raise ValueError(f"unknown crash action {self.action!r}")
+
+
+class CrashSchedule:
+    """Applies a list of :class:`CrashEvent` to a cluster's kernel clock."""
+
+    def __init__(self, cluster: SnapshotCluster, events: list[CrashEvent]) -> None:
+        self._cluster = cluster
+        self.events = sorted(events, key=lambda e: e.at)
+        self.applied: list[CrashEvent] = []
+
+    def install(self) -> None:
+        """Schedule every event on the cluster's kernel."""
+        for event in self.events:
+            self._cluster.kernel.call_at(event.at, self._apply, event)
+
+    def _apply(self, event: CrashEvent) -> None:
+        if event.action == "crash":
+            self._cluster.crash(event.node_id)
+        elif event.action == "resume":
+            self._cluster.resume(event.node_id, restart=False)
+        else:
+            self._cluster.resume(event.node_id, restart=True)
+        self.applied.append(event)
+
+
+def random_minority(
+    n: int, rng: random.Random, f: int | None = None
+) -> list[int]:
+    """Pick a random crash set of size ``f`` (default: the max ``2f < n``)."""
+    limit = (n - 1) // 2
+    if f is None:
+        f = limit
+    if f > limit:
+        raise ValueError(f"f={f} violates 2f < n for n={n}")
+    return sorted(rng.sample(range(n), f))

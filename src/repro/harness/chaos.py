@@ -1,0 +1,241 @@
+"""Chaos campaigns: long randomized fault storms with continuous checking.
+
+A :class:`ChaosCampaign` drives a cluster through a seeded random
+sequence of events — writes, snapshots, crashes, resumes (both kinds),
+partitions, heals, and transient corruption — while checking after every
+phase that completed operations form a linearizable history and that the
+self-stabilizing invariants are restored after each corruption burst.
+
+This is the library's endurance harness: the unit tests prove each
+mechanism in isolation; a campaign proves they compose over hundreds of
+events.  ``python -m repro chaos`` runs one.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.analysis.history import HistoryRecorder
+from repro.analysis.invariants import definition1_consistent
+from repro.analysis.linearizability import check_snapshot_history
+from repro.config import ChannelConfig, ClusterConfig
+from repro.core.cluster import SnapshotCluster
+from repro.fault import TransientFaultInjector
+
+__all__ = ["ChaosCampaign", "ChaosReport"]
+
+
+@dataclass(slots=True)
+class ChaosReport:
+    """Outcome of one campaign."""
+
+    events: int = 0
+    writes: int = 0
+    snapshots: int = 0
+    crashes: int = 0
+    resumes: int = 0
+    restarts: int = 0
+    corruptions: int = 0
+    partitions: int = 0
+    linearizability_checks: int = 0
+    failures: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """Whether every check during the campaign passed."""
+        return not self.failures
+
+    def summary(self) -> str:
+        """One-line outcome."""
+        verdict = "OK" if self.ok else f"{len(self.failures)} FAILURES"
+        return (
+            f"{self.events} events ({self.writes}w/{self.snapshots}s ops, "
+            f"{self.crashes} crashes, {self.corruptions} corruptions, "
+            f"{self.partitions} partitions), "
+            f"{self.linearizability_checks} checks: {verdict}"
+        )
+
+
+class ChaosCampaign:
+    """A seeded random fault/operation storm against one cluster."""
+
+    def __init__(
+        self,
+        algorithm: str = "ss-always",
+        n: int = 5,
+        seed: int = 0,
+        delta: float = 2,
+        loss: float = 0.1,
+    ) -> None:
+        self.rng = random.Random(seed)
+        self.cluster = SnapshotCluster(
+            algorithm,
+            ClusterConfig(
+                n=n,
+                seed=seed,
+                delta=delta,
+                channel=ChannelConfig(
+                    loss_probability=loss, duplication_probability=loss / 2
+                ),
+            ),
+        )
+        self.injector = TransientFaultInjector(self.cluster, seed=seed)
+        self.report = ChaosReport()
+        self._write_counter = 0
+
+    # -- event primitives ------------------------------------------------------
+
+    def _idle_nodes(self) -> list[int]:
+        return [
+            node
+            for node in self.cluster.alive_nodes()
+            if not self.cluster.node(node)._ops_in_flight
+        ]
+
+    def _can_operate(self) -> bool:
+        return (
+            len(self.cluster.alive_nodes()) >= self.cluster.config.majority
+        )
+
+    async def _time_boxed(self, operation) -> bool:
+        """Run an operation with a timeout guard against partitions.
+
+        An operation issued on a partitioned-minority node can never
+        complete until the campaign heals the network — but the campaign
+        is awaiting the operation.  The timeout breaks that cycle: the
+        operation aborts (recorded as such; aborted operations impose no
+        history constraints) and the network is healed.
+        """
+        try:
+            await self.cluster.kernel.wait_for(operation, timeout=250.0)
+            return True
+        except TimeoutError:
+            self._do_heal()
+            return False
+
+    async def _do_write(self) -> None:
+        nodes = self._idle_nodes()
+        if not nodes or not self._can_operate():
+            return
+        node = self.rng.choice(nodes)
+        self._write_counter += 1
+        if await self._time_boxed(
+            self.cluster.write(node, f"chaos-{self._write_counter}")
+        ):
+            self.report.writes += 1
+
+    async def _do_snapshot(self) -> None:
+        nodes = self._idle_nodes()
+        if not nodes or not self._can_operate():
+            return
+        if await self._time_boxed(self.cluster.snapshot(self.rng.choice(nodes))):
+            self.report.snapshots += 1
+
+    def _do_crash(self) -> None:
+        alive = self.cluster.alive_nodes()
+        if len(alive) > self.cluster.config.majority:
+            self.cluster.crash(self.rng.choice(alive))
+            self.report.crashes += 1
+
+    def _do_resume(self) -> None:
+        crashed = [
+            p.node_id for p in self.cluster.processes if p.crashed
+        ]
+        if crashed:
+            node = self.rng.choice(crashed)
+            restart = self.rng.random() < 0.3
+            self.cluster.resume(node, restart=restart)
+            if restart:
+                self.report.restarts += 1
+            else:
+                self.report.resumes += 1
+
+    def _do_corrupt(self) -> None:
+        action = self.rng.choice(
+            [
+                self.injector.corrupt_write_indices,
+                self.injector.corrupt_snapshot_indices,
+                lambda: self.injector.corrupt_registers(
+                    node_ids=[self.rng.randrange(self.cluster.config.n)]
+                ),
+                self.injector.scramble_channels,
+            ]
+        )
+        action()
+        self.report.corruptions += 1
+
+    def _do_partition(self) -> None:
+        n = self.cluster.config.n
+        minority = set(self.rng.sample(range(n), (n - 1) // 2))
+        self.cluster.network.partition(minority, set(range(n)) - minority)
+        self.report.partitions += 1
+
+    def _do_heal(self) -> None:
+        self.cluster.network.heal()
+
+    # -- checking -------------------------------------------------------------------
+
+    def _check(self, context: str) -> None:
+        self.report.linearizability_checks += 1
+        check = check_snapshot_history(
+            self.cluster.history.records(), self.cluster.config.n
+        )
+        if not check.ok:
+            self.report.failures.append(f"{context}: {check.summary()}")
+
+    async def _recover_and_check(self) -> None:
+        """After a corruption burst: heal, settle, verify invariants and
+        start a fresh history (pre-corruption evidence is void)."""
+        self._do_heal()
+        for node in list(range(self.cluster.config.n)):
+            if self.cluster.node(node).crashed:
+                self.cluster.resume(node)
+        self.cluster.tracker.reset()
+        await self.cluster.tracker.wait_cycles(8)
+        invariants = definition1_consistent(self.cluster)
+        if not invariants.ok:
+            self.report.failures.append(
+                f"invariants after recovery: {invariants.failures[:3]}"
+            )
+        self.cluster.history = HistoryRecorder()
+
+    # -- the campaign ----------------------------------------------------------------------
+
+    async def _run(self, events: int) -> None:
+        weighted = (
+            [self._do_write] * 6
+            + [self._do_snapshot] * 3
+            + [self._do_crash] * 1
+            + [self._do_resume] * 2
+            + [self._do_partition] * 1
+            + [self._do_heal] * 2
+        )
+        since_corruption = 0
+        for _ in range(events):
+            self.report.events += 1
+            since_corruption += 1
+            if since_corruption > 25 and self.rng.random() < 0.1:
+                # A corruption burst voids past evidence: check first,
+                # corrupt, then recover before continuing.
+                self._check("pre-corruption")
+                self._do_corrupt()
+                await self._recover_and_check()
+                since_corruption = 0
+                continue
+            action = self.rng.choice(weighted)
+            result = action()
+            if result is not None:  # coroutine actions
+                await result
+            await self.cluster.kernel.sleep(self.rng.uniform(0.5, 3.0))
+        self._do_heal()
+        for node in range(self.cluster.config.n):
+            if self.cluster.node(node).crashed:
+                self.cluster.resume(node)
+        await self.cluster.tracker.wait_cycles(4)
+        self._check("final")
+
+    def run(self, events: int = 150) -> ChaosReport:
+        """Execute the campaign; returns the report."""
+        self.cluster.run_until(self._run(events), max_events=None)
+        return self.report

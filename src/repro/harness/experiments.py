@@ -1,0 +1,126 @@
+"""Experiment registry and command-line runner.
+
+``python -m repro.harness.experiments`` runs every experiment (E1–E15)
+and prints its table; ``python -m repro.harness.experiments e07 e09``
+runs a subset.  The same functions back the pytest-benchmark targets in
+``benchmarks/``.
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import Callable
+
+from repro.harness.costs import (
+    e01_nonblocking_op_costs,
+    e02_gossip_overhead,
+    e03_stacking_comparison,
+    e04_always_terminating_costs,
+    e05_delta_snapshot_costs,
+    e06_concurrent_snapshots,
+    e15_message_sizes,
+)
+from repro.harness.faults import e13_crash_tolerance
+from repro.harness.latency import (
+    e09_delta_latency,
+    e10_delta_tradeoff,
+    e11_writes_between_blocks,
+    e12_nonblocking_starvation,
+)
+from repro.harness.recovery import (
+    e07_recovery_nonblocking,
+    e08_recovery_always,
+    e14_bounded_reset,
+)
+from repro.harness.report import print_table
+
+__all__ = ["EXPERIMENTS", "run_experiment", "main"]
+
+#: Experiment id → (title, runner).
+EXPERIMENTS: dict[str, tuple[str, Callable[[], list[dict]]]] = {
+    "e01": (
+        "E1 / Fig.1 upper — DGFR non-blocking per-op costs (2n msgs, 1 RT)",
+        e01_nonblocking_op_costs,
+    ),
+    "e02": (
+        "E2 / Fig.1 lower — SS gossip overhead (n(n-1) msgs of O(nu) bits/cycle)",
+        e02_gossip_overhead,
+    ),
+    "e03": (
+        "E3 / related work — stacked ABD+scan (8n, 4RT) vs DGFR (2n, 1RT)",
+        e03_stacking_comparison,
+    ),
+    "e04": (
+        "E4 / Fig.2 — Algorithm 2 snapshot costs O(n^2) messages",
+        e04_always_terminating_costs,
+    ),
+    "e05": (
+        "E5 / Fig.3 upper — Algorithm 3 snapshot messages vs delta",
+        e05_delta_snapshot_costs,
+    ),
+    "e06": (
+        "E6 / Fig.3 lower — all-nodes-concurrent snapshots (many-jobs stealing)",
+        e06_concurrent_snapshots,
+    ),
+    "e07": (
+        "E7 / Theorem 1 — Algorithm 1 recovery cycles (O(1), flat in n)",
+        e07_recovery_nonblocking,
+    ),
+    "e08": (
+        "E8 / Theorem 2 — Algorithm 3 recovery cycles to Definition-1 state",
+        e08_recovery_always,
+    ),
+    "e09": (
+        "E9 / Theorem 3 — snapshot latency under load vs delta (O(delta))",
+        e09_delta_latency,
+    ),
+    "e10": (
+        "E10 / Contribution 2 — delta trade-off: messages vs write throughput",
+        e10_delta_tradeoff,
+    ),
+    "e11": (
+        "E11 / Contribution 2 — >=delta writes between blocking periods",
+        e11_writes_between_blocks,
+    ),
+    "e12": (
+        "E12 / Section 3 — snapshot liveness per algorithm under write load",
+        e12_nonblocking_starvation,
+    ),
+    "e13": (
+        "E13 / fault model — crash tolerance at the 2f < n bound",
+        e13_crash_tolerance,
+    ),
+    "e14": (
+        "E14 / Section 5 — bounded counters with consensus-based global reset",
+        e14_bounded_reset,
+    ),
+    "e15": (
+        "E15 / Contribution 1 — message sizes: O(n*nu) ops vs O(nu) gossip",
+        e15_message_sizes,
+    ),
+}
+
+
+def run_experiment(experiment_id: str) -> list[dict]:
+    """Run one experiment by id (e.g. ``"e07"``) and return its rows."""
+    title, runner = EXPERIMENTS[experiment_id]
+    return runner()
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point: run and print the selected (or all) experiments."""
+    argv = list(sys.argv[1:] if argv is None else argv)
+    selected = argv or sorted(EXPERIMENTS)
+    unknown = [eid for eid in selected if eid not in EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiment ids: {unknown}", file=sys.stderr)
+        print(f"available: {sorted(EXPERIMENTS)}", file=sys.stderr)
+        return 2
+    for experiment_id in selected:
+        title, runner = EXPERIMENTS[experiment_id]
+        print_table(runner(), title=title)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

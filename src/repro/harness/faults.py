@@ -1,0 +1,56 @@
+"""Crash-tolerance experiment: E13 (the 2f < n bound)."""
+
+from __future__ import annotations
+
+from repro.analysis.linearizability import check_snapshot_history
+from repro.config import ClusterConfig
+from repro.core.cluster import SnapshotCluster
+from repro.errors import DeadlockError
+
+__all__ = ["e13_crash_tolerance"]
+
+
+def e13_crash_tolerance(
+    algorithms=("ss-nonblocking", "ss-always"), n=5, seed=0
+):
+    """E13: operations terminate iff a majority of nodes survives.
+
+    Crashes f nodes for every f in 0..n−1 and attempts a write and a
+    snapshot from a survivor.  With 2f < n both complete and the history
+    stays linearizable; with f ≥ ⌈n/2⌉ liveness is lost (the operation
+    can never gather a majority) but safety never breaks.
+    """
+    rows = []
+    for algorithm in algorithms:
+        for f in range(n):
+            cluster = SnapshotCluster(
+                algorithm, ClusterConfig(n=n, seed=seed, delta=0)
+            )
+            cluster.write_sync(0, "before-crashes")
+            for node in range(n - f, n):
+                cluster.crash(node)
+            survivor = 0
+            ok = True
+            try:
+                async def attempt():
+                    await cluster.kernel.wait_for(
+                        cluster.write(survivor, f"with-{f}-down"), timeout=200.0
+                    )
+                    await cluster.kernel.wait_for(
+                        cluster.snapshot(survivor), timeout=200.0
+                    )
+
+                cluster.run_until(attempt(), max_events=None)
+            except (TimeoutError, DeadlockError):
+                ok = False
+            report = check_snapshot_history(cluster.history.records(), n)
+            rows.append(
+                {
+                    "algorithm": algorithm,
+                    "f": f,
+                    "majority_alive": 2 * f < n,
+                    "ops_terminate": ok,
+                    "history_safe": report.ok,
+                }
+            )
+    return rows

@@ -1,0 +1,149 @@
+"""Regenerate the paper's Figures 1–3 as ASCII space-time diagrams.
+
+Each figure function replays the execution scenario the paper draws —
+a write, then a snapshot, then a second write (Figures 1–2; Figure 3
+upper), or concurrent snapshot invocations by all nodes (Figure 3
+lower) — with message tracing enabled, and renders the recorded trace.
+
+The diagrams show the same structure the paper illustrates: the single
+round-trip operations of the non-blocking algorithm, the gossip lanes of
+the self-stabilizing variant that "do not interfere with other
+messages", Algorithm 2's every-node query storm, and Algorithm 3's slim
+task + SAVE exchange.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.spacetime import render_spacetime
+from repro.analysis.trace import MessageTrace
+from repro.config import ChannelConfig, ClusterConfig
+from repro.core.cluster import SnapshotCluster
+
+__all__ = ["FIGURES", "render_figure"]
+
+#: Fixed delays make the diagrams clean and deterministic.
+_CRISP = ChannelConfig(min_delay=1.0, max_delay=1.0)
+
+
+def _traced_cluster(algorithm: str, n: int = 4, delta: float = 4):
+    config = ClusterConfig(
+        n=n, seed=0, delta=delta, channel=_CRISP, gossip_interval=4.0
+    )
+    cluster = SnapshotCluster(algorithm, config, tie_break="fifo")
+    trace = MessageTrace(cluster.network)
+    return cluster, trace
+
+
+def _write_snapshot_write(cluster, trace):
+    """The scenario of Figures 1 and 2: write → snapshot → write."""
+
+    async def scenario():
+        trace.mark(0, "write(v1)", cluster.kernel.now)
+        await cluster.write(0, "v1")
+        trace.mark(0, "write done", cluster.kernel.now)
+        trace.mark(2, "snapshot()", cluster.kernel.now)
+        await cluster.snapshot(2)
+        trace.mark(2, "snapshot done", cluster.kernel.now)
+        trace.mark(0, "write(v2)", cluster.kernel.now)
+        await cluster.write(0, "v2")
+        trace.mark(0, "write done", cluster.kernel.now)
+
+    cluster.run_until(scenario(), max_events=None)
+
+
+def fig1_upper() -> str:
+    """Figure 1 (upper): the DGFR non-blocking algorithm's execution."""
+    cluster, trace = _traced_cluster("dgfr-nonblocking")
+    _write_snapshot_write(cluster, trace)
+    return render_spacetime(
+        trace,
+        cluster.config.n,
+        title="Figure 1 (upper) — DGFR non-blocking: write, snapshot, write",
+    )
+
+
+def fig1_lower() -> str:
+    """Figure 1 (lower): Algorithm 1 — same run plus gossip lanes."""
+    cluster, trace = _traced_cluster("ss-nonblocking")
+    _write_snapshot_write(cluster, trace)
+    return render_spacetime(
+        trace,
+        cluster.config.n,
+        max_rows=80,
+        title=(
+            "Figure 1 (lower) — self-stabilizing Algorithm 1: note the "
+            "GOSSIP rows that do not interfere with operations"
+        ),
+    )
+
+
+def fig2() -> str:
+    """Figure 2: Algorithm 2 — every node serves the snapshot task."""
+    cluster, trace = _traced_cluster("dgfr-always")
+    _write_snapshot_write(cluster, trace)
+    return render_spacetime(
+        trace,
+        cluster.config.n,
+        max_rows=90,
+        title=(
+            "Figure 2 — Algorithm 2: SNAP via reliable broadcast, then "
+            "ALL nodes run SNAPSHOT query rounds (O(n^2) messages)"
+        ),
+    )
+
+
+def fig3_upper() -> str:
+    """Figure 3 (upper): Algorithm 3 — one snapshot, fewer messages."""
+    cluster, trace = _traced_cluster("ss-always", delta=4)
+    _write_snapshot_write(cluster, trace)
+    return render_spacetime(
+        trace,
+        cluster.config.n,
+        max_rows=80,
+        title=(
+            "Figure 3 (upper) — Algorithm 3 (delta=4): only the initiator "
+            "queries; the result travels in one SAVE round"
+        ),
+    )
+
+
+def fig3_lower() -> str:
+    """Figure 3 (lower): concurrent snapshot invocations by all nodes."""
+    cluster, trace = _traced_cluster("ss-always", delta=0)
+
+    async def scenario():
+        for node in range(cluster.config.n):
+            trace.mark(node, "snapshot()", cluster.kernel.now)
+        snaps = [
+            cluster.spawn(cluster.snapshot(node))
+            for node in range(cluster.config.n)
+        ]
+        await cluster.kernel.gather(snaps)
+        for node in range(cluster.config.n):
+            trace.mark(node, "done", cluster.kernel.now)
+
+    cluster.run_until(scenario(), max_events=None)
+    return render_spacetime(
+        trace,
+        cluster.config.n,
+        max_rows=90,
+        title=(
+            "Figure 3 (lower) — Algorithm 3: all nodes snapshot "
+            "concurrently; many-jobs stealing batches the tasks"
+        ),
+    )
+
+
+#: Figure name → renderer.
+FIGURES = {
+    "fig1-upper": fig1_upper,
+    "fig1-lower": fig1_lower,
+    "fig2": fig2,
+    "fig3-upper": fig3_upper,
+    "fig3-lower": fig3_lower,
+}
+
+
+def render_figure(name: str) -> str:
+    """Render one figure by name (see :data:`FIGURES`)."""
+    return FIGURES[name]()

@@ -1,0 +1,201 @@
+"""Latency / trade-off experiments: E9–E12 (the δ knob, Theorem 3)."""
+
+from __future__ import annotations
+
+from repro.config import ChannelConfig, ClusterConfig, UNBOUNDED_DELTA
+from repro.core.cluster import SnapshotCluster
+from repro.harness.workloads import ContinuousWriters
+
+__all__ = [
+    "e09_delta_latency",
+    "e10_delta_tradeoff",
+    "e11_writes_between_blocks",
+    "e12_nonblocking_starvation",
+]
+
+#: Tight delay bounds make write pressure steady across runs.
+_STEADY = ChannelConfig(min_delay=0.9, max_delay=1.1)
+
+
+def _loaded_cluster(delta, n=5, seed=1, algorithm="ss-always"):
+    config = ClusterConfig(
+        n=n, seed=seed, delta=delta, channel=_STEADY, gossip_interval=1.0
+    )
+    return SnapshotCluster(algorithm, config)
+
+
+def e09_delta_latency(deltas=(0, 1, 2, 4, 8, 16), n=5, seed=1):
+    """E9 (Theorem 3): snapshot termination within O(δ) cycles under load.
+
+    Continuous writers on n−1 nodes; one snapshot from the last node.
+    Reports latency in asynchronous cycles and simulated time vs δ.
+    """
+    rows = []
+    for delta in deltas:
+        cluster = _loaded_cluster(delta, n=n, seed=seed)
+        writers = ContinuousWriters(cluster, list(range(n - 1)))
+
+        async def probe(cluster=cluster, writers=writers):
+            writers.start()
+            await cluster.kernel.sleep(10.0)
+            cycles_before = cluster.tracker.cycles_elapsed
+            time_before = cluster.kernel.now
+            await cluster.snapshot(n - 1)
+            latency_cycles = cluster.tracker.cycles_elapsed - cycles_before
+            latency_time = cluster.kernel.now - time_before
+            await writers.stop()
+            return latency_cycles, latency_time
+
+        latency_cycles, latency_time = cluster.run_until(
+            probe(), max_events=None
+        )
+        rows.append(
+            {
+                "delta": delta,
+                "latency_cycles": latency_cycles,
+                "latency_time": round(latency_time, 1),
+                "bound_O(delta)": f"<=c*({delta}+1)",
+            }
+        )
+    return rows
+
+
+def e10_delta_tradeoff(deltas=(0, 2, 8, 32, UNBOUNDED_DELTA), n=5, seed=1):
+    """E10 (Contribution 2): messages per snapshot vs write throughput.
+
+    Small δ blocks writes quickly (O(n²) messages, low snapshot latency);
+    large δ keeps writes flowing (O(n) messages, higher latency).
+    Reports per-δ: snapshot messages, snapshot latency, and the write
+    throughput sustained while the snapshot was running.
+    """
+    rows = []
+    for delta in deltas:
+        cluster = _loaded_cluster(delta, n=n, seed=seed)
+        writers = ContinuousWriters(cluster, list(range(n - 1)))
+
+        async def probe(cluster=cluster, writers=writers):
+            writers.start()
+            await cluster.kernel.sleep(10.0)
+            writes_before = writers.total_writes
+            time_before = cluster.kernel.now
+            with cluster.metrics.window() as window:
+                try:
+                    await cluster.kernel.wait_for(
+                        cluster.snapshot(n - 1), timeout=300.0
+                    )
+                    latency = cluster.kernel.now - time_before
+                except TimeoutError:
+                    latency = float("inf")
+            writes_during = writers.total_writes - writes_before
+            await writers.stop()
+            elapsed = max(cluster.kernel.now - time_before, 1e-9)
+            return window.stats, latency, writes_during / elapsed
+
+        stats, latency, write_rate = cluster.run_until(probe(), max_events=None)
+        rows.append(
+            {
+                "delta": delta,
+                "snap_msgs": stats.total_messages - stats.messages("GOSSIP"),
+                "snap_latency": round(latency, 1)
+                if latency != float("inf")
+                else float("inf"),
+                "write_rate": round(write_rate, 2),
+            }
+        )
+    return rows
+
+
+def e11_writes_between_blocks(delta=6, snapshots=6, n=5, seed=1):
+    """E11 (Contribution 2): ≥δ writes between consecutive blocking periods.
+
+    Repeated snapshots under saturating writes.  A *blocking period* is a
+    helping episode — some node's ``baseSnapshot`` starts serving a
+    foreign task, which defers that node's writes.  The paper guarantees
+    at least δ write operations complete between two consecutive blocking
+    periods (the δ-counting ensures helpers only engage after observing δ
+    concurrent writes).  We record the cluster-wide completed-write count
+    at the start of each helping episode and report the gaps.
+    """
+    cluster = _loaded_cluster(delta, n=n, seed=seed)
+    writers = ContinuousWriters(cluster, list(range(n - 1)))
+    # One blocking period per helped task: every helper node reports the
+    # same (owner, sns), so record the write count at first observation.
+    period_start: dict[tuple[int, int], int] = {}
+
+    def on_help(process, foreign_tasks):
+        for task in foreign_tasks:
+            period_start.setdefault(task, writers.total_writes)
+
+    for process in cluster.processes:
+        process.helping_listeners.append(on_help)
+
+    async def probe():
+        writers.start()
+        await cluster.kernel.sleep(10.0)
+        for _ in range(snapshots):
+            await cluster.snapshot(n - 1)
+        await writers.stop()
+
+    cluster.run_until(probe(), max_events=None)
+    marks = sorted(period_start.values())
+    gaps = [later - earlier for earlier, later in zip(marks, marks[1:])]
+    return [
+        {
+            "episode_gap#": index + 1,
+            "writes_between": gap,
+            "delta": delta,
+            "claim_met": gap >= delta,
+        }
+        for index, gap in enumerate(gaps)
+    ]
+
+
+def e12_nonblocking_starvation(timeout=300.0, n=5, seed=1):
+    """E12 (Section 3): snapshot liveness per algorithm under write load.
+
+    The non-blocking algorithm (and Algorithm 3 at δ=∞) may never
+    terminate while writes keep coming; the always-terminating algorithms
+    finish.  After the writers stop, the starved snapshots complete —
+    exactly the non-blocking guarantee.
+    """
+    cases = [
+        ("dgfr-nonblocking", None),
+        ("ss-nonblocking", None),
+        ("ss-always", UNBOUNDED_DELTA),
+        ("ss-always", 4),
+        ("dgfr-always", None),
+    ]
+    rows = []
+    for algorithm, delta in cases:
+        cluster = _loaded_cluster(
+            delta if delta is not None else 0,
+            n=n,
+            seed=seed,
+            algorithm=algorithm,
+        )
+        writers = ContinuousWriters(cluster, list(range(n - 1)))
+
+        async def probe(cluster=cluster, writers=writers):
+            writers.start()
+            await cluster.kernel.sleep(5.0)
+            start = cluster.kernel.now
+            snap_task = cluster.spawn(cluster.snapshot(n - 1))
+            await cluster.kernel.sleep(timeout)
+            starved = not snap_task.done()
+            latency = None if starved else "<timeout"
+            await writers.stop()
+            await snap_task  # always completes once writes cease
+            after = cluster.kernel.now - start
+            return starved, latency, after
+
+        starved, latency, total = cluster.run_until(probe(), max_events=None)
+        rows.append(
+            {
+                "algorithm": algorithm
+                + (f" (delta={delta})" if delta is not None else ""),
+                "starved_under_load": starved,
+                "completed_after_writes_ceased": True,
+                "total_time": round(total, 1),
+            }
+        )
+    return rows

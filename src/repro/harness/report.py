@@ -1,0 +1,99 @@
+"""ASCII table rendering for experiment results."""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Mapping
+
+__all__ = ["format_table", "print_table", "format_bar_chart"]
+
+
+def _fmt(value: Any) -> str:
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "—"
+        if value == float("inf"):
+            return "∞"
+        return f"{value:.2f}"
+    if value is None:
+        return "—"
+    return str(value)
+
+
+def format_table(
+    rows: Iterable[Mapping[str, Any]],
+    title: str = "",
+    columns: list[str] | None = None,
+) -> str:
+    """Render rows of dicts as a fixed-width ASCII table."""
+    rows = list(rows)
+    if not rows:
+        return f"{title}\n  (no rows)" if title else "(no rows)"
+    if columns is None:
+        columns = list(rows[0].keys())
+    widths = {
+        column: max(len(column), *(len(_fmt(row.get(column))) for row in rows))
+        for column in columns
+    }
+    header = " | ".join(column.ljust(widths[column]) for column in columns)
+    rule = "-+-".join("-" * widths[column] for column in columns)
+    body = "\n".join(
+        " | ".join(_fmt(row.get(column)).rjust(widths[column]) for column in columns)
+        for row in rows
+    )
+    parts = []
+    if title:
+        parts.append(title)
+        parts.append("=" * len(title))
+    parts.extend([header, rule, body])
+    return "\n".join(parts)
+
+
+def print_table(
+    rows: Iterable[Mapping[str, Any]],
+    title: str = "",
+    columns: list[str] | None = None,
+) -> None:
+    """Print :func:`format_table` output with surrounding blank lines."""
+    print()
+    print(format_table(rows, title=title, columns=columns))
+    print()
+
+
+def format_bar_chart(
+    rows: Iterable[Mapping[str, Any]],
+    label_key: str,
+    value_key: str,
+    width: int = 50,
+    title: str = "",
+) -> str:
+    """Render one numeric column of the rows as a horizontal bar chart.
+
+    Infinite values render as a full-width bar tagged ``∞``; the chart is
+    scaled to the largest finite value.
+    """
+    rows = list(rows)
+    if not rows:
+        return f"{title}\n  (no rows)" if title else "(no rows)"
+    labels = [_fmt(row.get(label_key)) for row in rows]
+    values = [row.get(value_key) for row in rows]
+    finite = [
+        float(value)
+        for value in values
+        if isinstance(value, (int, float)) and value == value
+        and value != float("inf")
+    ]
+    peak = max(finite) if finite else 1.0
+    label_width = max(len(label) for label in labels)
+    lines = []
+    if title:
+        lines.append(title)
+    for label, value in zip(labels, values):
+        if not isinstance(value, (int, float)) or value != value:
+            bar, shown = "", "—"
+        elif value == float("inf"):
+            bar, shown = "█" * width, "∞"
+        else:
+            bar = "█" * max(int(round(width * float(value) / peak)), 0)
+            shown = _fmt(value)
+        lines.append(f"{label.rjust(label_width)} | {bar} {shown}")
+    return "\n".join(lines)

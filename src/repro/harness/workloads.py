@@ -1,0 +1,63 @@
+"""Reusable workload drivers for experiments and tests."""
+
+from __future__ import annotations
+
+from typing import Any, Iterable
+
+from repro.core.cluster import SnapshotCluster
+
+__all__ = ["ContinuousWriters", "value_of_size"]
+
+
+def value_of_size(nu_bytes: int, tag: int = 0) -> bytes:
+    """An object value of ν = 8·``nu_bytes`` bits (for size experiments)."""
+    return bytes([tag % 256]) * nu_bytes
+
+
+class ContinuousWriters:
+    """Saturating write load from a set of nodes.
+
+    Each writer node issues back-to-back write operations until
+    :meth:`stop` is called.  Used by the starvation, δ-latency, and
+    write-blocking experiments.
+    """
+
+    def __init__(
+        self,
+        cluster: SnapshotCluster,
+        nodes: Iterable[int],
+        payload: Any = None,
+    ) -> None:
+        self.cluster = cluster
+        self.nodes = list(nodes)
+        self.payload = payload
+        self.counts: dict[int, int] = {node: 0 for node in self.nodes}
+        self._stopped = False
+        self._tasks: list = []
+
+    async def _writer(self, node: int) -> None:
+        while not self._stopped:
+            value = (
+                self.payload
+                if self.payload is not None
+                else (node, self.counts[node])
+            )
+            await self.cluster.write(node, value)
+            self.counts[node] += 1
+
+    def start(self) -> None:
+        """Launch one writer task per node."""
+        self._tasks = [
+            self.cluster.spawn(self._writer(node), name=f"writer{node}")
+            for node in self.nodes
+        ]
+
+    async def stop(self) -> None:
+        """Let in-flight writes finish, then stop issuing new ones."""
+        self._stopped = True
+        await self.cluster.kernel.gather(self._tasks)
+
+    @property
+    def total_writes(self) -> int:
+        """Writes completed so far across all writer nodes."""
+        return sum(self.counts.values())

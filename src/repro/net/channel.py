@@ -1,0 +1,125 @@
+"""Unreliable point-to-point channel model.
+
+The paper's communication model (Section 2): bounded-capacity channels
+with no delay guarantees, where packets may be *lost, duplicated, and
+reordered*.  Reordering falls out of per-packet random delays; loss and
+duplication are independent seeded draws; capacity overflow drops the new
+packet (bounded channels are a prerequisite for self-stabilization).
+
+Channels also expose their in-flight packets to the transient-fault
+injector (:mod:`repro.fault.transient`), since the paper's arbitrary
+initial state includes corrupted channel contents.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from typing import Callable
+
+from repro.analysis.metrics import MetricsCollector
+from repro.config import ChannelConfig
+from repro.net.message import Message
+from repro.sim.kernel import Kernel
+
+__all__ = ["Channel"]
+
+
+class Channel:
+    """One directed channel ``src → dst`` with loss/duplication/reorder/delay."""
+
+    def __init__(
+        self,
+        kernel: Kernel,
+        rng: random.Random,
+        config: ChannelConfig,
+        src: int,
+        dst: int,
+        deliver: Callable[[int, int, Message], None],
+        metrics: MetricsCollector | None = None,
+    ) -> None:
+        self._kernel = kernel
+        self._rng = rng
+        self._config = config
+        self.src = src
+        self.dst = dst
+        self._deliver = deliver
+        self._metrics = metrics
+        self._in_flight: dict[int, Message] = {}
+        self._tokens = itertools.count()
+        #: When True, every packet is dropped (used to model partitions).
+        self.blocked = False
+
+    # -- introspection / fault hooks -----------------------------------------
+
+    @property
+    def in_flight_count(self) -> int:
+        """Number of packets currently in flight."""
+        return len(self._in_flight)
+
+    def in_flight_messages(self) -> list[Message]:
+        """The packets currently in flight (fault injectors may inspect)."""
+        return list(self._in_flight.values())
+
+    def corrupt_in_flight(
+        self, mutate: Callable[[Message], Message | None]
+    ) -> int:
+        """Apply ``mutate`` to every in-flight packet (transient faults).
+
+        ``mutate`` returns a replacement message, or ``None`` to delete the
+        packet.  Returns the number of packets affected.
+        """
+        affected = 0
+        for token, message in list(self._in_flight.items()):
+            replacement = mutate(message)
+            affected += 1
+            if replacement is None:
+                del self._in_flight[token]
+            else:
+                self._in_flight[token] = replacement
+        return affected
+
+    def drop_all_in_flight(self) -> int:
+        """Silently drop every in-flight packet; returns how many."""
+        dropped = len(self._in_flight)
+        self._in_flight.clear()
+        return dropped
+
+    # -- sending ---------------------------------------------------------------
+
+    def send(self, message: Message) -> None:
+        """Submit a packet, applying the loss/duplication/capacity model.
+
+        The metrics collector has already counted the send (a lost message
+        was still *sent*); this method only models the channel's behaviour.
+        """
+        if self.blocked:
+            return
+        if self._rng.random() < self._config.loss_probability:
+            if self._metrics is not None:
+                self._metrics.record_loss()
+            return
+        self._enqueue(message)
+        if self._rng.random() < self._config.duplication_probability:
+            if self._metrics is not None:
+                self._metrics.record_duplication()
+            self._enqueue(message)
+
+    def _enqueue(self, message: Message) -> None:
+        if len(self._in_flight) >= self._config.capacity:
+            if self._metrics is not None:
+                self._metrics.record_capacity_drop()
+            return
+        token = next(self._tokens)
+        self._in_flight[token] = message
+        delay = self._rng.uniform(self._config.min_delay, self._config.max_delay)
+        self._kernel.call_later(delay, self._arrive, token)
+
+    def _arrive(self, token: int) -> None:
+        message = self._in_flight.pop(token, None)
+        if message is None:
+            # Dropped or consumed by a fault injector while in flight.
+            return
+        if self.blocked:
+            return
+        self._deliver(self.src, self.dst, message)

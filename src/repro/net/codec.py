@@ -1,0 +1,271 @@
+"""Binary wire codec for protocol messages.
+
+A small, self-describing, recursive tag-length-value format for the
+message dataclasses, replacing pickle on the UDP transport: no arbitrary
+code execution on decode, stable sizes close to
+:func:`repro.net.message.measure_size`'s model, and graceful rejection
+of malformed datagrams (:class:`CodecError`), which the fault model
+treats as message loss.
+
+Supported values: ``None``, ``bool``, ``int`` (signed, arbitrary
+precision), ``float``, ``bytes``, ``str``, ``tuple``/``list``,
+``frozenset``, :class:`~repro.core.register.TimestampedValue`,
+:class:`~repro.core.register.RegisterArray`,
+:class:`~repro.core.ss_always.TaskDescriptor`, and any registered
+:class:`~repro.net.message.Message` subclass (messages nest, e.g. the
+epoch envelope).  Message classes are auto-registered from the known
+algorithm modules; custom messages register via :func:`register_message`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import struct
+from typing import Any
+
+from repro.core.register import RegisterArray, TimestampedValue
+from repro.errors import ReproError
+from repro.net.message import Message
+
+__all__ = ["encode_message", "decode_message", "register_message", "CodecError"]
+
+
+class CodecError(ReproError):
+    """A datagram could not be decoded (treated as message loss)."""
+
+
+# -- type tags ----------------------------------------------------------------
+
+_T_NONE = b"N"
+_T_TRUE = b"T"
+_T_FALSE = b"F"
+_T_INT = b"i"
+_T_FLOAT = b"f"
+_T_BYTES = b"b"
+_T_STR = b"s"
+_T_TUPLE = b"t"
+_T_FROZENSET = b"z"
+_T_TSVALUE = b"V"
+_T_REGARRAY = b"R"
+_T_TASKDESC = b"D"
+_T_MESSAGE = b"M"
+
+#: Message type registry: class name → class (populated lazily).
+_MESSAGE_TYPES: dict[str, type[Message]] = {}
+
+
+def register_message(message_cls: type[Message]) -> type[Message]:
+    """Register a message class for decoding (idempotent)."""
+    _MESSAGE_TYPES[message_cls.__name__] = message_cls
+    return message_cls
+
+
+def _ensure_registry() -> None:
+    if _MESSAGE_TYPES:
+        return
+    from repro.broadcast import reliable
+    from repro.core import base, dgfr_always, dgfr_nonblocking, ss_always
+    from repro.core import ss_nonblocking
+    from repro.stabilization import reset
+    from repro.stacked import abd
+
+    for module in (
+        base,
+        dgfr_nonblocking,
+        ss_nonblocking,
+        dgfr_always,
+        ss_always,
+        reliable,
+        reset,
+        abd,
+    ):
+        for name in dir(module):
+            obj = getattr(module, name)
+            if (
+                isinstance(obj, type)
+                and issubclass(obj, Message)
+                and obj is not Message
+            ):
+                register_message(obj)
+
+
+# -- encoding --------------------------------------------------------------------
+
+
+def _pack_length(buffer: bytearray, length: int) -> None:
+    buffer += struct.pack(">I", length)
+
+
+def _encode_value(buffer: bytearray, value: Any) -> None:
+    from repro.core.ss_always import TaskDescriptor
+
+    if value is None:
+        buffer += _T_NONE
+    elif value is True:
+        buffer += _T_TRUE
+    elif value is False:
+        buffer += _T_FALSE
+    elif isinstance(value, int):
+        payload = str(value).encode("ascii")
+        buffer += _T_INT
+        _pack_length(buffer, len(payload))
+        buffer += payload
+    elif isinstance(value, float):
+        buffer += _T_FLOAT
+        buffer += struct.pack(">d", value)
+    elif isinstance(value, bytes):
+        buffer += _T_BYTES
+        _pack_length(buffer, len(value))
+        buffer += value
+    elif isinstance(value, str):
+        encoded = value.encode("utf-8")
+        buffer += _T_STR
+        _pack_length(buffer, len(encoded))
+        buffer += encoded
+    elif isinstance(value, (tuple, list)):
+        buffer += _T_TUPLE
+        _pack_length(buffer, len(value))
+        for item in value:
+            _encode_value(buffer, item)
+    elif isinstance(value, frozenset):
+        buffer += _T_FROZENSET
+        _pack_length(buffer, len(value))
+        # Deterministic order so equal sets encode identically.
+        for item in sorted(value, key=repr):
+            _encode_value(buffer, item)
+    elif isinstance(value, TimestampedValue):
+        buffer += _T_TSVALUE
+        _encode_value(buffer, value.ts)
+        _encode_value(buffer, value.value)
+    elif isinstance(value, RegisterArray):
+        buffer += _T_REGARRAY
+        _pack_length(buffer, len(value))
+        for entry in value:
+            _encode_value(buffer, entry.ts)
+            _encode_value(buffer, entry.value)
+    elif isinstance(value, TaskDescriptor):
+        buffer += _T_TASKDESC
+        _encode_value(buffer, value.node)
+        _encode_value(buffer, value.sns)
+        _encode_value(buffer, value.vc)
+    elif isinstance(value, Message):
+        name = type(value).__name__.encode("ascii")
+        buffer += _T_MESSAGE
+        _pack_length(buffer, len(name))
+        buffer += name
+        fields = dataclasses.fields(value)
+        _pack_length(buffer, len(fields))
+        for field in fields:
+            _encode_value(buffer, getattr(value, field.name))
+    else:
+        raise CodecError(f"cannot encode value of type {type(value).__name__}")
+
+
+def encode_message(message: Message) -> bytes:
+    """Encode a message (and everything it nests) to bytes."""
+    buffer = bytearray()
+    _encode_value(buffer, message)
+    return bytes(buffer)
+
+
+# -- decoding ---------------------------------------------------------------------
+
+
+class _Reader:
+    __slots__ = ("data", "offset")
+
+    def __init__(self, data: bytes) -> None:
+        self.data = data
+        self.offset = 0
+
+    def take(self, count: int) -> bytes:
+        if self.offset + count > len(self.data):
+            raise CodecError("truncated datagram")
+        chunk = self.data[self.offset : self.offset + count]
+        self.offset += count
+        return chunk
+
+    def take_length(self) -> int:
+        return struct.unpack(">I", self.take(4))[0]
+
+
+def _decode_value(reader: _Reader) -> Any:
+    from repro.core.ss_always import TaskDescriptor
+
+    tag = reader.take(1)
+    if tag == _T_NONE:
+        return None
+    if tag == _T_TRUE:
+        return True
+    if tag == _T_FALSE:
+        return False
+    if tag == _T_INT:
+        payload = reader.take(reader.take_length())
+        try:
+            return int(payload.decode("ascii"))
+        except ValueError as exc:
+            raise CodecError(f"bad integer payload {payload!r}") from exc
+    if tag == _T_FLOAT:
+        return struct.unpack(">d", reader.take(8))[0]
+    if tag == _T_BYTES:
+        return reader.take(reader.take_length())
+    if tag == _T_STR:
+        return reader.take(reader.take_length()).decode("utf-8")
+    if tag == _T_TUPLE:
+        count = reader.take_length()
+        return tuple(_decode_value(reader) for _ in range(count))
+    if tag == _T_FROZENSET:
+        count = reader.take_length()
+        return frozenset(_decode_value(reader) for _ in range(count))
+    if tag == _T_TSVALUE:
+        ts = _decode_value(reader)
+        value = _decode_value(reader)
+        return TimestampedValue(ts=ts, value=value)
+    if tag == _T_REGARRAY:
+        count = reader.take_length()
+        entries = []
+        for _ in range(count):
+            ts = _decode_value(reader)
+            value = _decode_value(reader)
+            entries.append(TimestampedValue(ts=ts, value=value))
+        return RegisterArray(entries)
+    if tag == _T_TASKDESC:
+        node = _decode_value(reader)
+        sns = _decode_value(reader)
+        vc = _decode_value(reader)
+        return TaskDescriptor(node=node, sns=sns, vc=vc)
+    if tag == _T_MESSAGE:
+        _ensure_registry()
+        name = reader.take(reader.take_length()).decode("ascii")
+        message_cls = _MESSAGE_TYPES.get(name)
+        if message_cls is None:
+            raise CodecError(f"unknown message type {name!r}")
+        field_count = reader.take_length()
+        fields = dataclasses.fields(message_cls)
+        if field_count != len(fields):
+            raise CodecError(
+                f"{name}: expected {len(fields)} fields, got {field_count}"
+            )
+        kwargs = {
+            field.name: _decode_value(reader) for field in fields
+        }
+        try:
+            return message_cls(**kwargs)
+        except (TypeError, ValueError) as exc:
+            raise CodecError(f"cannot rebuild {name}: {exc}") from exc
+    raise CodecError(f"unknown tag {tag!r}")
+
+
+def decode_message(data: bytes) -> Message:
+    """Decode bytes produced by :func:`encode_message`.
+
+    Raises :class:`CodecError` on any malformed input (the UDP transport
+    treats that as a lost datagram).
+    """
+    reader = _Reader(data)
+    value = _decode_value(reader)
+    if not isinstance(value, Message):
+        raise CodecError(f"top-level value is not a message: {value!r}")
+    if reader.offset != len(data):
+        raise CodecError("trailing bytes after message")
+    return value

@@ -1,0 +1,131 @@
+"""Network fabric: the full mesh of unreliable channels between n nodes.
+
+Owns one :class:`~repro.net.channel.Channel` per ordered node pair, routes
+sends, applies partitions, and reports every send to the metrics
+collector.  Self-addressed messages are delivered through a zero-cost
+loopback and are *not* counted as network traffic (the paper's message
+counts are over the wire).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import TYPE_CHECKING
+
+from repro.analysis.metrics import MetricsCollector
+from repro.config import ClusterConfig
+from repro.errors import NetworkError
+from repro.net.channel import Channel
+from repro.net.message import Message
+from repro.sim.kernel import Kernel
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.net.node import Process
+
+__all__ = ["Network"]
+
+
+class Network:
+    """Connects ``n`` processes through a full mesh of unreliable channels."""
+
+    def __init__(
+        self,
+        kernel: Kernel,
+        config: ClusterConfig,
+        metrics: MetricsCollector | None = None,
+    ) -> None:
+        self.kernel = kernel
+        self.config = config
+        self.metrics = metrics if metrics is not None else MetricsCollector()
+        #: Observability hooks: callables invoked as
+        #: ``listener(event, time, src, dst, kind)`` where event is
+        #: ``"send"`` or ``"deliver"``.  Used by the trace recorder.
+        self.trace_listeners: list = []
+        self._processes: dict[int, "Process"] = {}
+        self._rng = random.Random(kernel.rng.getrandbits(64))
+        self._channels: dict[tuple[int, int], Channel] = {}
+        for src in range(config.n):
+            for dst in range(config.n):
+                if src == dst:
+                    continue
+                self._channels[(src, dst)] = Channel(
+                    kernel,
+                    self._rng,
+                    config.channel,
+                    src,
+                    dst,
+                    self._deliver,
+                    self.metrics,
+                )
+
+    # -- wiring ------------------------------------------------------------------
+
+    def attach(self, process: "Process") -> None:
+        """Register a process so the fabric can deliver to it."""
+        if process.node_id in self._processes:
+            raise NetworkError(f"node {process.node_id} already attached")
+        if not 0 <= process.node_id < self.config.n:
+            raise NetworkError(
+                f"node id {process.node_id} outside 0..{self.config.n - 1}"
+            )
+        self._processes[process.node_id] = process
+
+    def channel(self, src: int, dst: int) -> Channel:
+        """The directed channel object between two distinct nodes."""
+        try:
+            return self._channels[(src, dst)]
+        except KeyError:
+            raise NetworkError(f"no channel {src}->{dst}") from None
+
+    def channels(self) -> list[Channel]:
+        """All directed channels (fault injection iterates these)."""
+        return list(self._channels.values())
+
+    # -- transport ----------------------------------------------------------------
+
+    def send(self, src: int, dst: int, message: Message) -> None:
+        """Send one message; loopback if ``src == dst``, else via channel."""
+        if src == dst:
+            # Local delivery: not a network message, zero loss, tiny delay
+            # (still asynchronous so handlers never run re-entrantly).
+            self.kernel.call_soon(self._deliver, src, dst, message)
+            return
+        self.metrics.record_send(src, dst, message.kind, message.wire_size())
+        for listener in self.trace_listeners:
+            listener("send", self.kernel.now, src, dst, message.kind)
+        self.channel(src, dst).send(message)
+
+    def _deliver(self, src: int, dst: int, message: Message) -> None:
+        process = self._processes.get(dst)
+        if process is None:
+            return
+        if src != dst:
+            for listener in self.trace_listeners:
+                listener("deliver", self.kernel.now, src, dst, message.kind)
+        process.deliver(src, message)
+
+    # -- adversary controls ---------------------------------------------------------
+
+    def partition(self, *groups: set[int]) -> None:
+        """Block every channel crossing between the given node groups.
+
+        Nodes not mentioned in any group keep full connectivity with every
+        group (use explicit groups for a clean split).
+        """
+        membership: dict[int, int] = {}
+        for index, group in enumerate(groups):
+            for node_id in group:
+                membership[node_id] = index
+        for (src, dst), channel in self._channels.items():
+            side_src = membership.get(src)
+            side_dst = membership.get(dst)
+            channel.blocked = (
+                side_src is not None
+                and side_dst is not None
+                and side_src != side_dst
+            )
+
+    def heal(self) -> None:
+        """Remove all partitions."""
+        for channel in self._channels.values():
+            channel.blocked = False

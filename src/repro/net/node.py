@@ -1,0 +1,199 @@
+"""Process abstraction: one node of the networked system.
+
+A :class:`Process` owns a node's message handlers, its crash gate, and the
+driver of its ``do forever`` loop.  Algorithm classes (in
+:mod:`repro.core`) subclass it, register server-side handlers, and expose
+client-side operations as coroutines.
+
+Crash semantics follow the paper (Section 2):
+
+* **crash** — the node stops taking steps: incoming messages are dropped
+  (a crashed node cannot execute receive steps), sends are suppressed, and
+  the do-forever loop blocks on the step gate.
+* **resume** — the node takes steps again *without* restarting its program
+  (undetectable restart).  In-progress operations simply continue.
+* **detectable restart** — the node re-initializes all of its variables
+  via :meth:`initialize_state` before taking steps again.  The paper
+  assumes this mode when recovering from transient faults.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable
+
+from repro.config import ClusterConfig
+from repro.errors import CancelledError, SimulationError
+from repro.net.message import Message
+from repro.sim.kernel import Kernel, SimTask
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.net.network import Network
+    from repro.net.quorum import AckCollector
+
+__all__ = ["Process"]
+
+
+class Process:
+    """Base class for one node's protocol instance.
+
+    Subclasses must implement :meth:`initialize_state` (variable
+    initialization; re-run on detectable restart) and may implement
+    :meth:`do_forever_iteration` (one body of the algorithm's ``do
+    forever`` loop — cleanup, gossip, task scheduling).
+    """
+
+    def __init__(
+        self,
+        node_id: int,
+        kernel: Kernel,
+        network: "Network",
+        config: ClusterConfig,
+    ) -> None:
+        self.node_id = node_id
+        self.kernel = kernel
+        self.network = network
+        self.config = config
+        self.gate = kernel.create_gate()
+        self._handlers: dict[str, Callable[[int, Message], None]] = {}
+        self._ack_sinks: dict[str, list["AckCollector"]] = {}
+        self._loop_task: SimTask | None = None
+        self._iteration_listeners: list[Callable[[int], None]] = []
+        self.iterations_completed = 0
+        network.attach(self)
+        self.initialize_state()
+
+    # -- state lifecycle -----------------------------------------------------
+
+    def initialize_state(self) -> None:
+        """(Re)initialize all protocol variables.
+
+        Called once at construction and again on detectable restart.  The
+        paper notes initialization is *optional* in the self-stabilizing
+        context — the transient-fault tests exercise exactly that by
+        scrambling the state this method sets up.
+        """
+
+    @property
+    def crashed(self) -> bool:
+        """Whether the node is currently crashed (taking no steps)."""
+        return not self.gate.is_open
+
+    def crash(self) -> None:
+        """Stop taking steps: drop deliveries, suppress sends, halt loops."""
+        self.gate.close()
+
+    def resume(self, restart: bool = False) -> None:
+        """Return to taking steps.
+
+        With ``restart=True`` this is a *detectable* restart: all protocol
+        variables are re-initialized first (the mode the paper assumes for
+        nodes that failed during the transient-fault recovery period).
+        """
+        if restart:
+            self.initialize_state()
+        self.gate.open()
+
+    # -- handler registration and delivery ---------------------------------------
+
+    def register_handler(
+        self, kind: str, handler: Callable[[int, Message], None]
+    ) -> None:
+        """Install the server-side handler for one message kind."""
+        if kind in self._handlers:
+            raise SimulationError(
+                f"node {self.node_id}: handler for {kind!r} already registered"
+            )
+        self._handlers[kind] = handler
+
+    def deliver(self, sender: int, message: Message) -> None:
+        """Entry point used by the network fabric for every arriving packet."""
+        if self.crashed:
+            # A crashed node takes no receive steps; the packet is lost.
+            return
+        handler = self._handlers.get(message.kind)
+        if handler is not None:
+            handler(sender, message)
+        for collector in self._ack_sinks.get(message.kind, ()):
+            collector.offer(sender, message)
+
+    def add_ack_sink(self, kind: str, collector: "AckCollector") -> None:
+        """Route arriving ``kind`` messages into a client-side collector."""
+        self._ack_sinks.setdefault(kind, []).append(collector)
+
+    def remove_ack_sink(self, kind: str, collector: "AckCollector") -> None:
+        """Detach a collector registered via :meth:`add_ack_sink`."""
+        sinks = self._ack_sinks.get(kind)
+        if sinks and collector in sinks:
+            sinks.remove(collector)
+
+    # -- sending --------------------------------------------------------------------
+
+    def send(self, dst: int, message: Message) -> None:
+        """Send one message (suppressed while crashed)."""
+        if self.crashed:
+            return
+        self.network.send(self.node_id, dst, message)
+
+    def broadcast(self, message: Message, include_self: bool = True) -> None:
+        """Send to every node; self-delivery uses the zero-cost loopback.
+
+        The paper's client-side ``broadcast`` goes to all of 𝒫 and the
+        sender's own server-side participates (its ack counts toward the
+        majority); gossip (``for k ≠ i``) passes ``include_self=False``.
+        """
+        if self.crashed:
+            return
+        for dst in range(self.config.n):
+            if dst == self.node_id and not include_self:
+                continue
+            self.network.send(self.node_id, dst, message)
+
+    # -- do-forever loop ---------------------------------------------------------------
+
+    async def do_forever_iteration(self) -> None:
+        """One body of the algorithm's ``do forever`` loop (default: no-op)."""
+
+    def add_iteration_listener(self, listener: Callable[[int], None]) -> None:
+        """Register a callback invoked with ``node_id`` after each iteration."""
+        self._iteration_listeners.append(listener)
+
+    def start(self) -> None:
+        """Start the do-forever loop as a background task."""
+        if self._loop_task is not None and not self._loop_task.done():
+            raise SimulationError(f"node {self.node_id}: loop already running")
+        self._loop_task = self.kernel.create_task(
+            self._run_forever(), name=f"node{self.node_id}.do_forever"
+        )
+
+    def stop(self) -> None:
+        """Cancel the do-forever loop task (end of an experiment)."""
+        if self._loop_task is not None:
+            self._loop_task.cancel()
+            self._loop_task = None
+
+    async def _run_forever(self) -> None:
+        try:
+            while True:
+                await self.gate.passthrough()
+                await self.do_forever_iteration()
+                self.iterations_completed += 1
+                for listener in self._iteration_listeners:
+                    listener(self.node_id)
+                await self.kernel.sleep(self.config.gossip_interval)
+        except CancelledError:
+            raise
+
+    # -- misc ---------------------------------------------------------------------------
+
+    @property
+    def majority(self) -> int:
+        """Majority quorum size for this cluster."""
+        return self.config.majority
+
+    def peers(self) -> list[int]:
+        """All node ids except this node's."""
+        return [k for k in range(self.config.n) if k != self.node_id]
+
+    def __repr__(self) -> str:
+        status = "crashed" if self.crashed else "up"
+        return f"<{type(self).__name__} p{self.node_id} {status}>"

@@ -1,0 +1,110 @@
+"""Quorum service: the ``repeat broadcast … until majority`` pattern.
+
+Every client-side phase of every algorithm in the paper has the shape
+
+    repeat broadcast M until matching replies received from a majority
+
+executed on top of channels that lose, duplicate, and reorder packets.
+The paper assumes a *quorum service* (citing Dolev-Petig-Schiller §13)
+that masks those channel failures; this module is that service:
+
+* :class:`AckCollector` gathers replies from **distinct** senders that
+  satisfy a match predicate (duplicates collapse; stale or reordered
+  replies are rejected by the predicate, e.g. ``ssnJ = ssn`` or
+  ``regJ ⪰ lReg``), completing once a threshold is reached.
+* :func:`broadcast_until` re-broadcasts the request on a fixed interval
+  until the collector completes — under communication fairness, a message
+  sent infinitely often is received infinitely often, so termination
+  follows whenever a majority of nodes is alive.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.net.message import Message
+from repro.net.node import Process
+
+__all__ = ["AckCollector", "broadcast_until"]
+
+
+class AckCollector:
+    """Collects matching replies from distinct senders up to a threshold."""
+
+    def __init__(
+        self,
+        process: Process,
+        kind: str,
+        threshold: int,
+        match: Callable[[int, Message], bool] | None = None,
+    ) -> None:
+        if threshold < 1:
+            raise ValueError(f"threshold must be >= 1, got {threshold}")
+        self._process = process
+        self._kind = kind
+        self._threshold = threshold
+        self._match = match
+        self._replies: dict[int, Message] = {}
+        self._event = process.kernel.create_event()
+
+    # -- lifecycle --------------------------------------------------------------
+
+    def __enter__(self) -> "AckCollector":
+        self._process.add_ack_sink(self._kind, self)
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self._process.remove_ack_sink(self._kind, self)
+
+    # -- collection ---------------------------------------------------------------
+
+    def offer(self, sender: int, message: Message) -> bool:
+        """Feed one arriving reply; returns whether it was accepted."""
+        if self._match is not None and not self._match(sender, message):
+            return False
+        self._replies[sender] = message
+        if len(self._replies) >= self._threshold:
+            self._event.set()
+        return True
+
+    @property
+    def satisfied(self) -> bool:
+        """Whether the threshold has been reached."""
+        return len(self._replies) >= self._threshold
+
+    @property
+    def replies(self) -> dict[int, Message]:
+        """Accepted replies, keyed by sender (last reply per sender wins)."""
+        return dict(self._replies)
+
+    def reply_messages(self) -> list[Message]:
+        """The accepted reply messages (the ``Rec`` set of ``merge(Rec)``)."""
+        return list(self._replies.values())
+
+    async def wait(self) -> None:
+        """Block until the threshold is reached."""
+        await self._event.wait()
+
+
+async def broadcast_until(
+    process: Process,
+    make_message: Callable[[], Message],
+    collector: AckCollector,
+    include_self: bool = True,
+) -> None:
+    """Re-broadcast ``make_message()`` until ``collector`` is satisfied.
+
+    The message is rebuilt on every retransmission so that it carries the
+    node's *current* state (the paper's loops re-broadcast ``reg`` which
+    may have been merged meanwhile).  While the node is crashed the loop
+    holds at the step gate; on resume it picks up where it left off
+    (undetectable restart).
+    """
+    interval = process.config.retransmit_interval
+    while not collector.satisfied:
+        await process.gate.passthrough()
+        process.broadcast(make_message(), include_self=include_self)
+        try:
+            await process.kernel.wait_for(collector.wait(), timeout=interval)
+        except TimeoutError:
+            continue

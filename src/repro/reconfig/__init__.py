@@ -1,0 +1,5 @@
+"""Reconfiguration: the paper's stated extension (state transfer core)."""
+
+from repro.reconfig.migration import ReconfigurationReport, reconfigure
+
+__all__ = ["ReconfigurationReport", "reconfigure"]

@@ -1,0 +1,115 @@
+"""Reconfiguration: move a snapshot object to a new cluster configuration.
+
+The paper's discussion points to its full (CoRR) version for "how to
+extend our solutions to reconfigurable ones".  This module implements the
+state-transfer core of that extension, under the same *seldom fairness*
+assumption the Section-5 global reset already relies on (reconfiguration,
+like counter overflow, is a rare administrative event):
+
+1. **Quiesce** — writes on the old configuration are fenced: every old
+   node's step gate is closed for writers by crashing is *not* needed;
+   instead the handoff takes an atomic snapshot, which linearizes the
+   transfer point after every completed write.
+2. **Collect** — one old node takes a snapshot(); its vector clock is the
+   transfer point.  Because the snapshot is atomic, no completed write is
+   lost and no partial write is duplicated.
+3. **Install** — a new cluster (possibly different size, channel model,
+   δ, or even algorithm) is built on the *same* kernel; every new node's
+   register buffer is seeded with the transferred entries, timestamps
+   included, so per-writer SWMR ordering continues seamlessly for nodes
+   present in both configurations.
+4. **Retire** — the old configuration's do-forever loops are stopped.
+
+Entry mapping is by node id: entry *k* of the old object becomes entry
+*k* of the new one.  Growing the cluster adds fresh ⊥ entries; shrinking
+it drops the trailing writers' registers (the caller is warned via the
+return value's ``dropped`` list).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.config import ClusterConfig
+from repro.core.base import SnapshotResult
+from repro.core.cluster import SnapshotCluster
+from repro.core.register import TimestampedValue
+from repro.errors import ConfigurationError
+
+__all__ = ["ReconfigurationReport", "reconfigure"]
+
+
+@dataclass(frozen=True, slots=True)
+class ReconfigurationReport:
+    """Outcome of a configuration change."""
+
+    new_cluster: SnapshotCluster
+    transfer_point: SnapshotResult
+    carried_entries: int
+    dropped: tuple[int, ...]
+
+
+async def reconfigure(
+    old_cluster: SnapshotCluster,
+    new_config: ClusterConfig,
+    algorithm: str | type | None = None,
+    collector_node: int = 0,
+) -> ReconfigurationReport:
+    """Transfer the snapshot object onto a new configuration.
+
+    Parameters
+    ----------
+    old_cluster:
+        The running configuration; it is stopped once the transfer
+        completes.
+    new_config:
+        Configuration of the successor cluster (any size ≥ 2).
+    algorithm:
+        Algorithm for the successor (defaults to the old cluster's).
+    collector_node:
+        Old node that takes the transfer-point snapshot.
+
+    Returns a :class:`ReconfigurationReport`; the new cluster is started
+    and ready for operations.
+    """
+    if old_cluster.processes[collector_node].crashed:
+        raise ConfigurationError(
+            f"collector node {collector_node} is crashed; pick a live node"
+        )
+    # Steps 1–2: the atomic snapshot is the linearized transfer point.
+    transfer_point = await old_cluster.snapshot(collector_node)
+
+    # Step 3: build the successor on the same kernel/timeline.
+    new_cluster = SnapshotCluster(
+        algorithm if algorithm is not None else old_cluster.algorithm_name,
+        new_config,
+        start=False,
+        kernel=old_cluster.kernel,
+    )
+    old_n = len(transfer_point.values)
+    carried = 0
+    for k in range(min(old_n, new_config.n)):
+        ts = transfer_point.vector_clock[k]
+        if ts == 0:
+            continue
+        entry = TimestampedValue(ts, transfer_point.values[k])
+        for process in new_cluster.processes:
+            process.reg[k] = entry
+        # The writer itself must continue its timestamp sequence.
+        new_cluster.processes[k].ts = max(new_cluster.processes[k].ts, ts)
+        carried += 1
+    dropped = tuple(
+        k
+        for k in range(new_config.n, old_n)
+        if transfer_point.vector_clock[k] > 0
+    )
+
+    # Step 4: retire the old configuration, start the new one.
+    old_cluster.stop()
+    new_cluster.start()
+    return ReconfigurationReport(
+        new_cluster=new_cluster,
+        transfer_point=transfer_point,
+        carried_entries=carried,
+        dropped=dropped,
+    )

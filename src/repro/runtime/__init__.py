@@ -1,0 +1,14 @@
+"""Asyncio runtime: the same algorithms over a live event loop."""
+
+from repro.runtime.asyncio_kernel import AsyncioEvent, AsyncioGate, AsyncioKernel
+from repro.runtime.cluster import AsyncioSnapshotCluster
+from repro.runtime.udp import UdpNetwork, UdpSnapshotCluster
+
+__all__ = [
+    "AsyncioEvent",
+    "AsyncioGate",
+    "AsyncioKernel",
+    "AsyncioSnapshotCluster",
+    "UdpNetwork",
+    "UdpSnapshotCluster",
+]

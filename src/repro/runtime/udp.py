@@ -1,0 +1,208 @@
+"""Localhost UDP transport: the algorithms over real datagrams.
+
+The simulated :class:`~repro.net.network.Network` *models* loss,
+duplication, and reordering; this transport gets them for real from UDP.
+Each node binds its own datagram socket on 127.0.0.1; messages travel in
+the library's own binary codec (:mod:`repro.net.codec`) — no pickle, so
+a malformed or hostile datagram can at worst be dropped (which the fault
+model already covers as loss).  The quorum service's retransmission
+makes the algorithms indifferent to datagram loss, exactly as the
+paper's communication-fairness assumption intends.
+
+Usage::
+
+    cluster = await UdpSnapshotCluster.create("ss-always", ClusterConfig(n=5))
+    await cluster.write(0, b"over-the-wire")
+    print((await cluster.snapshot(1)).values)
+    await cluster.close()
+"""
+
+from __future__ import annotations
+
+import asyncio
+import struct
+from typing import Any
+
+from repro.analysis.history import SNAPSHOT, WRITE, HistoryRecorder
+from repro.analysis.metrics import MetricsCollector
+from repro.config import ClusterConfig
+from repro.core.cluster import ALGORITHMS
+from repro.errors import ConfigurationError, NetworkError
+from repro.net.codec import CodecError, decode_message, encode_message
+from repro.net.message import Message
+from repro.runtime.asyncio_kernel import AsyncioKernel
+
+__all__ = ["UdpNetwork", "UdpSnapshotCluster"]
+
+
+class _NodeProtocol(asyncio.DatagramProtocol):
+    """Datagram endpoint for one node; forwards packets to the fabric."""
+
+    def __init__(self, network: "UdpNetwork", node_id: int) -> None:
+        self._network = network
+        self._node_id = node_id
+
+    def datagram_received(self, data: bytes, addr) -> None:
+        self._network._on_datagram(self._node_id, data)
+
+    def error_received(self, exc) -> None:  # pragma: no cover - OS-dependent
+        pass
+
+
+class UdpNetwork:
+    """A network fabric whose channels are real localhost UDP sockets.
+
+    Presents the same interface the :class:`~repro.net.node.Process`
+    class uses (``attach``/``send``/``metrics``); channel-model features
+    of the simulator (partitions, in-flight inspection) do not apply.
+    """
+
+    def __init__(
+        self,
+        kernel: AsyncioKernel,
+        config: ClusterConfig,
+        metrics: MetricsCollector | None = None,
+    ) -> None:
+        self.kernel = kernel
+        self.config = config
+        self.metrics = metrics if metrics is not None else MetricsCollector()
+        self._processes: dict[int, Any] = {}
+        self._transports: dict[int, asyncio.DatagramTransport] = {}
+        self._addresses: dict[int, tuple[str, int]] = {}
+        self._open = False
+
+    async def open(self) -> None:
+        """Bind one localhost UDP socket per node."""
+        loop = asyncio.get_event_loop()
+        for node_id in range(self.config.n):
+            transport, _protocol = await loop.create_datagram_endpoint(
+                lambda node_id=node_id: _NodeProtocol(self, node_id),
+                local_addr=("127.0.0.1", 0),
+            )
+            self._transports[node_id] = transport
+            self._addresses[node_id] = transport.get_extra_info("sockname")
+        self._open = True
+
+    def close(self) -> None:
+        """Close every socket."""
+        for transport in self._transports.values():
+            transport.close()
+        self._open = False
+
+    # -- fabric interface ---------------------------------------------------------
+
+    def attach(self, process: Any) -> None:
+        """Register a process for delivery."""
+        if process.node_id in self._processes:
+            raise NetworkError(f"node {process.node_id} already attached")
+        self._processes[process.node_id] = process
+
+    def send(self, src: int, dst: int, message: Message) -> None:
+        """Send one message as a datagram (loopback stays in-process)."""
+        if src == dst:
+            self.kernel.call_soon(self._deliver, src, dst, message)
+            return
+        if not self._open:
+            raise NetworkError("UdpNetwork.open() has not completed")
+        self.metrics.record_send(src, dst, message.kind, message.wire_size())
+        payload = struct.pack(">I", src) + encode_message(message)
+        self._transports[src].sendto(payload, self._addresses[dst])
+
+    def _on_datagram(self, dst: int, data: bytes) -> None:
+        if len(data) < 4:
+            return  # runt datagram: lost
+        src = struct.unpack(">I", data[:4])[0]
+        try:
+            message = decode_message(data[4:])
+        except CodecError:
+            return  # malformed datagram: treated as loss
+        self._deliver(src, dst, message)
+
+    def _deliver(self, src: int, dst: int, message: Message) -> None:
+        process = self._processes.get(dst)
+        if process is not None:
+            process.deliver(src, message)
+
+
+class UdpSnapshotCluster:
+    """A snapshot-object deployment over localhost UDP.
+
+    Construct with :meth:`create` (socket binding is asynchronous);
+    always :meth:`close` before discarding.
+    """
+
+    def __init__(self) -> None:
+        raise ConfigurationError("use 'await UdpSnapshotCluster.create(...)'")
+
+    @classmethod
+    async def create(
+        cls,
+        algorithm: str | type = "ss-nonblocking",
+        config: ClusterConfig | None = None,
+        time_scale: float = 0.01,
+    ) -> "UdpSnapshotCluster":
+        """Bind sockets, build the processes, start the do-forever loops."""
+        if isinstance(algorithm, str):
+            try:
+                algorithm_cls = ALGORITHMS[algorithm]
+            except KeyError:
+                raise ConfigurationError(
+                    f"unknown algorithm {algorithm!r}"
+                ) from None
+        else:
+            algorithm_cls = algorithm
+        self = object.__new__(cls)
+        self.config = config if config is not None else ClusterConfig()
+        self.kernel = AsyncioKernel(seed=self.config.seed, time_scale=time_scale)
+        self.metrics = MetricsCollector()
+        self.network = UdpNetwork(self.kernel, self.config, self.metrics)
+        await self.network.open()
+        self.processes = [
+            algorithm_cls(node_id, self.kernel, self.network, self.config)
+            for node_id in range(self.config.n)
+        ]
+        self.history = HistoryRecorder()
+        for process in self.processes:
+            process.start()
+        return self
+
+    async def close(self) -> None:
+        """Stop the loops and close the sockets."""
+        for process in self.processes:
+            process.stop()
+        self.network.close()
+        await asyncio.sleep(0)  # let cancellations land
+
+    def node(self, node_id: int):
+        """The algorithm instance at ``node_id``."""
+        return self.processes[node_id]
+
+    async def write(self, node_id: int, value: Any) -> int:
+        """Invoke a write and record it in the history."""
+        op_id = self.history.invoke(node_id, WRITE, value, now=self.kernel.now)
+        try:
+            ts = await self.processes[node_id].write(value)
+        except BaseException:
+            self.history.abort(op_id, now=self.kernel.now)
+            raise
+        self.history.respond(op_id, result=ts, now=self.kernel.now)
+        return ts
+
+    async def snapshot(self, node_id: int):
+        """Invoke a snapshot and record it in the history."""
+        op_id = self.history.invoke(node_id, SNAPSHOT, now=self.kernel.now)
+        try:
+            result = await self.processes[node_id].snapshot()
+        except BaseException:
+            self.history.abort(op_id, now=self.kernel.now)
+            raise
+        self.history.respond(op_id, result=result, now=self.kernel.now)
+        return result
+
+    def crash(self, node_id: int) -> None:
+        """Crash a node (its socket stays bound; deliveries are dropped)."""
+        self.processes[node_id].crash()
+
+    def resume(self, node_id: int, restart: bool = False) -> None:
+        """Resume a crashed node."""
+        self.processes[node_id].resume(restart=restart)

@@ -1,0 +1,11 @@
+"""Deterministic discrete-event simulation kernel.
+
+This package provides the step scheduler underlying every simulated
+execution: a seeded, reproducible event loop with simulated time, futures,
+tasks, and synchronization primitives (:class:`~repro.sim.kernel.Event`,
+:class:`~repro.sim.kernel.Gate`).
+"""
+
+from repro.sim.kernel import Event, Gate, Kernel, SimFuture, SimTask, TieBreak
+
+__all__ = ["Event", "Gate", "Kernel", "SimFuture", "SimTask", "TieBreak"]

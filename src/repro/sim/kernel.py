@@ -1,0 +1,584 @@
+"""Deterministic coroutine kernel for discrete-event simulation.
+
+The paper models a distributed system as an interleaving of atomic *steps*
+(Section 2).  This kernel is the step scheduler: it owns a simulated clock,
+a priority queue of pending callbacks, and a set of tasks (coroutines).
+Every source of nondeterminism is drawn from a single seeded RNG, so a run
+is a pure function of ``(program, seed)`` — which is what makes the paper's
+adversarial-scheduling and recovery claims mechanically testable.
+
+The API deliberately mirrors a small subset of :mod:`asyncio`
+(futures, tasks, ``sleep``, ``gather``) so that algorithm code written
+against it reads like ordinary ``async`` Python and can also be driven by a
+real asyncio loop through :mod:`repro.runtime`.
+"""
+
+from __future__ import annotations
+
+import heapq
+import random
+from collections.abc import Awaitable, Callable, Coroutine, Generator, Iterable
+from typing import Any
+
+from repro.errors import (
+    CancelledError,
+    DeadlockError,
+    InvalidTransitionError,
+    SimulationError,
+)
+
+__all__ = [
+    "Kernel",
+    "SimFuture",
+    "SimTask",
+    "Event",
+    "Gate",
+    "TieBreak",
+]
+
+_PENDING = "pending"
+_DONE = "done"
+_CANCELLED = "cancelled"
+
+
+class TieBreak:
+    """Strategies for ordering events scheduled at the same simulated time.
+
+    ``FIFO`` replays insertion order; ``RANDOM`` draws a random priority from
+    the kernel RNG at scheduling time, which models an adversarial
+    asynchronous scheduler while remaining deterministic per seed;
+    ``SCRIPTED`` consults an explicit decision sequence at every
+    same-instant choice point — the hook the stateless model checker
+    (:mod:`repro.verify`) uses to enumerate interleavings exhaustively.
+    """
+
+    FIFO = "fifo"
+    RANDOM = "random"
+    SCRIPTED = "scripted"
+
+    _VALID = (FIFO, RANDOM, SCRIPTED)
+
+
+class SimFuture:
+    """A single-assignment result container, awaitable from kernel tasks."""
+
+    __slots__ = ("_kernel", "_state", "_result", "_exception", "_callbacks")
+
+    def __init__(self, kernel: "Kernel") -> None:
+        self._kernel = kernel
+        self._state = _PENDING
+        self._result: Any = None
+        self._exception: BaseException | None = None
+        self._callbacks: list[Callable[["SimFuture"], None]] = []
+
+    # -- inspection --------------------------------------------------------
+
+    def done(self) -> bool:
+        """Return ``True`` once a result, exception, or cancellation is set."""
+        return self._state != _PENDING
+
+    def cancelled(self) -> bool:
+        """Return ``True`` if the future was cancelled."""
+        return self._state == _CANCELLED
+
+    def result(self) -> Any:
+        """Return the stored result, raising the stored exception if any."""
+        if self._state == _PENDING:
+            raise InvalidTransitionError("result() called on a pending future")
+        if self._state == _CANCELLED:
+            raise CancelledError("future was cancelled")
+        if self._exception is not None:
+            raise self._exception
+        return self._result
+
+    def exception(self) -> BaseException | None:
+        """Return the stored exception, or ``None`` on success."""
+        if self._state == _PENDING:
+            raise InvalidTransitionError("exception() called on a pending future")
+        if self._state == _CANCELLED:
+            raise CancelledError("future was cancelled")
+        return self._exception
+
+    # -- completion --------------------------------------------------------
+
+    def set_result(self, value: Any) -> None:
+        """Complete the future successfully with ``value``."""
+        if self._state != _PENDING:
+            raise InvalidTransitionError(f"future already {self._state}")
+        self._state = _DONE
+        self._result = value
+        self._schedule_callbacks()
+
+    def set_exception(self, exc: BaseException) -> None:
+        """Complete the future with an exception."""
+        if self._state != _PENDING:
+            raise InvalidTransitionError(f"future already {self._state}")
+        if isinstance(exc, type):
+            exc = exc()
+        self._state = _DONE
+        self._exception = exc
+        self._schedule_callbacks()
+
+    def cancel(self) -> bool:
+        """Cancel the future; returns ``False`` if it was already done."""
+        if self._state != _PENDING:
+            return False
+        self._state = _CANCELLED
+        self._schedule_callbacks()
+        return True
+
+    def add_done_callback(self, callback: Callable[["SimFuture"], None]) -> None:
+        """Run ``callback(self)`` when the future completes (or now if done)."""
+        if self._state != _PENDING:
+            self._kernel.call_soon(callback, self)
+        else:
+            self._callbacks.append(callback)
+
+    def _schedule_callbacks(self) -> None:
+        callbacks, self._callbacks = self._callbacks, []
+        for callback in callbacks:
+            self._kernel.call_soon(callback, self)
+
+    # -- awaiting ----------------------------------------------------------
+
+    def __await__(self) -> Generator["SimFuture", None, Any]:
+        if self._state == _PENDING:
+            yield self
+        return self.result()
+
+
+class SimTask(SimFuture):
+    """A coroutine driven by the kernel; completes with the coroutine result."""
+
+    __slots__ = ("_coro", "name", "_awaiting", "_must_cancel")
+
+    def __init__(
+        self, kernel: "Kernel", coro: Coroutine[Any, Any, Any], name: str = ""
+    ) -> None:
+        super().__init__(kernel)
+        self._coro = coro
+        self.name = name or getattr(coro, "__name__", "task")
+        self._awaiting: SimFuture | None = None
+        self._must_cancel = False
+        kernel.call_soon(self._step, None)
+
+    def __del__(self) -> None:
+        # Tasks left unstarted when a run ends would otherwise trigger
+        # "coroutine was never awaited" warnings at GC time.
+        try:
+            self._coro.close()
+        except (RuntimeError, AttributeError):  # pragma: no cover
+            pass
+
+    def cancel(self) -> bool:
+        """Request cancellation by injecting :class:`CancelledError`.
+
+        Unlike a plain future, a running task observes the cancellation at
+        its next suspension point, giving it a chance to clean up.
+        """
+        if self.done():
+            return False
+        self._must_cancel = True
+        awaiting = self._awaiting
+        if awaiting is not None and not awaiting.done():
+            # Wake the task so it observes the cancellation promptly.
+            awaiting.cancel()
+        else:
+            self._kernel.call_soon(self._step, None)
+        return True
+
+    def _step(self, completed: SimFuture | None) -> None:
+        if self.done():
+            return
+        self._awaiting = None
+        try:
+            if self._must_cancel:
+                self._must_cancel = False
+                yielded = self._coro.throw(CancelledError("task cancelled"))
+            elif completed is not None and completed.cancelled():
+                yielded = self._coro.throw(CancelledError("awaited future cancelled"))
+            elif completed is not None and completed.exception() is not None:
+                yielded = self._coro.throw(completed.exception())
+            else:
+                yielded = self._coro.send(None)
+        except StopIteration as stop:
+            if not self.done():
+                self.set_result(stop.value)
+            return
+        except CancelledError:
+            if not self.done():
+                super().cancel()
+            return
+        except BaseException as exc:  # noqa: BLE001 - surfaced via the future
+            if not self.done():
+                self.set_exception(exc)
+            return
+        if not isinstance(yielded, SimFuture):
+            self._coro.throw(
+                SimulationError(
+                    f"task {self.name!r} awaited a non-kernel object: {yielded!r}"
+                )
+            )
+            return
+        self._awaiting = yielded
+        yielded.add_done_callback(self._step)
+
+
+class Event:
+    """A level-triggered flag: awaiting :meth:`wait` blocks until :meth:`set`."""
+
+    __slots__ = ("_kernel", "_is_set", "_waiters")
+
+    def __init__(self, kernel: "Kernel") -> None:
+        self._kernel = kernel
+        self._is_set = False
+        self._waiters: list[SimFuture] = []
+
+    def is_set(self) -> bool:
+        """Return whether the event is currently set."""
+        return self._is_set
+
+    def set(self) -> None:
+        """Set the flag and wake every waiter."""
+        if self._is_set:
+            return
+        self._is_set = True
+        waiters, self._waiters = self._waiters, []
+        for waiter in waiters:
+            if not waiter.done():
+                waiter.set_result(None)
+
+    def clear(self) -> None:
+        """Reset the flag; subsequent waiters block until the next set()."""
+        self._is_set = False
+
+    async def wait(self) -> None:
+        """Block until the event is set (returns immediately if already set)."""
+        if self._is_set:
+            return
+        waiter = self._kernel.create_future()
+        self._waiters.append(waiter)
+        await waiter
+
+
+class Gate:
+    """A pass-through that can be closed; models a crashed node's step gate.
+
+    While the gate is open, :meth:`passthrough` completes immediately.  While
+    closed, callers queue up until the gate reopens — exactly the semantics
+    of a node that stops taking steps and later resumes without restarting
+    its program (the paper's *undetectable restart*).
+    """
+
+    __slots__ = ("_kernel", "_open", "_waiters")
+
+    def __init__(self, kernel: "Kernel", open_: bool = True) -> None:
+        self._kernel = kernel
+        self._open = open_
+        self._waiters: list[SimFuture] = []
+
+    @property
+    def is_open(self) -> bool:
+        """Whether callers currently pass through without blocking."""
+        return self._open
+
+    def close(self) -> None:
+        """Close the gate; subsequent passthrough() calls block."""
+        self._open = False
+
+    def open(self) -> None:
+        """Open the gate, releasing every blocked caller."""
+        self._open = True
+        waiters, self._waiters = self._waiters, []
+        for waiter in waiters:
+            if not waiter.done():
+                waiter.set_result(None)
+
+    async def passthrough(self) -> None:
+        """Return when the gate is open, blocking while it is closed."""
+        while not self._open:
+            waiter = self._kernel.create_future()
+            self._waiters.append(waiter)
+            await waiter
+
+
+class Kernel:
+    """Deterministic discrete-event scheduler with a simulated clock.
+
+    Parameters
+    ----------
+    seed:
+        Seed for the kernel RNG.  All scheduling nondeterminism (tie-breaks)
+        and any library randomness (channel delays, loss) derives from RNGs
+        seeded from this value, so runs are reproducible.
+    tie_break:
+        How same-timestamp events are ordered; see :class:`TieBreak`.
+    """
+
+    def __init__(self, seed: int = 0, tie_break: str = TieBreak.FIFO) -> None:
+        if tie_break not in TieBreak._VALID:
+            raise SimulationError(f"unknown tie_break: {tie_break!r}")
+        self.rng = random.Random(seed)
+        self._tie_break = tie_break
+        self._now = 0.0
+        self._seq = 0
+        self._heap: list[tuple[float, float, int, Callable[..., None], tuple]] = []
+        self._events_processed = 0
+        #: SCRIPTED mode: the decision to take at the k-th same-instant
+        #: choice point (index into the candidate list; 0 beyond the end).
+        self.decision_script: list[int] = []
+        #: SCRIPTED mode: per choice point, (choice_taken, n_candidates).
+        self.decision_log: list[tuple[int, int]] = []
+
+    # -- clock & scheduling --------------------------------------------------
+
+    @property
+    def now(self) -> float:
+        """Current simulated time."""
+        return self._now
+
+    @property
+    def events_processed(self) -> int:
+        """Total number of callbacks executed so far (a step counter)."""
+        return self._events_processed
+
+    def call_at(self, when: float, callback: Callable[..., None], *args: Any) -> None:
+        """Schedule ``callback(*args)`` at simulated time ``when``."""
+        if when < self._now:
+            raise SimulationError(f"cannot schedule in the past: {when} < {self._now}")
+        self._seq += 1
+        if self._tie_break == TieBreak.RANDOM:
+            priority = self.rng.random()
+        else:
+            priority = 0.0
+        heapq.heappush(self._heap, (when, priority, self._seq, callback, args))
+
+    def call_later(
+        self, delay: float, callback: Callable[..., None], *args: Any
+    ) -> None:
+        """Schedule ``callback(*args)`` after ``delay`` units of simulated time."""
+        if delay < 0:
+            raise SimulationError(f"negative delay: {delay}")
+        self.call_at(self._now + delay, callback, *args)
+
+    def call_soon(self, callback: Callable[..., None], *args: Any) -> None:
+        """Schedule ``callback(*args)`` at the current simulated time."""
+        self.call_at(self._now, callback, *args)
+
+    # -- primitives ----------------------------------------------------------
+
+    def create_future(self) -> SimFuture:
+        """Create a pending future bound to this kernel."""
+        return SimFuture(self)
+
+    def create_task(self, coro: Coroutine[Any, Any, Any], name: str = "") -> SimTask:
+        """Wrap a coroutine in a task scheduled to start at the current time."""
+        return SimTask(self, coro, name)
+
+    def create_event(self) -> Event:
+        """Create an :class:`Event` bound to this kernel."""
+        return Event(self)
+
+    def create_gate(self, open_: bool = True) -> Gate:
+        """Create a :class:`Gate` bound to this kernel."""
+        return Gate(self, open_)
+
+    async def sleep(self, delay: float) -> None:
+        """Suspend the calling task for ``delay`` units of simulated time."""
+        future = self.create_future()
+        self.call_later(delay, lambda: future.done() or future.set_result(None))
+        await future
+
+    def gather(self, awaitables: Iterable[Awaitable[Any]]) -> SimFuture:
+        """Aggregate awaitables into one future resolving to a result list.
+
+        The first exception among children is propagated; remaining children
+        keep running (matching ``asyncio.gather`` defaults closely enough for
+        our tests and harness code).
+        """
+        futures = [self._ensure_future(a) for a in awaitables]
+        aggregate = self.create_future()
+        if not futures:
+            aggregate.set_result([])
+            return aggregate
+        remaining = len(futures)
+
+        def _on_done(child: SimFuture) -> None:
+            nonlocal remaining
+            if aggregate.done():
+                return
+            if child.cancelled():
+                aggregate.cancel()
+                return
+            if child.exception() is not None:
+                aggregate.set_exception(child.exception())
+                return
+            remaining -= 1
+            if remaining == 0:
+                aggregate.set_result([f.result() for f in futures])
+
+        for future in futures:
+            future.add_done_callback(_on_done)
+        return aggregate
+
+    def _ensure_future(self, awaitable: Awaitable[Any]) -> SimFuture:
+        if isinstance(awaitable, SimFuture):
+            return awaitable
+        if isinstance(awaitable, Coroutine):
+            return self.create_task(awaitable)
+        raise SimulationError(f"cannot convert {awaitable!r} to a kernel future")
+
+    async def first_of(
+        self,
+        *awaitables: Awaitable[Any],
+        timeout: float | None = None,
+        cancel_on_timeout: bool = True,
+    ) -> int:
+        """Await until any of the awaitables completes; return its index.
+
+        When one wins, its siblings are cancelled.  Returns ``-1`` if
+        ``timeout`` elapses first — in that case the awaitables are
+        cancelled too unless ``cancel_on_timeout=False`` (pass that when
+        polling a long-lived task that must survive the timeout).
+        Exceptions in the winner propagate.
+        """
+        futures = [self._ensure_future(a) for a in awaitables]
+        done = self.create_future()
+
+        def _make_cb(index: int) -> Callable[[SimFuture], None]:
+            def _cb(_: SimFuture) -> None:
+                if not done.done():
+                    done.set_result(index)
+
+            return _cb
+
+        for index, future in enumerate(futures):
+            future.add_done_callback(_make_cb(index))
+        if timeout is not None:
+            self.call_later(timeout, lambda: done.done() or done.set_result(-1))
+        winner = await done
+        if winner >= 0 or cancel_on_timeout:
+            for index, future in enumerate(futures):
+                if index != winner and not future.done():
+                    future.cancel()
+        if winner >= 0:
+            futures[winner].result()  # propagate exceptions from the winner
+        return winner
+
+    async def wait_for(self, awaitable: Awaitable[Any], timeout: float) -> Any:
+        """Await ``awaitable`` with a simulated-time timeout.
+
+        Raises :class:`TimeoutError` if the timeout elapses first; the
+        underlying future/task is cancelled in that case.
+        """
+        future = self._ensure_future(awaitable)
+        timer = self.create_future()
+        self.call_later(timeout, lambda: timer.done() or timer.set_result(None))
+        done = self.create_future()
+
+        def _first(which: str) -> Callable[[SimFuture], None]:
+            def _cb(_: SimFuture) -> None:
+                if not done.done():
+                    done.set_result(which)
+
+            return _cb
+
+        future.add_done_callback(_first("value"))
+        timer.add_done_callback(_first("timeout"))
+        winner = await done
+        if winner == "timeout" and not future.done():
+            future.cancel()
+            raise TimeoutError(f"wait_for timed out after {timeout}")
+        return future.result()
+
+    # -- run loop -------------------------------------------------------------
+
+    def run(
+        self,
+        until_time: float | None = None,
+        max_events: int | None = None,
+        until: SimFuture | None = None,
+    ) -> None:
+        """Process events until the queue drains or a stop condition is met.
+
+        Parameters
+        ----------
+        until_time:
+            Stop (without processing them) once the next event would occur
+            strictly after this simulated time.
+        max_events:
+            Stop after processing this many callbacks (guards runaway loops).
+        until:
+            Stop as soon as this future completes.
+        """
+        processed = 0
+        while self._heap:
+            if until is not None and until.done():
+                return
+            when = self._heap[0][0]
+            if until_time is not None and when > until_time:
+                self._now = until_time
+                return
+            _when, _priority, _seq, callback, args = self._pop_next()
+            self._now = when
+            callback(*args)
+            self._events_processed += 1
+            processed += 1
+            if max_events is not None and processed >= max_events:
+                return
+
+    def _pop_next(self) -> tuple[float, float, int, Callable[..., None], tuple]:
+        """Pop the next event; in SCRIPTED mode, branch over ties.
+
+        When several events share the minimal timestamp, the scripted
+        scheduler consults :attr:`decision_script` (defaulting to 0 past
+        its end) and records ``(choice, n_candidates)`` in
+        :attr:`decision_log` — the model checker's branching evidence.
+        """
+        first = heapq.heappop(self._heap)
+        if self._tie_break != TieBreak.SCRIPTED:
+            return first
+        candidates = [first]
+        while self._heap and self._heap[0][0] == first[0]:
+            candidates.append(heapq.heappop(self._heap))
+        if len(candidates) == 1:
+            return first
+        position = len(self.decision_log)
+        choice = (
+            self.decision_script[position]
+            if position < len(self.decision_script)
+            else 0
+        )
+        choice = max(0, min(choice, len(candidates) - 1))
+        self.decision_log.append((choice, len(candidates)))
+        chosen = candidates.pop(choice)
+        for entry in candidates:
+            heapq.heappush(self._heap, entry)
+        return chosen
+
+    def run_until_complete(
+        self,
+        awaitable: Awaitable[Any],
+        max_events: int | None = None,
+        until_time: float | None = None,
+    ) -> Any:
+        """Drive the kernel until ``awaitable`` completes and return its result.
+
+        Raises :class:`DeadlockError` if the event queue drains first, and
+        :class:`TimeoutError` if ``max_events``/``until_time`` is exhausted
+        first — both conditions indicate a liveness failure in the system
+        under test (e.g. no majority quorum is reachable).
+        """
+        future = self._ensure_future(awaitable)
+        self.run(until=future, max_events=max_events, until_time=until_time)
+        if not future.done():
+            if self._heap:
+                raise TimeoutError(
+                    "run_until_complete stopped by max_events/until_time "
+                    "before the awaitable completed"
+                )
+            raise DeadlockError(
+                "event queue drained while tasks were still waiting; "
+                "the system under test cannot make progress"
+            )
+        return future.result()

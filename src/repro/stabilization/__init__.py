@@ -1,0 +1,23 @@
+"""Bounded counters and the consensus-based global reset (Section 5)."""
+
+from repro.stabilization.bounded import (
+    BoundedSelfStabilizingAlwaysTerminating,
+    BoundedSelfStabilizingNonBlocking,
+)
+from repro.stabilization.reset import (
+    EpochEnvelope,
+    ResetAlertMessage,
+    ResetCommitAckMessage,
+    ResetCommitMessage,
+    ResetJoinMessage,
+)
+
+__all__ = [
+    "BoundedSelfStabilizingAlwaysTerminating",
+    "BoundedSelfStabilizingNonBlocking",
+    "EpochEnvelope",
+    "ResetAlertMessage",
+    "ResetCommitAckMessage",
+    "ResetCommitMessage",
+    "ResetJoinMessage",
+]

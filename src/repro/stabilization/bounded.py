@@ -1,0 +1,260 @@
+"""Bounded-counter variants of Algorithms 1 and 3 (paper Section 5).
+
+Wraps the self-stabilizing algorithms with the MAXINT → global-reset
+transformation:
+
+* every algorithm message travels inside an :class:`EpochEnvelope`;
+  envelopes from other epochs are dropped, so stale pre-reset indices
+  cannot re-poison a reset node;
+* when any local operation index reaches ``config.max_int`` the node
+  raises a ``RESET_ALERT``, stops admitting operations, and votes its
+  maximal state in a ``RESET_JOIN``;
+* a coordinator (the lowest node id — a fixed-coordinator commit stands
+  in for the consensus step, which is sound under the paper's *seldom
+  fairness* assumption that all nodes are eventually alive during the
+  rare reset; the fully self-stabilizing reset of Awerbuch et al. [12] is
+  cited by the paper as the production mechanism) merges all votes and
+  commits: indices restart at 0, register *values* survive;
+* operations invoked or in flight during the reset window abort with
+  :class:`~repro.errors.ResetInProgressError` — the bounded abort the
+  paper's criteria explicitly permit during the seldom reset.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.core.base import SnapshotResult
+from repro.core.register import RegisterArray, TimestampedValue
+from repro.core.ss_always import PendingTask, SelfStabilizingAlwaysTerminating
+from repro.core.ss_nonblocking import SelfStabilizingNonBlocking
+from repro.errors import ResetInProgressError
+from repro.net.message import Message
+from repro.stabilization.reset import (
+    EpochEnvelope,
+    ResetAlertMessage,
+    ResetCommitAckMessage,
+    ResetCommitMessage,
+    ResetJoinMessage,
+)
+
+__all__ = [
+    "BoundedSelfStabilizingNonBlocking",
+    "BoundedSelfStabilizingAlwaysTerminating",
+]
+
+_RESET_MESSAGE_TYPES = (
+    EpochEnvelope,
+    ResetAlertMessage,
+    ResetJoinMessage,
+    ResetCommitMessage,
+    ResetCommitAckMessage,
+)
+
+
+class _BoundedCounterMixin:
+    """The MAXINT/epoch/global-reset machinery shared by both variants.
+
+    Subclasses provide :meth:`_max_local_index` (overflow detection) and
+    :meth:`_apply_index_reset` (zero the indices, keep the values).
+    """
+
+    def initialize_state(self) -> None:
+        super().initialize_state()
+        self.epoch: int = 0
+        self.resetting: bool = False
+        self.resets_completed: int = 0
+        self._join_votes: dict[int, RegisterArray] = {}
+        self._commit_acks: set[int] = set()
+        self._pending_commit: ResetCommitMessage | None = None
+
+    def _install_reset_handlers(self) -> None:
+        self.register_handler(ResetAlertMessage.KIND, self._on_reset_alert)
+        self.register_handler(ResetJoinMessage.KIND, self._on_reset_join)
+        self.register_handler(ResetCommitMessage.KIND, self._on_reset_commit)
+        self.register_handler(
+            ResetCommitAckMessage.KIND, self._on_reset_commit_ack
+        )
+
+    # -- variant hooks ---------------------------------------------------------
+
+    def _max_local_index(self) -> int:
+        """The largest operation index anywhere in this node's state."""
+        return max(self.ts, self.ssn, self.reg.max_timestamp())
+
+    def _apply_index_reset(self, values: RegisterArray) -> None:
+        """Install the agreed values with all indices back at 0."""
+        for k in range(self.config.n):
+            self.reg[k] = TimestampedValue(0, values[k].value)
+        self.ts = 0
+        self.ssn = 0
+
+    # -- epoch envelope ------------------------------------------------------------
+
+    def send(self, dst: int, message: Message) -> None:
+        """Wrap algorithm traffic in the current epoch; reset traffic is bare."""
+        if isinstance(message, _RESET_MESSAGE_TYPES):
+            super().send(dst, message)
+        else:
+            super().send(dst, EpochEnvelope(epoch=self.epoch, inner=message))
+
+    def deliver(self, sender: int, message: Message) -> None:
+        """Unwrap envelopes, dropping those from other epochs."""
+        if isinstance(message, EpochEnvelope):
+            if message.epoch != self.epoch or self.crashed:
+                return
+            super().deliver(sender, message.inner)
+            return
+        super().deliver(sender, message)
+
+    # -- the reset do-forever ----------------------------------------------------------
+
+    @property
+    def _coordinator(self) -> int:
+        return 0
+
+    async def do_forever_iteration(self) -> None:
+        if not self.resetting and self._max_local_index() >= self.config.max_int:
+            self._enter_reset()
+        if self.resetting:
+            # Step 1: alert everyone and vote the maximal local state.
+            self.broadcast(
+                ResetAlertMessage(epoch=self.epoch), include_self=False
+            )
+            self.send(
+                self._coordinator,
+                ResetJoinMessage(epoch=self.epoch, reg=self.reg.copy()),
+            )
+            return  # normal gossip is pointless during the reset window
+        if self._pending_commit is not None:
+            # Coordinator only: re-broadcast the commit until all acked.
+            if len(self._commit_acks) >= self.config.n:
+                self._pending_commit = None
+                self._commit_acks = set()
+            else:
+                self.broadcast(self._pending_commit, include_self=False)
+        await super().do_forever_iteration()
+
+    def _enter_reset(self) -> None:
+        self.resetting = True
+        self._join_votes = {self.node_id: self.reg.copy()}
+
+    # -- reset protocol handlers ----------------------------------------------------------
+
+    def _on_reset_alert(self, sender: int, message: ResetAlertMessage) -> None:
+        if message.epoch == self.epoch and not self.resetting:
+            self._enter_reset()
+
+    def _on_reset_join(self, sender: int, message: ResetJoinMessage) -> None:
+        if self.node_id != self._coordinator or message.epoch != self.epoch:
+            return
+        if not self.resetting:
+            self._enter_reset()
+        self._join_votes[sender] = message.reg
+        if len(self._join_votes) >= self.config.n:
+            merged = RegisterArray(self.config.n)
+            for vote in self._join_votes.values():
+                merged.merge_from(vote)
+            commit = ResetCommitMessage(new_epoch=self.epoch + 1, values=merged)
+            self._pending_commit = commit
+            self._commit_acks = {self.node_id}
+            self._apply_commit(commit)
+            self.broadcast(commit, include_self=False)
+
+    def _on_reset_commit(self, sender: int, message: ResetCommitMessage) -> None:
+        if message.new_epoch == self.epoch + 1 and (
+            self.resetting or self._max_local_index() >= self.config.max_int
+        ):
+            self._apply_commit(message)
+        if message.new_epoch == self.epoch:
+            # Already applied (duplicate commit): just re-acknowledge.
+            self.send(sender, ResetCommitAckMessage(new_epoch=message.new_epoch))
+
+    def _on_reset_commit_ack(
+        self, sender: int, message: ResetCommitAckMessage
+    ) -> None:
+        if message.new_epoch == self.epoch:
+            self._commit_acks.add(sender)
+
+    def _apply_commit(self, commit: ResetCommitMessage) -> None:
+        """Step 2: indices restart at 0; register values survive."""
+        self._apply_index_reset(commit.values)
+        self.epoch = commit.new_epoch
+        self.resetting = False
+        self._join_votes = {}
+        self.resets_completed += 1
+
+    # -- abortable operations --------------------------------------------------------------
+
+    async def write(self, value: Any) -> int:
+        return await self._abortable(super().write(value), "write")
+
+    async def snapshot(self) -> SnapshotResult:
+        return await self._abortable(super().snapshot(), "snapshot")
+
+    async def _abortable(self, operation, name: str) -> Any:
+        """Run an operation, aborting it if a global reset intervenes.
+
+        Operations invoked during a reset are rejected immediately; an
+        epoch change mid-operation cancels it.  Both abort paths raise
+        :class:`ResetInProgressError`, which the paper's criteria allow
+        for the bounded number of operations caught by the seldom reset.
+        """
+        if self.resetting:
+            operation.close()
+            raise ResetInProgressError(
+                f"node {self.node_id}: global reset in progress"
+            )
+        epoch_at_start = self.epoch
+        task = self.kernel.create_task(
+            operation, name=f"node{self.node_id}.{name}"
+        )
+        poll = self.config.retransmit_interval
+        while not task.done():
+            if self.resetting or self.epoch != epoch_at_start:
+                task.cancel()
+                raise ResetInProgressError(
+                    f"node {self.node_id}: {name} aborted by global reset"
+                )
+            await self.kernel.first_of(
+                task, timeout=poll, cancel_on_timeout=False
+            )
+        return task.result()
+
+
+class BoundedSelfStabilizingNonBlocking(
+    _BoundedCounterMixin, SelfStabilizingNonBlocking
+):
+    """Algorithm 1 with bounded operation indices (MAXINT + global reset)."""
+
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self._install_reset_handlers()
+
+
+class BoundedSelfStabilizingAlwaysTerminating(
+    _BoundedCounterMixin, SelfStabilizingAlwaysTerminating
+):
+    """Algorithm 3 with bounded operation indices (MAXINT + global reset).
+
+    On top of the Algorithm 1 machinery, the reset also restarts the
+    snapshot-task indices (``sns``/``ssn``) and clears the pending-task
+    table: pre-reset tasks are among the aborted operations the criteria
+    permit, and their initiators observe the abort through the epoch
+    change.
+    """
+
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self._install_reset_handlers()
+
+    def _max_local_index(self) -> int:
+        indices = [self.ts, self.ssn, self.sns, self.reg.max_timestamp()]
+        indices.extend(task.sns for task in self.pnd_tsk)
+        return max(indices)
+
+    def _apply_index_reset(self, values: RegisterArray) -> None:
+        super()._apply_index_reset(values)
+        self.sns = 0
+        self.pnd_tsk = [PendingTask() for _ in range(self.config.n)]
+        self._notify()

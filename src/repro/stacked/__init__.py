@@ -1,0 +1,6 @@
+"""The stacked baseline: ABD register emulation + double-collect snapshot."""
+
+from repro.stacked.abd import AbdRegisterLayer
+from repro.stacked.snapshot import StackedSnapshot
+
+__all__ = ["AbdRegisterLayer", "StackedSnapshot"]

@@ -1,0 +1,15 @@
+"""Stateless model checking of the snapshot algorithms."""
+
+from repro.verify.explorer import (
+    ExplorationResult,
+    Violation,
+    explore,
+    explore_snapshot_scenario,
+)
+
+__all__ = [
+    "ExplorationResult",
+    "Violation",
+    "explore",
+    "explore_snapshot_scenario",
+]

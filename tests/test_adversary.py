@@ -1,0 +1,111 @@
+"""Tests for adversarial partition scheduling."""
+
+from repro import ClusterConfig, SnapshotCluster
+from repro.analysis.linearizability import check_snapshot_history
+from repro.fault import CrashEvent, CrashSchedule, PartitionSchedule, isolate
+from repro.fault.adversary import flapping_partition
+
+
+def make(algorithm="ss-nonblocking", n=5, seed=0, **kwargs):
+    return SnapshotCluster(algorithm, ClusterConfig(n=n, seed=seed, **kwargs))
+
+
+class TestIsolation:
+    def test_isolated_minority_cannot_complete_ops(self):
+        cluster = make()
+        isolate(cluster, {3, 4})
+        # Majority side still works.
+        cluster.write_sync(0, "majority-side")
+        assert cluster.snapshot_sync(1).values[0] == "majority-side"
+
+    def test_minority_op_stalls_until_heal(self):
+        cluster = make(seed=1)
+        isolate(cluster, {3, 4})
+
+        async def run():
+            write_task = cluster.spawn(cluster.write(3, "islanded"))
+            await cluster.kernel.sleep(60.0)
+            assert not write_task.done()
+            cluster.network.heal()
+            await write_task
+            return await cluster.snapshot(0)
+
+        result = cluster.run_until(run(), max_events=None)
+        assert result.values[3] == "islanded"
+
+    def test_majority_partition_keeps_object_live(self):
+        """The classic availability property: the majority side serves
+        both reads and writes while a minority is cut off."""
+        cluster = make(seed=2)
+        isolate(cluster, {4})
+        for node in range(4):
+            cluster.write_sync(node, f"v{node}")
+        result = cluster.snapshot_sync(0)
+        assert result.values[:4] == ("v0", "v1", "v2", "v3")
+
+
+class TestFlapping:
+    def test_operations_survive_flapping(self):
+        cluster = make(seed=3)
+        flapping_partition(
+            cluster, ({0, 1, 2}, {3, 4}), period=5.0, flaps=4
+        )
+
+        async def run():
+            for round_index in range(6):
+                await cluster.write(0, f"r{round_index}")
+                await cluster.kernel.sleep(7.0)
+            return await cluster.snapshot(1)
+
+        result = cluster.run_until(run(), max_events=None)
+        assert result.values[0] == "r5"
+        report = check_snapshot_history(cluster.history.records(), 5)
+        assert report.ok, report.summary()
+
+
+class TestPartitionSchedule:
+    def test_scripted_partition_applies_and_heals(self):
+        cluster = make(seed=4)
+        schedule = PartitionSchedule(
+            cluster,
+            [
+                (10.0, ({0, 1}, {2, 3, 4})),
+                (30.0, ()),  # heal
+            ],
+        )
+        schedule.install()
+
+        async def run():
+            await cluster.write(0, "pre")
+            await cluster.kernel.sleep(15.0)
+            # Node 0 is now on the minority side: its write stalls.
+            write_task = cluster.spawn(cluster.write(0, "during"))
+            await cluster.kernel.sleep(5.0)
+            assert not write_task.done()
+            await write_task  # completes after the heal at t=30
+            return cluster.kernel.now
+
+        finished_at = cluster.run_until(run(), max_events=None)
+        assert finished_at >= 30.0
+        assert schedule.applied == [10.0, 30.0]
+
+    def test_combined_with_crash_schedule(self):
+        cluster = make(seed=5)
+        crashes = CrashSchedule(
+            cluster,
+            [
+                CrashEvent(at=5.0, node_id=4, action="crash"),
+                CrashEvent(at=25.0, node_id=4, action="resume"),
+            ],
+        )
+        crashes.install()
+
+        async def run():
+            await cluster.kernel.sleep(10.0)
+            await cluster.write(0, "with-4-down")
+            await cluster.kernel.sleep(20.0)
+            return await cluster.snapshot(4)
+
+        result = cluster.run_until(run(), max_events=None)
+        assert result.values[0] == "with-4-down"
+        assert [e.action for e in crashes.applied] == ["crash", "resume"]

@@ -1,0 +1,187 @@
+"""Behavioural tests shared across all four snapshot algorithms."""
+
+import pytest
+
+from repro import ChannelConfig, ClusterConfig, SnapshotCluster
+from repro.analysis.linearizability import check_snapshot_history
+from repro.errors import ConfigurationError, ReproError
+
+ALL = ["dgfr-nonblocking", "ss-nonblocking", "dgfr-always", "ss-always"]
+
+
+def make(algorithm, n=5, seed=0, delta=2, **kwargs):
+    return SnapshotCluster(
+        algorithm, ClusterConfig(n=n, seed=seed, delta=delta, **kwargs)
+    )
+
+
+@pytest.mark.parametrize("algorithm", ALL)
+class TestBasicSemantics:
+    def test_empty_snapshot(self, algorithm):
+        cluster = make(algorithm)
+        result = cluster.snapshot_sync(0)
+        assert result.values == (None,) * 5
+        assert result.vector_clock == (0,) * 5
+
+    def test_write_then_snapshot(self, algorithm):
+        cluster = make(algorithm)
+        ts = cluster.write_sync(2, b"hello")
+        assert ts == 1
+        result = cluster.snapshot_sync(0)
+        assert result.values[2] == b"hello"
+        assert result.vector_clock[2] == 1
+
+    def test_successive_writes_bump_timestamps(self, algorithm):
+        cluster = make(algorithm)
+        assert cluster.write_sync(0, "a") == 1
+        assert cluster.write_sync(0, "b") == 2
+        assert cluster.write_sync(0, "c") == 3
+        result = cluster.snapshot_sync(1)
+        assert result.values[0] == "c"
+        assert result.vector_clock[0] == 3
+
+    def test_every_node_can_write_and_snapshot(self, algorithm):
+        cluster = make(algorithm)
+        for node in range(5):
+            cluster.write_sync(node, f"value-{node}")
+        for node in range(5):
+            result = cluster.snapshot_sync(node)
+            assert result.values == tuple(f"value-{k}" for k in range(5))
+
+    def test_snapshot_reflects_only_own_writer_order(self, algorithm):
+        cluster = make(algorithm)
+        cluster.write_sync(0, "x1")
+        cluster.write_sync(1, "y1")
+        cluster.write_sync(0, "x2")
+        result = cluster.snapshot_sync(3)
+        assert result.values[0] == "x2"
+        assert result.values[1] == "y1"
+        assert result.vector_clock[:2] == (2, 1)
+
+    def test_history_linearizable_sequential(self, algorithm):
+        cluster = make(algorithm)
+        for i, node in enumerate([0, 3, 1, 4, 2]):
+            cluster.write_sync(node, f"v{i}")
+            cluster.snapshot_sync((node + 1) % 5)
+        cluster.history.validate_well_formed()
+        report = check_snapshot_history(cluster.history.records(), 5)
+        assert report.ok, report.summary()
+
+
+@pytest.mark.parametrize("algorithm", ALL)
+class TestConcurrency:
+    def test_concurrent_writers_all_visible(self, algorithm):
+        cluster = make(algorithm, seed=13)
+
+        async def workload():
+            writes = [cluster.spawn(cluster.write(i, i * 11)) for i in range(5)]
+            await cluster.kernel.gather(writes)
+            return await cluster.snapshot(0)
+
+        result = cluster.run_until(workload())
+        assert result.values == tuple(i * 11 for i in range(5))
+        report = check_snapshot_history(cluster.history.records(), 5)
+        assert report.ok, report.summary()
+
+    def test_concurrent_snapshots_comparable(self, algorithm):
+        cluster = make(algorithm, seed=17)
+
+        async def workload():
+            cluster.spawn(cluster.write(0, "w"))
+            snaps = [cluster.spawn(cluster.snapshot(i)) for i in range(1, 5)]
+            return await cluster.kernel.gather(snaps)
+
+        results = cluster.run_until(workload())
+        vcs = sorted(r.vector_clock for r in results)
+        for earlier, later in zip(vcs, vcs[1:]):
+            assert all(a <= b for a, b in zip(earlier, later))
+
+    def test_linearizable_under_loss_and_duplication(self, algorithm):
+        cluster = make(
+            algorithm,
+            seed=23,
+            channel=ChannelConfig(
+                loss_probability=0.25, duplication_probability=0.15
+            ),
+        )
+
+        async def workload():
+            tasks = []
+            for round_index in range(3):
+                for node in range(5):
+                    tasks.append(
+                        cluster.spawn(
+                            cluster.write(node, (round_index, node))
+                        )
+                    )
+                tasks.append(cluster.spawn(cluster.snapshot(round_index)))
+                await cluster.kernel.gather(tasks)
+                tasks = []
+
+        cluster.run_until(workload())
+        report = check_snapshot_history(cluster.history.records(), 5)
+        assert report.ok, report.summary()
+
+
+@pytest.mark.parametrize("algorithm", ALL)
+class TestCrashTolerance:
+    def test_operations_complete_with_minority_crashed(self, algorithm):
+        cluster = make(algorithm, seed=29)
+        cluster.crash(3)
+        cluster.crash(4)
+        cluster.write_sync(0, "survives")
+        result = cluster.snapshot_sync(1)
+        assert result.values[0] == "survives"
+
+    def test_resume_without_restart_rejoins(self, algorithm):
+        cluster = make(algorithm, seed=31)
+        cluster.write_sync(0, "before")
+        cluster.crash(2)
+        cluster.write_sync(0, "during")
+        cluster.resume(2)
+        cluster.run_for(30.0)
+        result = cluster.snapshot_sync(2)
+        assert result.values[0] == "during"
+
+    def test_alive_nodes_tracking(self, algorithm):
+        cluster = make(algorithm)
+        assert cluster.alive_nodes() == [0, 1, 2, 3, 4]
+        cluster.crash(1)
+        assert cluster.alive_nodes() == [0, 2, 3, 4]
+        cluster.resume(1)
+        assert cluster.alive_nodes() == [0, 1, 2, 3, 4]
+
+
+class TestClusterFacade:
+    def test_unknown_algorithm_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SnapshotCluster("no-such-algorithm")
+
+    def test_concurrent_same_node_ops_rejected(self):
+        cluster = make("dgfr-nonblocking")
+
+        async def misuse():
+            first = cluster.spawn(cluster.write(0, "a"))
+            await cluster.kernel.sleep(0.1)  # let the first write start
+            with pytest.raises(ReproError):
+                await cluster.write(0, "b")
+            await first
+
+        cluster.run_until(misuse())
+
+    def test_repr(self):
+        cluster = make("ss-always")
+        assert "ss-always" in repr(cluster)
+        assert "n=5" in repr(cluster)
+
+    def test_settle_cycles(self):
+        cluster = make("ss-nonblocking")
+        cluster.run_until(cluster.settle_cycles(3))
+        assert cluster.tracker.cycles_elapsed >= 3
+
+    def test_quiescent_registers_converge(self):
+        cluster = make("ss-nonblocking")
+        cluster.write_sync(0, "x")
+        cluster.run_until(cluster.settle_cycles(4))
+        vcs = cluster.quiescent_registers()
+        assert all(vc == vcs[0] for vc in vcs)

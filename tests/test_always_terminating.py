@@ -1,0 +1,253 @@
+"""Behaviour specific to the always-terminating algorithms (Section 4)."""
+
+import math
+
+import pytest
+
+from repro import ClusterConfig, SnapshotCluster, UNBOUNDED_DELTA
+from repro.analysis.linearizability import check_snapshot_history
+
+
+def make(algorithm, n=5, seed=0, delta=0, **kwargs):
+    return SnapshotCluster(
+        algorithm, ClusterConfig(n=n, seed=seed, delta=delta, **kwargs)
+    )
+
+
+class ContinuousWriters:
+    """Drives saturating write load from a set of nodes."""
+
+    def __init__(self, cluster, nodes):
+        self.cluster = cluster
+        self.nodes = nodes
+        self.stopped = []
+        self.counts = {node: 0 for node in nodes}
+        self.tasks = []
+
+    async def _writer(self, node):
+        while not self.stopped:
+            await self.cluster.write(node, (node, self.counts[node]))
+            self.counts[node] += 1
+
+    def start(self):
+        self.tasks = [
+            self.cluster.spawn(self._writer(node)) for node in self.nodes
+        ]
+
+    async def stop(self):
+        self.stopped.append(True)
+        await self.cluster.kernel.gather(self.tasks)
+
+    @property
+    def total(self):
+        return sum(self.counts.values())
+
+
+@pytest.mark.parametrize("algorithm", ["dgfr-always", "ss-always"])
+class TestAlwaysTermination:
+    def test_snapshot_terminates_under_continuous_writes(self, algorithm):
+        """The headline guarantee that the non-blocking variant lacks."""
+        cluster = make(algorithm, seed=1)
+        writers = ContinuousWriters(cluster, [0, 1, 2, 3])
+
+        async def probe():
+            writers.start()
+            await cluster.kernel.sleep(20.0)  # let write load build up
+            result = await cluster.snapshot(4)
+            await writers.stop()
+            return result
+
+        result = cluster.run_until(probe(), max_events=None)
+        assert result is not None
+        assert writers.total > 0
+        report = check_snapshot_history(cluster.history.records(), 5)
+        assert report.ok, report.summary()
+
+    def test_repeated_snapshots_under_load(self, algorithm):
+        cluster = make(algorithm, seed=2)
+        writers = ContinuousWriters(cluster, [0, 1])
+
+        async def probe():
+            writers.start()
+            results = []
+            for _ in range(3):
+                results.append(await cluster.snapshot(4))
+            await writers.stop()
+            return results
+
+        results = cluster.run_until(probe(), max_events=None)
+        vcs = [r.vector_clock for r in results]
+        for earlier, later in zip(vcs, vcs[1:]):
+            assert all(a <= b for a, b in zip(earlier, later))
+
+    def test_all_nodes_snapshot_concurrently(self, algorithm):
+        """Figure 2 vs Figure 3 (lower): concurrent snapshot invocations."""
+        cluster = make(algorithm, seed=3)
+
+        async def probe():
+            cluster.spawn(cluster.write(0, "w"))
+            snaps = [cluster.spawn(cluster.snapshot(i)) for i in range(5)]
+            return await cluster.kernel.gather(snaps)
+
+        results = cluster.run_until(probe(), max_events=None)
+        assert len(results) == 5
+        report = check_snapshot_history(cluster.history.records(), 5)
+        assert report.ok, report.summary()
+
+
+class TestDgfrAlwaysSpecifics:
+    def test_rep_snap_accumulates_results(self):
+        cluster = make("dgfr-always")
+        cluster.snapshot_sync(0)
+        cluster.snapshot_sync(1)
+        cluster.run_until(cluster.settle_cycles(3))
+        # Reliable broadcast spread both END results everywhere.
+        for node in cluster.processes:
+            assert (0, 1) in node.rep_snap
+            assert (1, 1) in node.rep_snap
+
+    def test_every_node_serves_every_task(self):
+        """The O(n²) job-stealing scheme: all nodes bump ssn per task."""
+        cluster = make("dgfr-always")
+        before = [node.ssn for node in cluster.processes]
+        cluster.snapshot_sync(0)
+        cluster.run_until(cluster.settle_cycles(4))
+        after = [node.ssn for node in cluster.processes]
+        assert all(b > a for a, b in zip(before, after))
+
+    def test_writes_deferred_while_task_pending(self):
+        """A write invoked during a snapshot is served by the loop after."""
+        cluster = make("dgfr-always", seed=5)
+
+        async def probe():
+            snap_task = cluster.spawn(cluster.snapshot(1))
+            write_task = cluster.spawn(cluster.write(0, "deferred"))
+            await cluster.kernel.gather([snap_task, write_task])
+            return await cluster.snapshot(2)
+
+        result = cluster.run_until(probe(), max_events=None)
+        assert result.values[0] == "deferred"
+
+
+class TestSsAlwaysDeltaSemantics:
+    def test_delta_zero_all_nodes_help_immediately(self):
+        cluster = make("ss-always", delta=0, seed=7)
+        cluster.snapshot_sync(0)
+        cluster.run_until(cluster.settle_cycles(2))
+        # With δ=0 every node adopted and served the task.
+        for node in cluster.processes:
+            assert node.pnd_tsk[0].sns == 1
+
+    def test_unbounded_delta_only_owner_serves(self):
+        cluster = make("ss-always", delta=UNBOUNDED_DELTA, seed=9)
+        with cluster.metrics.window() as window:
+            cluster.snapshot_sync(0)
+        # Only the initiating node ran query rounds: O(n) messages, all
+        # SNAPSHOT traffic originating from node 0.
+        assert cluster.metrics.sender_messages(1, "SNAPSHOT") == 0
+        assert window.stats.messages("SNAPSHOT") <= 2 * (cluster.config.n - 1)
+
+    def test_unbounded_delta_snapshot_starves_like_algorithm1(self):
+        """With δ = ∞ nobody helps and termination is *not guaranteed*:
+        under this adversarial schedule (saturating writers, write pacing
+        faster than a query round) the snapshot is still pending after
+        300 time units, exactly the Algorithm 1 liveness gap."""
+        from repro import ChannelConfig
+
+        cluster = make(
+            "ss-always",
+            delta=UNBOUNDED_DELTA,
+            seed=1,
+            gossip_interval=0.4,
+            channel=ChannelConfig(min_delay=1.0, max_delay=1.0),
+        )
+        writers = ContinuousWriters(cluster, [0, 1, 2, 3])
+
+        async def probe():
+            writers.start()
+            snap_task = cluster.spawn(cluster.snapshot(4))
+            await cluster.kernel.sleep(300.0)
+            starved = not snap_task.done()
+            await writers.stop()
+            await snap_task
+            return starved
+
+        assert cluster.run_until(probe(), max_events=None)
+
+    def test_finite_delta_terminates_under_load(self):
+        """Theorem 3: with finite δ the snapshot terminates despite load."""
+        cluster = make("ss-always", delta=4, seed=13)
+        writers = ContinuousWriters(cluster, [0, 1, 2, 3])
+
+        async def probe():
+            writers.start()
+            await cluster.kernel.sleep(20.0)
+            result = await cluster.snapshot(4)
+            await writers.stop()
+            return result
+
+        result = cluster.run_until(probe(), max_events=None)
+        assert result is not None
+
+    def test_vc_sample_set_after_interfered_round(self):
+        """Line 93: an interfered round samples VC into pndTsk[i].vc."""
+        cluster = make("ss-always", delta=1000, seed=15)
+        writers = ContinuousWriters(cluster, [0, 1])
+
+        async def probe():
+            writers.start()
+            snap_task = cluster.spawn(cluster.snapshot(4))
+            await cluster.kernel.sleep(60.0)
+            vc = cluster.node(4).pnd_tsk[4].vc
+            await writers.stop()
+            await snap_task
+            return vc
+
+        vc = cluster.run_until(probe(), max_events=None)
+        assert vc is not None
+
+    def test_delta_result_delivered_via_save_helping(self):
+        """A node holding a finished result forwards it to a late querier
+        (line 107's helping path)."""
+        cluster = make("ss-always", delta=0, seed=17)
+        result = cluster.snapshot_sync(2)
+        assert result is not None
+        # The initiator's entry holds the final result...
+        assert cluster.node(2).pnd_tsk[2].fnl is not None
+        # ...and after a couple of cycles a majority stored it too.
+        cluster.run_until(cluster.settle_cycles(3))
+        holders = sum(
+            1 for node in cluster.processes if node.pnd_tsk[2].fnl is not None
+        )
+        assert holders >= cluster.config.majority
+
+    def test_second_snapshot_resets_own_task(self):
+        cluster = make("ss-always", delta=0, seed=19)
+        cluster.snapshot_sync(3)
+        assert cluster.node(3).pnd_tsk[3].sns == 1
+        cluster.snapshot_sync(3)
+        assert cluster.node(3).pnd_tsk[3].sns == 2
+        assert cluster.node(3).sns == 2
+
+    def test_cheaper_than_algorithm2_per_snapshot(self):
+        """Figure 3 (upper) vs Figure 2: at δ=0 both algorithms run O(n²)
+        query rounds, but Algorithm 3 replaces Algorithm 2's reliable
+        broadcast (SNAP + END dissemination with per-peer retransmission)
+        by one majority-acknowledged SAVE — far fewer messages per task."""
+        counts = {}
+        for name in ("ss-always", "dgfr-always"):
+            cluster = make(name, delta=0, seed=21)
+            cluster.run_until(cluster.settle_cycles(1))
+            with cluster.metrics.window() as window:
+                cluster.snapshot_sync(0)
+                cluster.run_until(cluster.settle_cycles(2))
+            stats = window.stats
+            counts[name] = stats.total_messages - stats.messages("GOSSIP")
+        assert counts["dgfr-always"] > counts["ss-always"] * 1.5
+
+    def test_math_inf_delta_flag(self):
+        cluster = make("ss-always", delta=UNBOUNDED_DELTA)
+        assert cluster.node(0).is_unbounded_delta()
+        assert math.isinf(cluster.node(0).delta)
+        cluster2 = make("ss-always", delta=3)
+        assert not cluster2.node(0).is_unbounded_delta()

@@ -1,0 +1,175 @@
+"""Tests for the applications layer (counter, barrier, predicates)."""
+
+import pytest
+
+from repro import ClusterConfig, SnapshotCluster
+from repro.apps import DistributedCounter, PhaseBarrier, PredicateDetector
+from repro.fault import TransientFaultInjector
+
+
+def make(algorithm="ss-nonblocking", n=4, seed=0, **kwargs):
+    return SnapshotCluster(algorithm, ClusterConfig(n=n, seed=seed, **kwargs))
+
+
+class TestDistributedCounter:
+    def test_increments_sum(self):
+        cluster = make()
+        counter = DistributedCounter(cluster)
+        counter.increment_sync(0)
+        counter.increment_sync(1, amount=5)
+        counter.increment_sync(0, amount=2)
+        reading = counter.read_sync(3)
+        assert reading.total == 8
+        assert reading.per_node == (3, 5, 0, 0)
+
+    def test_amount_must_be_positive(self):
+        cluster = make()
+        counter = DistributedCounter(cluster)
+        with pytest.raises(ValueError):
+            counter.increment_sync(0, amount=0)
+
+    def test_reads_are_monotone(self):
+        cluster = make(seed=1)
+        counter = DistributedCounter(cluster)
+
+        async def run():
+            readings = []
+            for round_index in range(4):
+                await counter.increment(round_index % 4)
+                readings.append(await counter.read(0))
+            return readings
+
+        readings = cluster.run_until(run())
+        totals = [reading.total for reading in readings]
+        assert totals == sorted(totals)
+        for earlier, later in zip(readings, readings[1:]):
+            assert later.dominates(earlier)
+
+    def test_concurrent_increments_never_lost(self):
+        cluster = make(seed=2)
+        counter = DistributedCounter(cluster)
+
+        async def run():
+            tasks = [
+                cluster.spawn(counter.increment(node, amount=node + 1))
+                for node in range(4)
+            ]
+            await cluster.kernel.gather(tasks)
+            return await counter.read(0)
+
+        reading = cluster.run_until(run())
+        assert reading.total == 1 + 2 + 3 + 4
+
+    def test_read_never_misses_completed_increment(self):
+        cluster = make(seed=3)
+        counter = DistributedCounter(cluster)
+        counter.increment_sync(2, amount=7)
+        reading = counter.read_sync(1)
+        assert reading.per_node[2] == 7
+
+    def test_contribution_recovered_after_detectable_restart(self):
+        cluster = make(seed=4)
+        counter = DistributedCounter(cluster)
+        counter.increment_sync(1, amount=3)
+        cluster.run_until(cluster.settle_cycles(2))
+        cluster.crash(1)
+        cluster.resume(1, restart=True)
+        cluster.run_until(cluster.settle_cycles(3))
+        fresh = DistributedCounter(cluster)  # no local cache
+        fresh.increment_sync(1, amount=2)
+        assert fresh.read_sync(0).per_node[1] == 5
+
+    def test_counter_survives_transient_fault(self):
+        cluster = make(seed=5)
+        counter = DistributedCounter(cluster)
+        counter.increment_sync(0, amount=4)
+        TransientFaultInjector(cluster, seed=5).corrupt_write_indices()
+        cluster.run_until(cluster.settle_cycles(4))
+        counter.increment_sync(0, amount=1)
+        reading = counter.read_sync(2)
+        assert reading.per_node[0] == 5
+
+
+class TestPhaseBarrier:
+    def test_all_participants_synchronize(self):
+        cluster = make(seed=6)
+        barrier = PhaseBarrier(cluster)
+
+        async def run():
+            tasks = [
+                cluster.spawn(barrier.run_phases(node, phases=3))
+                for node in range(4)
+            ]
+            await cluster.kernel.gather(tasks)
+            return await cluster.snapshot(0)
+
+        view = cluster.run_until(run(), max_events=None)
+        assert all(value == 3 for value in view.values)
+
+    def test_barrier_blocks_until_laggard_arrives(self):
+        cluster = make(seed=7)
+        barrier = PhaseBarrier(cluster, participants=[0, 1])
+
+        async def run():
+            await barrier.enter(0, 1)
+            waiter = cluster.spawn(barrier.await_phase(0, 1))
+            await cluster.kernel.sleep(20.0)
+            assert not waiter.done()  # node 1 has not entered
+            await barrier.enter(1, 1)
+            phases = await waiter
+            return phases
+
+        assert cluster.run_until(run(), max_events=None) == (1, 1)
+
+    def test_phase_validation(self):
+        cluster = make()
+        barrier = PhaseBarrier(cluster)
+        with pytest.raises(ValueError):
+            cluster.run_until(barrier.enter(0, 0))
+
+    def test_observers_excluded(self):
+        cluster = make(seed=8)
+        barrier = PhaseBarrier(cluster, participants=[0, 1, 2])
+
+        async def run():
+            for node in (0, 1, 2):
+                await barrier.enter(node, 1)
+            # Node 3 never participates; the barrier must still open.
+            return await barrier.await_phase(0, 1)
+
+        assert cluster.run_until(run(), max_events=None) == (1, 1, 1)
+
+
+class TestPredicateDetector:
+    def test_detects_stable_predicate(self):
+        cluster = make(seed=9)
+        detector = PredicateDetector(
+            cluster,
+            predicate=lambda values: all(v == "done" for v in values),
+        )
+
+        async def run():
+            waiter = cluster.spawn(detector.wait_until(0))
+            for node in range(4):
+                await cluster.write(node, "done")
+            return await waiter
+
+        values = cluster.run_until(run(), max_events=None)
+        assert values == ("done",) * 4
+
+    def test_check_single_evaluation(self):
+        cluster = make(seed=10)
+        detector = PredicateDetector(
+            cluster, predicate=lambda values: values[0] is not None
+        )
+        assert not cluster.run_until(detector.check(1))
+        cluster.write_sync(0, "x")
+        assert cluster.run_until(detector.check(1))
+
+    def test_wait_until_times_out(self):
+        cluster = make(seed=11)
+        detector = PredicateDetector(
+            cluster, predicate=lambda values: False
+        )
+        with pytest.raises(TimeoutError):
+            cluster.run_until(detector.wait_until(0, max_polls=3))

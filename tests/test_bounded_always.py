@@ -1,0 +1,99 @@
+"""Tests for the bounded-counter variant of Algorithm 3 (Section 5)."""
+
+import pytest
+
+from repro import ClusterConfig, SnapshotCluster
+from repro.analysis.linearizability import check_snapshot_history
+from repro.errors import ResetInProgressError
+
+
+def make(n=5, seed=0, max_int=12, delta=2, **kwargs):
+    return SnapshotCluster(
+        "bounded-ss-always",
+        ClusterConfig(n=n, seed=seed, max_int=max_int, delta=delta, **kwargs),
+    )
+
+
+async def churn(cluster, rounds, snapshot_every=0):
+    """Writes from every node (retrying across resets), optional snapshots."""
+    aborts = 0
+    for round_index in range(rounds):
+        for node in range(cluster.config.n):
+            while True:
+                try:
+                    await cluster.write(node, (round_index, node))
+                    break
+                except ResetInProgressError:
+                    aborts += 1
+                    await cluster.tracker.wait_cycles(3)
+        if snapshot_every and round_index % snapshot_every == 0:
+            try:
+                await cluster.snapshot(round_index % cluster.config.n)
+            except ResetInProgressError:
+                await cluster.tracker.wait_cycles(3)
+    return aborts
+
+
+class TestBoundedAlways:
+    def test_normal_operation_below_maxint(self):
+        cluster = make(max_int=1000)
+        cluster.write_sync(0, "v")
+        assert cluster.snapshot_sync(1).values[0] == "v"
+        assert cluster.node(0).resets_completed == 0
+
+    def test_overflow_triggers_reset_and_system_stays_usable(self):
+        cluster = make(max_int=8, seed=1)
+        cluster.run_until(churn(cluster, 12, snapshot_every=4), max_events=None)
+        assert all(p.resets_completed >= 1 for p in cluster.processes)
+        result = cluster.snapshot_sync(0)
+        assert result.values == tuple((11, node) for node in range(5))
+
+    def test_snapshot_task_state_cleared_by_reset(self):
+        cluster = make(max_int=8, seed=2)
+        cluster.run_until(churn(cluster, 12), max_events=None)
+        cluster.run_until(cluster.settle_cycles(4), max_events=None)
+        for process in cluster.processes:
+            assert process.sns < 8
+            for task in process.pnd_tsk:
+                assert task.sns < 8
+
+    def test_sns_overflow_also_triggers_reset(self):
+        """Snapshot indices count toward MAXINT, not just write indices."""
+        cluster = make(max_int=6, seed=3)
+
+        async def snap_heavy():
+            for _ in range(10):
+                try:
+                    await cluster.snapshot(2)  # same node: sns grows past 6
+                except ResetInProgressError:
+                    await cluster.tracker.wait_cycles(3)
+            await cluster.tracker.wait_cycles(3)
+
+        cluster.run_until(snap_heavy(), max_events=None)
+        assert any(p.resets_completed >= 1 for p in cluster.processes)
+
+    def test_operations_rejected_during_reset(self):
+        cluster = make()
+        cluster.node(0).resetting = True
+        with pytest.raises(ResetInProgressError):
+            cluster.snapshot_sync(0)
+        assert cluster.history.records()[0].aborted
+
+    def test_post_reset_history_linearizable(self):
+        cluster = make(max_int=8, seed=4)
+        cluster.run_until(churn(cluster, 10), max_events=None)
+        cluster.run_until(cluster.settle_cycles(4), max_events=None)
+        from repro.analysis.history import HistoryRecorder
+
+        cluster.history = HistoryRecorder()
+        for node in range(5):
+            cluster.write_sync(node, f"post-{node}")
+        cluster.snapshot_sync(2)
+        report = check_snapshot_history(cluster.history.records(), 5)
+        assert report.ok, report.summary()
+
+    def test_epochs_converge(self):
+        cluster = make(max_int=8, seed=5)
+        cluster.run_until(churn(cluster, 12), max_events=None)
+        cluster.run_until(cluster.settle_cycles(5), max_events=None)
+        assert len({p.epoch for p in cluster.processes}) == 1

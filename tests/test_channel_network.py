@@ -1,0 +1,229 @@
+"""Unit tests for channels and the network fabric."""
+
+import random
+from dataclasses import dataclass
+
+import pytest
+
+from repro.analysis.metrics import MetricsCollector
+from repro.config import ChannelConfig, ClusterConfig
+from repro.errors import NetworkError
+from repro.net.channel import Channel
+from repro.net.message import Message
+from repro.net.network import Network
+from repro.net.node import Process
+from repro.sim.kernel import Kernel
+
+
+@dataclass(frozen=True)
+class Ping(Message):
+    KIND = "PING"
+    payload: int = 0
+
+
+def make_channel(kernel, config, delivered, metrics=None, seed=0):
+    return Channel(
+        kernel,
+        random.Random(seed),
+        config,
+        src=0,
+        dst=1,
+        deliver=lambda s, d, m: delivered.append((s, d, m)),
+        metrics=metrics,
+    )
+
+
+class TestChannel:
+    def test_delivers_within_delay_bounds(self):
+        kernel = Kernel()
+        delivered = []
+        channel = make_channel(
+            kernel, ChannelConfig(min_delay=1.0, max_delay=2.0), delivered
+        )
+        channel.send(Ping(payload=1))
+        kernel.run()
+        assert len(delivered) == 1
+        assert 1.0 <= kernel.now <= 2.0
+
+    def test_loss_drops_messages(self):
+        kernel = Kernel()
+        delivered = []
+        metrics = MetricsCollector()
+        channel = make_channel(
+            kernel,
+            ChannelConfig(loss_probability=0.5),
+            delivered,
+            metrics,
+            seed=1,
+        )
+        for i in range(200):
+            channel.send(Ping(payload=i))
+            kernel.run()
+        assert 0 < len(delivered) < 200
+        assert metrics.dropped_loss == 200 - len(delivered)
+
+    def test_duplication(self):
+        kernel = Kernel()
+        delivered = []
+        metrics = MetricsCollector()
+        channel = make_channel(
+            kernel,
+            ChannelConfig(duplication_probability=1.0),
+            delivered,
+            metrics,
+            seed=2,
+        )
+        channel.send(Ping(payload=7))
+        kernel.run()
+        assert len(delivered) == 2
+        assert metrics.duplicated == 1
+
+    def test_capacity_bound(self):
+        kernel = Kernel()
+        delivered = []
+        metrics = MetricsCollector()
+        channel = make_channel(
+            kernel, ChannelConfig(capacity=3), delivered, metrics
+        )
+        for i in range(10):
+            channel.send(Ping(payload=i))
+        assert channel.in_flight_count == 3
+        assert metrics.dropped_capacity == 7
+        kernel.run()
+        assert len(delivered) == 3
+
+    def test_reordering_occurs(self):
+        kernel = Kernel()
+        delivered = []
+        channel = make_channel(
+            kernel, ChannelConfig(min_delay=0.1, max_delay=10.0), delivered, seed=3
+        )
+        for i in range(20):
+            channel.send(Ping(payload=i))
+        kernel.run()
+        payloads = [m.payload for (_, _, m) in delivered]
+        assert sorted(payloads) == list(range(20))
+        assert payloads != list(range(20))  # some reordering with this seed
+
+    def test_blocked_channel_drops(self):
+        kernel = Kernel()
+        delivered = []
+        channel = make_channel(kernel, ChannelConfig(), delivered)
+        channel.blocked = True
+        channel.send(Ping())
+        kernel.run()
+        assert delivered == []
+
+    def test_corrupt_in_flight_replaces_and_deletes(self):
+        kernel = Kernel()
+        delivered = []
+        channel = make_channel(kernel, ChannelConfig(), delivered)
+        channel.send(Ping(payload=1))
+        channel.send(Ping(payload=2))
+        affected = channel.corrupt_in_flight(
+            lambda m: None if m.payload == 1 else Ping(payload=99)
+        )
+        assert affected == 2
+        kernel.run()
+        assert [m.payload for (_, _, m) in delivered] == [99]
+
+    def test_drop_all_in_flight(self):
+        kernel = Kernel()
+        delivered = []
+        channel = make_channel(kernel, ChannelConfig(), delivered)
+        channel.send(Ping())
+        assert channel.drop_all_in_flight() == 1
+        kernel.run()
+        assert delivered == []
+
+
+class EchoProcess(Process):
+    """Minimal process that records deliveries."""
+
+    def initialize_state(self):
+        self.received = []
+        self.register_handler(Ping.KIND, lambda s, m: self.received.append((s, m)))
+
+    def register_handler(self, kind, handler):
+        # allow re-registration across restarts in this test helper
+        self._handlers[kind] = handler
+
+
+class TestNetwork:
+    def make(self, n=3, **channel_kwargs):
+        kernel = Kernel(seed=5)
+        config = ClusterConfig(n=n, channel=ChannelConfig(**channel_kwargs))
+        network = Network(kernel, config)
+        processes = [EchoProcess(i, kernel, network, config) for i in range(n)]
+        return kernel, network, processes
+
+    def test_send_and_deliver(self):
+        kernel, network, processes = self.make()
+        network.send(0, 1, Ping(payload=42))
+        kernel.run()
+        assert processes[1].received[0][1].payload == 42
+
+    def test_loopback_not_counted(self):
+        kernel, network, processes = self.make()
+        network.send(0, 0, Ping())
+        kernel.run()
+        assert processes[0].received
+        assert network.metrics.snapshot().total_messages == 0
+
+    def test_network_counts_sends(self):
+        kernel, network, _ = self.make()
+        network.send(0, 1, Ping())
+        network.send(1, 2, Ping())
+        stats = network.metrics.snapshot()
+        assert stats.messages_by_kind == {"PING": 2}
+        assert stats.total_bytes > 0
+
+    def test_double_attach_rejected(self):
+        kernel, network, processes = self.make()
+        with pytest.raises(NetworkError):
+            network.attach(processes[0])
+
+    def test_unknown_channel_rejected(self):
+        kernel, network, _ = self.make()
+        with pytest.raises(NetworkError):
+            network.channel(0, 0)
+
+    def test_partition_blocks_cross_traffic(self):
+        kernel, network, processes = self.make(n=4)
+        network.partition({0, 1}, {2, 3})
+        network.send(0, 2, Ping(payload=1))
+        network.send(0, 1, Ping(payload=2))
+        kernel.run()
+        assert processes[2].received == []
+        assert processes[1].received[0][1].payload == 2
+        network.heal()
+        network.send(0, 2, Ping(payload=3))
+        kernel.run()
+        assert processes[2].received[0][1].payload == 3
+
+    def test_crashed_process_drops_deliveries(self):
+        kernel, network, processes = self.make()
+        processes[1].crash()
+        network.send(0, 1, Ping())
+        kernel.run()
+        assert processes[1].received == []
+        processes[1].resume()
+        network.send(0, 1, Ping())
+        kernel.run()
+        assert len(processes[1].received) == 1
+
+    def test_crashed_process_cannot_send(self):
+        kernel, network, processes = self.make()
+        processes[0].crash()
+        processes[0].send(1, Ping())
+        kernel.run()
+        assert processes[1].received == []
+
+    def test_detectable_restart_reinitializes(self):
+        kernel, network, processes = self.make()
+        network.send(0, 1, Ping())
+        kernel.run()
+        assert processes[1].received
+        processes[1].crash()
+        processes[1].resume(restart=True)
+        assert processes[1].received == []

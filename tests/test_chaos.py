@@ -1,0 +1,40 @@
+"""Tests for the chaos campaign harness."""
+
+import pytest
+
+from repro.harness.chaos import ChaosCampaign
+
+
+class TestChaosCampaign:
+    @pytest.mark.parametrize("seed", [0, 1, 7])
+    def test_campaign_passes_all_checks(self, seed):
+        report = ChaosCampaign(seed=seed).run(events=80)
+        assert report.ok, report.failures[:3]
+        assert report.events == 80
+        assert report.writes > 0
+        assert report.snapshots > 0
+        assert report.linearizability_checks >= 1
+
+    def test_campaign_exercises_faults(self):
+        report = ChaosCampaign(seed=3).run(events=150)
+        assert report.ok, report.failures[:3]
+        assert report.crashes >= 1
+        assert report.partitions >= 1
+        assert report.corruptions >= 1
+
+    def test_reproducible(self):
+        first = ChaosCampaign(seed=11).run(events=60)
+        second = ChaosCampaign(seed=11).run(events=60)
+        assert first.summary() == second.summary()
+
+    def test_nonblocking_algorithm_campaign(self):
+        report = ChaosCampaign(
+            algorithm="ss-nonblocking", seed=5
+        ).run(events=80)
+        assert report.ok, report.failures[:3]
+
+    def test_cli_chaos(self, capsys):
+        from repro.__main__ import main
+
+        assert main(["chaos", "40", "2"]) == 0
+        assert "events" in capsys.readouterr().out

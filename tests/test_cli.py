@@ -1,0 +1,66 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+from repro.__main__ import main
+
+
+class TestCli:
+    def test_help(self, capsys):
+        assert main([]) == 0
+        assert "experiments" in capsys.readouterr().out
+
+    def test_help_flag(self, capsys):
+        assert main(["--help"]) == 0
+        assert "figures" in capsys.readouterr().out
+
+    def test_unknown_command(self, capsys):
+        assert main(["frobnicate"]) == 2
+        assert "unknown command" in capsys.readouterr().out
+
+    def test_algorithms_lists_registry(self, capsys):
+        assert main(["algorithms"]) == 0
+        out = capsys.readouterr().out
+        for name in (
+            "dgfr-nonblocking",
+            "ss-nonblocking",
+            "dgfr-always",
+            "ss-always",
+            "stacked",
+            "bounded-ss-nonblocking",
+            "bounded-ss-always",
+        ):
+            assert name in out
+
+    def test_experiments_subset(self, capsys):
+        assert main(["experiments", "e01"]) == 0
+        out = capsys.readouterr().out
+        assert "E1" in out
+        assert "write_msgs" in out
+
+    def test_experiments_unknown_id(self, capsys):
+        assert main(["experiments", "e99"]) == 2
+
+    def test_figures_single(self, capsys):
+        assert main(["figures", "fig1-upper"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 1 (upper)" in out
+        assert "WRITE" in out
+
+    def test_figures_unknown(self, capsys):
+        assert main(["figures", "fig99"]) == 2
+
+    def test_demo_runs(self, capsys):
+        assert main(["demo"]) == 0
+        out = capsys.readouterr().out
+        assert "consistent after 6 cycles: True" in out
+        assert "recovered" in out
+
+
+class TestVerifyCommand:
+    def test_verify_default_algorithms(self, capsys):
+        assert main(["verify"]) == 0
+        out = capsys.readouterr().out
+        assert "ss-nonblocking" in out
+        assert "all schedules OK" in out
+
+    def test_verify_single_algorithm(self, capsys):
+        assert main(["verify", "dgfr-nonblocking"]) == 0

@@ -1,0 +1,120 @@
+"""Tests for the binary wire codec (round-trips, malformed input)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.base import WriteAckMessage, WriteMessage
+from repro.core.dgfr_nonblocking import SnapshotAckMessage, SnapshotMessage
+from repro.core.register import RegisterArray, TimestampedValue
+from repro.core.ss_always import (
+    GossipMessage3,
+    SaveAckMessage,
+    SaveMessage,
+    SnapshotMessage3,
+    TaskDescriptor,
+)
+from repro.core.ss_nonblocking import GossipMessage
+from repro.net.codec import CodecError, decode_message, encode_message
+from repro.stabilization.reset import EpochEnvelope, ResetCommitMessage
+
+
+def reg(*entries):
+    return RegisterArray(
+        [TimestampedValue(ts, value) for ts, value in entries]
+    )
+
+
+ROUND_TRIP_CASES = [
+    WriteMessage(reg=reg((1, b"a"), (0, None))),
+    WriteAckMessage(reg=reg((3, "text"), (2, 42))),
+    SnapshotMessage(reg=reg((0, None), (0, None)), ssn=7),
+    SnapshotAckMessage(reg=reg((5, b"\x00\xff"), (1, "x")), ssn=123456789),
+    GossipMessage(entry=TimestampedValue(9, b"payload")),
+    GossipMessage3(entry=TimestampedValue(2, None), task_sns=4),
+    SnapshotMessage3(
+        tasks=(
+            TaskDescriptor(0, 1, (1, 2, 3)),
+            TaskDescriptor(2, 5, None),
+        ),
+        reg=reg((1, "v"), (0, None), (2, "w")),
+        ssn=3,
+    ),
+    SaveMessage(entries=((1, 2, reg((1, "r"), (0, None))),)),
+    SaveAckMessage(ids=frozenset({(1, 2), (3, 4)})),
+    EpochEnvelope(epoch=5, inner=WriteMessage(reg=reg((1, "inner")))),
+    ResetCommitMessage(new_epoch=2, values=reg((0, "kept"), (0, None))),
+]
+
+
+class TestRoundTrips:
+    @pytest.mark.parametrize(
+        "message", ROUND_TRIP_CASES, ids=lambda m: type(m).__name__
+    )
+    def test_known_messages_round_trip(self, message):
+        assert decode_message(encode_message(message)) == message
+
+    def test_nested_envelope_round_trips(self):
+        inner = SnapshotMessage(reg=reg((1, b"x")), ssn=2)
+        outer = EpochEnvelope(epoch=9, inner=EpochEnvelope(epoch=9, inner=inner))
+        assert decode_message(encode_message(outer)) == outer
+
+    @given(
+        ts=st.integers(min_value=0, max_value=2**70),
+        value=st.one_of(
+            st.none(),
+            st.booleans(),
+            st.integers(min_value=-(2**64), max_value=2**64),
+            st.binary(max_size=64),
+            st.text(max_size=32),
+            st.floats(allow_nan=False),
+            st.tuples(st.integers(), st.text(max_size=8)),
+        ),
+        ssn=st.integers(min_value=0, max_value=2**63),
+    )
+    @settings(max_examples=120, deadline=None)
+    def test_property_round_trip(self, ts, value, ssn):
+        message = SnapshotAckMessage(
+            reg=RegisterArray([TimestampedValue(ts, value)]), ssn=ssn
+        )
+        assert decode_message(encode_message(message)) == message
+
+
+class TestMalformedInput:
+    def test_truncated(self):
+        data = encode_message(WriteMessage(reg=reg((1, "x"))))
+        with pytest.raises(CodecError):
+            decode_message(data[:-3])
+
+    def test_trailing_garbage(self):
+        data = encode_message(WriteMessage(reg=reg((1, "x"))))
+        with pytest.raises(CodecError):
+            decode_message(data + b"junk")
+
+    def test_unknown_tag(self):
+        with pytest.raises(CodecError):
+            decode_message(b"Qxxxx")
+
+    def test_unknown_message_type(self):
+        data = bytearray(b"M")
+        name = b"NoSuchMessage"
+        import struct
+
+        data += struct.pack(">I", len(name)) + name + struct.pack(">I", 0)
+        with pytest.raises(CodecError):
+            decode_message(bytes(data))
+
+    def test_non_message_top_level(self):
+        import struct
+
+        payload = b"i" + struct.pack(">I", 1) + b"5"
+        with pytest.raises(CodecError):
+            decode_message(payload)
+
+    def test_unencodable_value(self):
+        with pytest.raises(CodecError):
+            encode_message(WriteMessage(reg=reg((1, object()))))
+
+    def test_empty_input(self):
+        with pytest.raises(CodecError):
+            decode_message(b"")

@@ -1,0 +1,75 @@
+"""Unit tests for configuration validation."""
+
+import math
+
+import pytest
+
+from repro.config import UNBOUNDED_DELTA, ChannelConfig, ClusterConfig
+from repro.errors import ConfigurationError
+
+
+class TestChannelConfig:
+    def test_defaults_are_valid(self):
+        config = ChannelConfig()
+        assert config.loss_probability == 0.0
+        assert config.capacity >= 1
+
+    def test_delay_bounds_validated(self):
+        with pytest.raises(ConfigurationError):
+            ChannelConfig(min_delay=2.0, max_delay=1.0)
+        with pytest.raises(ConfigurationError):
+            ChannelConfig(min_delay=-1.0)
+
+    def test_loss_probability_range(self):
+        with pytest.raises(ConfigurationError):
+            ChannelConfig(loss_probability=1.0)
+        with pytest.raises(ConfigurationError):
+            ChannelConfig(loss_probability=-0.1)
+        ChannelConfig(loss_probability=0.99)  # ok
+
+    def test_duplication_probability_range(self):
+        with pytest.raises(ConfigurationError):
+            ChannelConfig(duplication_probability=1.5)
+
+    def test_capacity_positive(self):
+        with pytest.raises(ConfigurationError):
+            ChannelConfig(capacity=0)
+
+    def test_reliable_strips_failures(self):
+        lossy = ChannelConfig(loss_probability=0.5, duplication_probability=0.5)
+        clean = lossy.reliable()
+        assert clean.loss_probability == 0.0
+        assert clean.duplication_probability == 0.0
+        assert clean.min_delay == lossy.min_delay
+
+
+class TestClusterConfig:
+    def test_majority(self):
+        assert ClusterConfig(n=5).majority == 3
+        assert ClusterConfig(n=6).majority == 4
+        assert ClusterConfig(n=2).majority == 2
+
+    def test_max_crash_faults(self):
+        assert ClusterConfig(n=5).max_crash_faults == 2
+        assert ClusterConfig(n=6).max_crash_faults == 2
+        assert ClusterConfig(n=7).max_crash_faults == 3
+
+    def test_minimum_size(self):
+        with pytest.raises(ConfigurationError):
+            ClusterConfig(n=1)
+
+    def test_intervals_positive(self):
+        with pytest.raises(ConfigurationError):
+            ClusterConfig(retransmit_interval=0)
+        with pytest.raises(ConfigurationError):
+            ClusterConfig(gossip_interval=-1)
+
+    def test_delta_non_negative(self):
+        with pytest.raises(ConfigurationError):
+            ClusterConfig(delta=-1)
+        assert math.isinf(ClusterConfig(delta=UNBOUNDED_DELTA).delta)
+
+    def test_frozen(self):
+        config = ClusterConfig()
+        with pytest.raises(AttributeError):
+            config.n = 10  # type: ignore[misc]

@@ -1,0 +1,27 @@
+"""Tests for the logging integration."""
+
+import logging
+
+from repro import ClusterConfig, SnapshotCluster
+from repro.debuglog import attach_debug_logging
+
+
+def test_logs_network_events_and_cycles(caplog):
+    cluster = SnapshotCluster("ss-nonblocking", ClusterConfig(n=3, seed=0))
+    detach = attach_debug_logging(cluster)
+    with caplog.at_level(logging.DEBUG):
+        cluster.write_sync(0, b"x")
+        cluster.run_until(cluster.settle_cycles(1))
+    text = "\n".join(record.getMessage() for record in caplog.records)
+    assert "WRITE" in text
+    assert "cycle 1 complete" in text
+
+
+def test_detach_stops_network_logging(caplog):
+    cluster = SnapshotCluster("ss-nonblocking", ClusterConfig(n=3, seed=0))
+    detach = attach_debug_logging(cluster)
+    detach()
+    detach()  # idempotent
+    with caplog.at_level(logging.DEBUG, logger="repro.net"):
+        cluster.write_sync(0, b"x")
+    assert not any("WRITE" in message for message in caplog.messages)

@@ -1,0 +1,181 @@
+"""Fast regression tests for the experiment harness itself.
+
+The benchmarks assert the paper's claims at full scale; these tests run
+each experiment at reduced scale and validate row structure plus the
+core qualitative shapes, so a harness regression is caught in the unit
+suite, not only at benchmark time.
+"""
+
+import math
+
+from repro.config import UNBOUNDED_DELTA
+from repro.harness.costs import (
+    e01_nonblocking_op_costs,
+    e02_gossip_overhead,
+    e03_stacking_comparison,
+    e04_always_terminating_costs,
+    e05_delta_snapshot_costs,
+    e06_concurrent_snapshots,
+    e15_message_sizes,
+)
+from repro.harness.experiments import EXPERIMENTS, run_experiment
+from repro.harness.faults import e13_crash_tolerance
+from repro.harness.latency import e09_delta_latency, e11_writes_between_blocks
+from repro.harness.recovery import (
+    e07_recovery_nonblocking,
+    e08_recovery_always,
+    e14_bounded_reset,
+)
+from repro.harness.report import format_table, print_table
+
+
+class TestCostExperiments:
+    def test_e01_matches_theory(self):
+        rows = e01_nonblocking_op_costs(n_values=(3, 5))
+        for row in rows:
+            assert row["write_msgs"] == 2 * (row["n"] - 1)
+            assert row["snapshot_rtts"] == 1
+
+    def test_e02_gossip_quadratic(self):
+        rows = e02_gossip_overhead(n_values=(3, 6), cycles=3)
+        small, large = rows
+        assert large["gossip_msgs_per_cycle"] > 3 * small["gossip_msgs_per_cycle"]
+
+    def test_e03_ratio_four(self):
+        rows = e03_stacking_comparison(n_values=(4,))
+        assert rows[0]["ratio"] == 4.0
+
+    def test_e04_superlinear(self):
+        rows = e04_always_terminating_costs(n_values=(4, 8))
+        assert rows[1]["total_msgs"] > 3 * rows[0]["total_msgs"]
+
+    def test_e05_delta_ordering(self):
+        rows = e05_delta_snapshot_costs(n_values=(5,))
+        row = rows[0]
+        assert row["dinf_msgs"] <= row["d4_msgs"] <= row["d0_msgs"]
+        assert row["d0_msgs"] < row["alg2_msgs"]
+
+    def test_e06_alg3_cheaper(self):
+        rows = e06_concurrent_snapshots(n_values=(4,))
+        assert rows[0]["alg3_msgs"] < rows[0]["alg2_msgs"]
+
+    def test_e15_gossip_size_independent_of_n(self):
+        rows = e15_message_sizes(nu_values=(64,), n_values=(4, 8))
+        assert rows[0]["gossip_msg_bytes"] == rows[1]["gossip_msg_bytes"]
+        assert rows[1]["write_msg_bytes"] > rows[0]["write_msg_bytes"]
+
+
+class TestRecoveryExperiments:
+    def test_e07_small_constants(self):
+        rows = e07_recovery_nonblocking(n_values=(4,))
+        for key, value in rows[0].items():
+            if key != "n":
+                assert isinstance(value, int) and value <= 6
+
+    def test_e08_small_constants(self):
+        rows = e08_recovery_always(n_values=(4,))
+        for key, value in rows[0].items():
+            if key != "n":
+                assert isinstance(value, int) and value <= 6
+
+    def test_e14_resets_and_survival(self):
+        rows = e14_bounded_reset(max_int=8, rounds=12)
+        row = rows[0]
+        assert row["resets"] >= 1
+        assert row["values_survive"] and row["epochs_agree"]
+
+
+class TestLatencyExperiments:
+    def test_e09_all_terminate(self):
+        rows = e09_delta_latency(deltas=(0, 4))
+        assert all(row["latency_cycles"] <= 12 for row in rows)
+
+    def test_e11_gaps_at_least_delta(self):
+        rows = e11_writes_between_blocks(delta=4, snapshots=3)
+        assert rows
+        assert all(row["claim_met"] for row in rows)
+
+    def test_e13_threshold(self):
+        rows = e13_crash_tolerance(algorithms=("ss-nonblocking",), n=5)
+        for row in rows:
+            assert row["ops_terminate"] == row["majority_alive"]
+            assert row["history_safe"]
+
+
+class TestRegistryAndReport:
+    def test_registry_complete(self):
+        assert set(EXPERIMENTS) == {f"e{i:02d}" for i in range(1, 16)}
+
+    def test_run_experiment_by_id(self):
+        rows = run_experiment("e01")
+        assert rows and "write_msgs" in rows[0]
+
+    def test_format_table_basic(self):
+        table = format_table(
+            [{"a": 1, "b": "x"}, {"a": 22, "b": float("inf")}], title="T"
+        )
+        assert "T" in table
+        assert "22" in table
+        assert "∞" in table
+
+    def test_format_table_empty(self):
+        assert "(no rows)" in format_table([], title="empty")
+
+    def test_format_table_nan_and_none(self):
+        table = format_table([{"a": float("nan"), "b": None}])
+        assert table.count("—") == 2
+
+    def test_print_table(self, capsys):
+        print_table([{"x": 1}], title="P")
+        out = capsys.readouterr().out
+        assert "P" in out and "1" in out
+
+    def test_unbounded_delta_renders(self):
+        table = format_table([{"delta": UNBOUNDED_DELTA}])
+        assert "∞" in table
+        assert math.isinf(UNBOUNDED_DELTA)
+
+
+class TestBarChart:
+    def test_scales_to_peak(self):
+        from repro.harness.report import format_bar_chart
+
+        chart = format_bar_chart(
+            [{"x": "a", "y": 10}, {"x": "b", "y": 5}],
+            "x",
+            "y",
+            width=10,
+            title="T",
+        )
+        lines = chart.splitlines()
+        assert lines[0] == "T"
+        assert lines[1].count("█") == 10
+        assert lines[2].count("█") == 5
+
+    def test_infinite_bar(self):
+        from repro.harness.report import format_bar_chart
+
+        chart = format_bar_chart(
+            [{"x": "inf", "y": float("inf")}, {"x": "one", "y": 1}],
+            "x",
+            "y",
+            width=8,
+        )
+        assert "∞" in chart
+        assert chart.splitlines()[0].count("█") == 8
+
+    def test_empty(self):
+        from repro.harness.report import format_bar_chart
+
+        assert "(no rows)" in format_bar_chart([], "x", "y")
+
+    def test_non_numeric_rendered_as_dash(self):
+        from repro.harness.report import format_bar_chart
+
+        chart = format_bar_chart([{"x": "a", "y": "oops"}], "x", "y")
+        assert "—" in chart
+
+    def test_ablations_registry_complete(self):
+        from repro.harness.ablations import ABLATIONS
+
+        assert set(ABLATIONS) == {"a1", "a2", "a3", "a4", "a5"}

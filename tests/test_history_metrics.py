@@ -1,0 +1,172 @@
+"""Unit tests for history recording, metrics, and message sizing."""
+
+import pytest
+
+from repro.analysis.history import SNAPSHOT, WRITE, HistoryRecorder
+from repro.analysis.metrics import MetricsCollector
+from repro.core.base import SnapshotResult, WriteMessage
+from repro.core.register import RegisterArray, TimestampedValue
+from repro.errors import HistoryError
+from repro.net.message import HEADER_BYTES, INT_BYTES, measure_size
+
+
+class TestHistoryRecorder:
+    def test_invoke_respond_roundtrip(self):
+        history = HistoryRecorder()
+        op = history.invoke(0, WRITE, b"v", now=1.0)
+        history.respond(op, result=1, now=2.0)
+        record = history.records()[0]
+        assert record.completed
+        assert record.invoked_at == 1.0
+        assert record.responded_at == 2.0
+        assert record.result == 1
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(HistoryError):
+            HistoryRecorder().invoke(0, "read")
+
+    def test_respond_unknown_op(self):
+        with pytest.raises(HistoryError):
+            HistoryRecorder().respond(99)
+
+    def test_double_respond_rejected(self):
+        history = HistoryRecorder()
+        op = history.invoke(0, WRITE)
+        history.respond(op)
+        with pytest.raises(HistoryError):
+            history.respond(op)
+
+    def test_annotate(self):
+        history = HistoryRecorder()
+        op = history.invoke(0, SNAPSHOT)
+        history.annotate(op, rounds=2)
+        assert history.records()[0].meta["rounds"] == 2
+        with pytest.raises(HistoryError):
+            history.annotate(123, x=1)
+
+    def test_filters(self):
+        history = HistoryRecorder()
+        w = history.invoke(0, WRITE, b"v")
+        history.invoke(1, SNAPSHOT)
+        history.respond(w, result=1)
+        assert len(history.writes()) == 1
+        assert len(history.snapshots()) == 1
+        assert len(history.writes(completed_only=True)) == 1
+        assert len(history.snapshots(completed_only=True)) == 0
+        assert len(history.pending()) == 1
+        assert len(history) == 2
+
+    def test_precedes(self):
+        history = HistoryRecorder()
+        a = history.invoke(0, WRITE, now=0.0)
+        history.respond(a, now=1.0)
+        b = history.invoke(1, WRITE, now=2.0)
+        history.respond(b, now=3.0)
+        records = history.records()
+        assert records[0].precedes(records[1])
+        assert not records[1].precedes(records[0])
+
+    def test_well_formedness_catches_overlap(self):
+        history = HistoryRecorder()
+        a = history.invoke(0, WRITE, now=0.0)
+        history.invoke(0, WRITE, now=1.0)  # overlaps with a
+        history.respond(a, now=2.0)
+        with pytest.raises(HistoryError):
+            history.validate_well_formed()
+
+    def test_well_formedness_accepts_sequential(self):
+        history = HistoryRecorder()
+        a = history.invoke(0, WRITE, now=0.0)
+        history.respond(a, now=1.0)
+        b = history.invoke(0, SNAPSHOT, now=2.0)
+        history.respond(b, now=3.0)
+        history.validate_well_formed()
+
+
+class TestMetricsCollector:
+    def test_record_and_snapshot(self):
+        metrics = MetricsCollector()
+        metrics.record_send(0, 1, "WRITE", 100)
+        metrics.record_send(0, 2, "WRITE", 100)
+        metrics.record_send(1, 0, "GOSSIP", 10)
+        stats = metrics.snapshot()
+        assert stats.total_messages == 3
+        assert stats.messages("WRITE") == 2
+        assert stats.bytes_for("GOSSIP") == 10
+        assert stats.total_bytes == 210
+
+    def test_window_measures_delta(self):
+        metrics = MetricsCollector()
+        metrics.record_send(0, 1, "WRITE", 50)
+        with metrics.window() as window:
+            metrics.record_send(0, 1, "SNAPSHOT", 70)
+            metrics.record_send(0, 1, "SNAPSHOT", 70)
+        assert window.stats.messages("SNAPSHOT") == 2
+        assert window.stats.messages("WRITE") == 0
+        assert window.stats.total_bytes == 140
+
+    def test_per_sender_counts(self):
+        metrics = MetricsCollector()
+        metrics.record_send(3, 1, "WRITE", 10)
+        metrics.record_send(3, 2, "GOSSIP", 10)
+        assert metrics.sender_messages(3) == 2
+        assert metrics.sender_messages(3, "WRITE") == 1
+        assert metrics.sender_messages(1) == 0
+
+    def test_failure_counters(self):
+        metrics = MetricsCollector()
+        metrics.record_loss()
+        metrics.record_capacity_drop()
+        metrics.record_duplication()
+        stats = metrics.snapshot()
+        assert (stats.dropped_loss, stats.dropped_capacity, stats.duplicated) == (
+            1,
+            1,
+            1,
+        )
+
+
+class TestMessageSizing:
+    def test_primitives(self):
+        assert measure_size(None) == 1
+        assert measure_size(True) == 1
+        assert measure_size(7) == INT_BYTES
+        assert measure_size(1.5) == 8
+        assert measure_size(b"abcd") == 4
+        assert measure_size("héllo") == len("héllo".encode())
+
+    def test_register_types(self):
+        entry = TimestampedValue(1, b"xy")
+        assert measure_size(entry) == INT_BYTES + 2
+        reg = RegisterArray([entry, TimestampedValue(0, None)])
+        assert measure_size(reg) == (INT_BYTES + 2) + (INT_BYTES + 1)
+
+    def test_containers(self):
+        assert measure_size([1, 2]) == 2 * INT_BYTES
+        assert measure_size({1: b"ab"}) == INT_BYTES + 2
+
+    def test_message_wire_size_includes_header(self):
+        reg = RegisterArray(3)
+        message = WriteMessage(reg=reg)
+        assert message.wire_size() == HEADER_BYTES + measure_size(reg)
+        assert message.kind == "WRITE"
+
+    def test_gossip_smaller_than_write_payload(self):
+        """The O(ν) vs O(n·ν) contrast the paper claims (Contribution 1)."""
+        from repro.core.ss_nonblocking import GossipMessage
+
+        n, nu = 10, 64
+        reg = RegisterArray(
+            [TimestampedValue(1, bytes(nu)) for _ in range(n)]
+        )
+        write = WriteMessage(reg=reg)
+        gossip = GossipMessage(entry=reg[0])
+        assert gossip.wire_size() < write.wire_size() / (n / 2)
+
+    def test_snapshot_result(self):
+        reg = RegisterArray(2)
+        reg[0] = TimestampedValue(3, "x")
+        result = SnapshotResult.from_registers(reg)
+        assert result.values == ("x", None)
+        assert result.vector_clock == (3, 0)
+        assert len(result) == 2

@@ -1,0 +1,138 @@
+"""Unit tests for the Process base class (node substrate)."""
+
+from dataclasses import dataclass
+
+import pytest
+
+from repro.config import ClusterConfig
+from repro.errors import SimulationError
+from repro.net.message import Message
+from repro.net.network import Network
+from repro.net.node import Process
+from repro.net.quorum import AckCollector
+from repro.sim.kernel import Kernel
+
+
+@dataclass(frozen=True)
+class Tick(Message):
+    KIND = "TICK"
+    value: int = 0
+
+
+class CountingProcess(Process):
+    def initialize_state(self):
+        self.ticks = []
+        self.init_count = getattr(self, "init_count", 0) + 1
+        self._handlers = {}
+        self.register_handler(Tick.KIND, lambda s, m: self.ticks.append(m.value))
+
+
+def make(n=3):
+    kernel = Kernel(seed=0)
+    config = ClusterConfig(n=n, gossip_interval=1.0)
+    network = Network(kernel, config)
+    processes = [CountingProcess(i, kernel, network, config) for i in range(n)]
+    return kernel, network, processes
+
+
+class TestHandlers:
+    def test_duplicate_handler_rejected(self):
+        kernel, network, processes = make()
+        with pytest.raises(SimulationError):
+            processes[0].register_handler(Tick.KIND, lambda s, m: None)
+
+    def test_unknown_kind_silently_ignored(self):
+        kernel, network, processes = make()
+
+        @dataclass(frozen=True)
+        class Mystery(Message):
+            KIND = "MYSTERY"
+
+        processes[0].deliver(1, Mystery())  # no handler: dropped
+
+    def test_ack_sink_add_remove(self):
+        kernel, network, processes = make()
+        node = processes[0]
+        collector = AckCollector(node, Tick.KIND, 1)
+        node.add_ack_sink(Tick.KIND, collector)
+        node.deliver(1, Tick(value=5))
+        assert collector.satisfied
+        node.remove_ack_sink(Tick.KIND, collector)
+        node.remove_ack_sink(Tick.KIND, collector)  # idempotent
+        node.remove_ack_sink("OTHER", collector)  # unknown kind: no-op
+
+
+class TestBroadcast:
+    def test_broadcast_includes_self_by_default(self):
+        kernel, network, processes = make()
+        processes[0].broadcast(Tick(value=1))
+        kernel.run()
+        assert processes[0].ticks == [1]
+        assert processes[1].ticks == [1]
+
+    def test_broadcast_exclude_self(self):
+        kernel, network, processes = make()
+        processes[0].broadcast(Tick(value=2), include_self=False)
+        kernel.run()
+        assert processes[0].ticks == []
+        assert processes[1].ticks == [2]
+
+    def test_peers(self):
+        kernel, network, processes = make()
+        assert processes[1].peers() == [0, 2]
+
+
+class TestLifecycle:
+    def test_double_start_rejected(self):
+        kernel, network, processes = make()
+        processes[0].start()
+        with pytest.raises(SimulationError):
+            processes[0].start()
+
+    def test_stop_then_start_allowed(self):
+        kernel, network, processes = make()
+        processes[0].start()
+        processes[0].stop()
+        processes[0].start()
+
+    def test_iteration_listener_called(self):
+        kernel, network, processes = make()
+        seen = []
+        processes[0].add_iteration_listener(seen.append)
+        processes[0].start()
+        kernel.run(until_time=3.5)
+        assert seen == [0, 0, 0, 0]
+        assert processes[0].iterations_completed == 4
+
+    def test_crashed_loop_pauses_and_resumes(self):
+        kernel, network, processes = make()
+        processes[0].start()
+        kernel.run(until_time=2.5)
+        iterations_before = processes[0].iterations_completed
+        processes[0].crash()
+        kernel.run(until_time=10.0)
+        assert processes[0].iterations_completed <= iterations_before + 1
+        processes[0].resume()
+        kernel.run(until_time=15.0)
+        assert processes[0].iterations_completed > iterations_before + 1
+
+    def test_detectable_restart_reinitializes_state(self):
+        kernel, network, processes = make()
+        node = processes[0]
+        node.deliver(1, Tick(value=9))
+        assert node.ticks == [9]
+        node.crash()
+        node.resume(restart=True)
+        assert node.ticks == []
+        assert node.init_count == 2
+
+    def test_repr_shows_status(self):
+        kernel, network, processes = make()
+        assert "p0" in repr(processes[0])
+        assert "up" in repr(processes[0])
+        processes[0].crash()
+        assert "crashed" in repr(processes[0])
+
+    def test_majority_property(self):
+        kernel, network, processes = make()
+        assert processes[0].majority == 2

@@ -1,0 +1,110 @@
+"""Why majority quorums: experiments with the quorum_size override.
+
+The paper requires ``2f < n`` so that any two quorums intersect.  These
+tests demonstrate both directions: with sub-majority quorums the
+intersection property fails and the object observably loses writes;
+with super-majority quorums safety holds but crash tolerance shrinks.
+"""
+
+import pytest
+
+from repro import ChannelConfig, ClusterConfig, SnapshotCluster
+from repro.analysis.linearizability import check_snapshot_history
+from repro.errors import ConfigurationError
+
+
+class TestConfigValidation:
+    def test_quorum_size_bounds(self):
+        with pytest.raises(ConfigurationError):
+            ClusterConfig(n=4, quorum_size=0)
+        with pytest.raises(ConfigurationError):
+            ClusterConfig(n=4, quorum_size=5)
+
+    def test_default_is_majority(self):
+        assert ClusterConfig(n=5).majority == 3
+        assert ClusterConfig(n=5, quorum_size=4).majority == 4
+
+
+class TestSubMajorityQuorumsBreakSafety:
+    def test_non_intersecting_quorums_lose_a_write(self):
+        """quorum_size=2 with n=5: a write acknowledged by {0,1} and a
+        snapshot served by {4,3} never meet — the snapshot misses the
+        completed write and the checker flags the violation."""
+        channel = ChannelConfig(min_delay=1.0, max_delay=1.0)
+        cluster = SnapshotCluster(
+            "dgfr-nonblocking",
+            ClusterConfig(n=5, seed=0, quorum_size=2, channel=channel),
+            start=False,
+        )
+        # Sever node 0 from nodes 2,3,4: its write can still complete
+        # via the tiny quorum {0,1}.
+        for dst in (2, 3, 4):
+            cluster.network.channel(0, dst).blocked = True
+            cluster.network.channel(dst, 0).blocked = True
+        # And keep node 1 (the only informed peer) away from node 4's
+        # snapshot quorum.
+        cluster.network.channel(1, 4).blocked = True
+
+        async def scenario():
+            await cluster.write(0, "acknowledged")
+            await cluster.kernel.sleep(0.5)
+            return await cluster.snapshot(4)
+
+        result = cluster.run_until(scenario(), max_events=None)
+        assert result.values[0] is None  # the completed write is invisible
+        report = check_snapshot_history(cluster.history.records(), 5)
+        assert not report.ok
+        assert "misses write" in report.summary()
+
+    def test_majority_quorums_survive_identical_adversity(self):
+        """The same partition with proper majorities: the write cannot
+        complete on the isolated side, so safety is never at risk."""
+        channel = ChannelConfig(min_delay=1.0, max_delay=1.0)
+        cluster = SnapshotCluster(
+            "dgfr-nonblocking",
+            ClusterConfig(n=5, seed=0, channel=channel),
+            start=False,
+        )
+        for dst in (2, 3, 4):
+            cluster.network.channel(0, dst).blocked = True
+            cluster.network.channel(dst, 0).blocked = True
+        cluster.network.channel(1, 4).blocked = True
+
+        async def scenario():
+            write_task = cluster.spawn(cluster.write(0, "pending"))
+            await cluster.kernel.sleep(40.0)
+            # {0,1} is not a majority: the write is still retrying.
+            assert not write_task.done()
+            snap = await cluster.snapshot(4)
+            write_task.cancel()
+            return snap
+
+        result = cluster.run_until(scenario(), max_events=None)
+        # Whatever the snapshot shows is consistent: the write never
+        # completed, so seeing or missing it are both linearizable.
+        report = check_snapshot_history(cluster.history.records(), 5)
+        assert report.ok, report.summary()
+
+
+class TestSuperMajorityQuorums:
+    def test_full_quorum_blocks_on_single_crash(self):
+        cluster = SnapshotCluster(
+            "dgfr-nonblocking", ClusterConfig(n=4, seed=1, quorum_size=4)
+        )
+        cluster.write_sync(0, "all-alive")  # works with everyone up
+        cluster.crash(3)
+        with pytest.raises(TimeoutError):
+            cluster.run_until(
+                cluster.kernel.wait_for(cluster.write(0, "stuck"), 100.0),
+                max_events=None,
+            )
+
+    def test_super_majority_still_linearizable(self):
+        cluster = SnapshotCluster(
+            "ss-nonblocking", ClusterConfig(n=5, seed=2, quorum_size=4)
+        )
+        for node in range(5):
+            cluster.write_sync(node, f"v{node}")
+        cluster.snapshot_sync(0)
+        report = check_snapshot_history(cluster.history.records(), 5)
+        assert report.ok, report.summary()

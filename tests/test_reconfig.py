@@ -1,0 +1,120 @@
+"""Tests for the reconfiguration (state-transfer) extension."""
+
+import pytest
+
+from repro import ClusterConfig, SnapshotCluster
+from repro.analysis.linearizability import check_snapshot_history
+from repro.errors import ConfigurationError
+from repro.reconfig import reconfigure
+
+
+def make(n=4, seed=0, algorithm="ss-nonblocking", **kwargs):
+    return SnapshotCluster(
+        algorithm, ClusterConfig(n=n, seed=seed, **kwargs)
+    )
+
+
+class TestReconfigure:
+    def test_grow_cluster_preserves_values_and_timestamps(self):
+        old = make(n=3)
+        old.write_sync(0, "a")
+        old.write_sync(0, "a2")
+        old.write_sync(1, "b")
+
+        async def run():
+            return await reconfigure(old, ClusterConfig(n=5, seed=1))
+
+        report = old.run_until(run(), max_events=None)
+        new = report.new_cluster
+        assert new.config.n == 5
+        assert report.carried_entries == 2
+        assert report.dropped == ()
+        result = new.kernel.run_until_complete(new.snapshot(4))
+        assert result.values[:3] == ("a2", "b", None)
+        assert result.vector_clock[:2] == (2, 1)
+
+    def test_writer_timestamp_sequence_continues(self):
+        old = make(n=3)
+        old.write_sync(0, "v1")
+        old.write_sync(0, "v2")
+
+        async def run():
+            return await reconfigure(old, ClusterConfig(n=4, seed=2))
+
+        new = old.run_until(run(), max_events=None).new_cluster
+        ts = new.kernel.run_until_complete(new.write(0, "v3"))
+        assert ts == 3  # continues, never reuses an index
+
+    def test_shrink_reports_dropped_writers(self):
+        old = make(n=5)
+        old.write_sync(0, "keep")
+        old.write_sync(4, "lost")
+
+        async def run():
+            return await reconfigure(old, ClusterConfig(n=3, seed=3))
+
+        report = old.run_until(run(), max_events=None)
+        assert report.dropped == (4,)
+        result = report.new_cluster.kernel.run_until_complete(
+            report.new_cluster.snapshot(0)
+        )
+        assert result.values[0] == "keep"
+
+    def test_algorithm_change_during_reconfiguration(self):
+        old = make(n=3, algorithm="ss-nonblocking")
+        old.write_sync(1, "carried")
+
+        async def run():
+            return await reconfigure(
+                old, ClusterConfig(n=3, seed=4, delta=1), algorithm="ss-always"
+            )
+
+        new = old.run_until(run(), max_events=None).new_cluster
+        from repro.core.ss_always import SelfStabilizingAlwaysTerminating
+
+        assert isinstance(new.node(0), SelfStabilizingAlwaysTerminating)
+        result = new.kernel.run_until_complete(new.snapshot(2))
+        assert result.values[1] == "carried"
+
+    def test_old_cluster_stopped_after_handoff(self):
+        old = make(n=3)
+
+        async def run():
+            return await reconfigure(old, ClusterConfig(n=3, seed=5))
+
+        new = old.run_until(run(), max_events=None).new_cluster
+        iterations = [p.iterations_completed for p in old.processes]
+        new.run_for(30.0)  # shared kernel: time advances for both
+        assert [p.iterations_completed for p in old.processes] == iterations
+
+    def test_crashed_collector_rejected(self):
+        old = make(n=4)
+        old.crash(0)
+
+        async def run():
+            return await reconfigure(
+                old, ClusterConfig(n=4, seed=6), collector_node=0
+            )
+
+        with pytest.raises(ConfigurationError):
+            old.run_until(run(), max_events=None)
+
+    def test_transfer_point_is_atomic_under_concurrent_writes(self):
+        """Writes concurrent with the handoff either fully transfer or
+        complete on the old configuration before it retires — the
+        transfer snapshot's atomicity guarantees no torn state."""
+        old = make(n=4, seed=7)
+
+        async def run():
+            for round_index in range(3):
+                await old.write(1, f"w{round_index}")
+            report = await reconfigure(old, ClusterConfig(n=4, seed=8))
+            return report
+
+        report = old.run_until(run(), max_events=None)
+        new = report.new_cluster
+        result = new.kernel.run_until_complete(new.snapshot(3))
+        assert result.values[1] == "w2"
+        # Old history remains linearizable through the handoff.
+        check = check_snapshot_history(old.history.records(), 4)
+        assert check.ok, check.summary()

@@ -1,0 +1,89 @@
+"""Tests for the localhost-UDP transport."""
+
+import asyncio
+
+import pytest
+
+from repro import ClusterConfig
+from repro.analysis.linearizability import check_snapshot_history
+from repro.errors import ConfigurationError
+from repro.runtime import UdpSnapshotCluster
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+class TestUdpCluster:
+    def test_direct_construction_rejected(self):
+        with pytest.raises(ConfigurationError):
+            UdpSnapshotCluster()
+
+    def test_unknown_algorithm_rejected(self):
+        async def main():
+            with pytest.raises(ConfigurationError):
+                await UdpSnapshotCluster.create("bogus")
+
+        run(main())
+
+    def test_write_snapshot_over_real_udp(self):
+        async def main():
+            cluster = await UdpSnapshotCluster.create(
+                "ss-nonblocking", ClusterConfig(n=4, seed=1), time_scale=0.002
+            )
+            try:
+                ts = await asyncio.wait_for(
+                    cluster.write(0, b"datagram"), timeout=10
+                )
+                assert ts == 1
+                result = await asyncio.wait_for(cluster.snapshot(1), timeout=10)
+                assert result.values[0] == b"datagram"
+                # Bytes really crossed sockets.
+                assert cluster.metrics.snapshot().total_messages > 0
+            finally:
+                await cluster.close()
+
+        run(main())
+
+    def test_concurrent_ops_linearizable_over_udp(self):
+        async def main():
+            cluster = await UdpSnapshotCluster.create(
+                "ss-always", ClusterConfig(n=4, seed=2, delta=1),
+                time_scale=0.002,
+            )
+            try:
+                await asyncio.wait_for(
+                    asyncio.gather(
+                        *(cluster.write(node, node) for node in range(4))
+                    ),
+                    timeout=20,
+                )
+                results = await asyncio.wait_for(
+                    asyncio.gather(
+                        *(cluster.snapshot(node) for node in range(4))
+                    ),
+                    timeout=20,
+                )
+                assert all(r.values == (0, 1, 2, 3) for r in results)
+                report = check_snapshot_history(cluster.history.records(), 4)
+                assert report.ok, report.summary()
+            finally:
+                await cluster.close()
+
+        run(main())
+
+    def test_crash_and_majority_over_udp(self):
+        async def main():
+            cluster = await UdpSnapshotCluster.create(
+                "ss-nonblocking", ClusterConfig(n=5, seed=3), time_scale=0.002
+            )
+            try:
+                cluster.crash(3)
+                cluster.crash(4)
+                await asyncio.wait_for(cluster.write(0, "udp-q"), timeout=15)
+                result = await asyncio.wait_for(cluster.snapshot(2), timeout=15)
+                assert result.values[0] == "udp-q"
+            finally:
+                await cluster.close()
+
+        run(main())

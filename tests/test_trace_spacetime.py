@@ -1,0 +1,131 @@
+"""Tests for message tracing, space-time rendering, and figure generation."""
+
+from repro import ClusterConfig, SnapshotCluster
+from repro.analysis.spacetime import render_spacetime
+from repro.analysis.trace import MessageTrace, TraceEvent
+from repro.harness.figures import FIGURES, render_figure
+
+
+def traced_cluster(algorithm="dgfr-nonblocking", n=3, seed=0):
+    cluster = SnapshotCluster(algorithm, ClusterConfig(n=n, seed=seed))
+    trace = MessageTrace(cluster.network)
+    return cluster, trace
+
+
+class TestMessageTrace:
+    def test_records_sends_and_deliveries(self):
+        cluster, trace = traced_cluster()
+        cluster.write_sync(0, "x")
+        assert len(trace.sends("WRITE")) == 2  # n-1 peers
+        assert len(trace.deliveries("WRITE")) >= 1
+        assert "WRITEack" in trace.kinds()
+
+    def test_loopback_not_traced(self):
+        cluster, trace = traced_cluster()
+        cluster.write_sync(0, "x")
+        assert all(e.src != e.dst for e in trace.events if e.event != "mark")
+
+    def test_marks_interleave_chronologically(self):
+        cluster, trace = traced_cluster()
+        trace.mark(0, "begin", cluster.kernel.now)
+        cluster.write_sync(0, "x")
+        trace.mark(0, "end", cluster.kernel.now)
+        ordered = list(trace)
+        assert ordered[0].kind == "begin"
+        assert ordered[-1].kind == "end"
+
+    def test_detach_stops_recording(self):
+        cluster, trace = traced_cluster()
+        cluster.write_sync(0, "x")
+        count = len(trace)
+        trace.detach()
+        cluster.write_sync(1, "y")
+        assert len(trace) == count
+
+    def test_between_window(self):
+        cluster, trace = traced_cluster()
+        cluster.write_sync(0, "x")
+        mid = cluster.kernel.now
+        cluster.write_sync(1, "y")
+        early = trace.between(0.0, mid)
+        assert len(early) < len(trace)
+        assert all(e.time <= mid for e in early.events)
+
+    def test_filtered(self):
+        cluster, trace = traced_cluster()
+        cluster.write_sync(0, "x")
+        only_acks = trace.filtered(lambda e: e.kind == "WRITEack")
+        assert only_acks.kinds() <= {"WRITEack"}
+
+
+class TestSpacetimeRendering:
+    def test_renders_arrows_and_labels(self):
+        trace = MessageTrace()
+        trace.events = [
+            TraceEvent("send", 1.0, 0, 2, "WRITE"),
+            TraceEvent("send", 2.0, 2, 0, "WRITEack"),
+        ]
+        diagram = render_spacetime(trace, n=3)
+        assert "●" in diagram and "▶" in diagram and "◀" in diagram
+        assert "WRITE" in diagram
+        assert "p0" in diagram and "p2" in diagram
+
+    def test_marks_render_as_brackets(self):
+        trace = MessageTrace()
+        trace.mark(1, "write(v)", 0.5)
+        diagram = render_spacetime(trace, n=3)
+        assert "[write(v)]" in diagram
+
+    def test_truncation_notes_elided_events(self):
+        trace = MessageTrace()
+        trace.events = [
+            TraceEvent("send", float(i), 0, 1, "GOSSIP") for i in range(100)
+        ]
+        diagram = render_spacetime(trace, n=2, max_rows=10)
+        assert "elided" in diagram
+        assert diagram.count("GOSSIP") <= 11
+
+    def test_deliveries_hidden_by_default(self):
+        trace = MessageTrace()
+        trace.events = [
+            TraceEvent("send", 1.0, 0, 1, "PING"),
+            TraceEvent("deliver", 2.0, 0, 1, "PING"),
+        ]
+        assert render_spacetime(trace, n=2).count("PING") == 1
+        assert (
+            render_spacetime(trace, n=2, include_deliveries=True).count("PING")
+            == 2
+        )
+
+    def test_title_included(self):
+        diagram = render_spacetime(MessageTrace(), n=2, title="My Figure")
+        assert diagram.startswith("My Figure")
+
+
+class TestPaperFigures:
+    def test_all_figures_render(self):
+        for name in FIGURES:
+            diagram = render_figure(name)
+            assert "time" in diagram
+            assert "●" in diagram
+
+    def test_fig1_upper_shows_three_operations(self):
+        diagram = render_figure("fig1-upper")
+        assert diagram.count("[write(v1)]") == 1
+        assert diagram.count("[snapshot()]") == 1
+        assert diagram.count("[write(v2)]") == 1
+        assert "GOSSIP" not in diagram  # baseline has no gossip
+
+    def test_fig1_lower_shows_gossip_lanes(self):
+        assert "GOSSIP" in render_figure("fig1-lower")
+
+    def test_fig2_heavier_than_fig3_upper(self):
+        """Algorithm 2's diagram carries many more arrows (O(n²) + RB)."""
+        fig2_rows = render_figure("fig2").count("●")
+        fig3_rows = render_figure("fig3-upper").count("●")
+        # fig2 is truncated at max_rows; count its elided note too.
+        assert fig2_rows >= fig3_rows
+
+    def test_fig3_lower_marks_all_initiators(self):
+        diagram = render_figure("fig3-lower")
+        assert diagram.count("[snapshot()]") == 4

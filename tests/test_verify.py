@@ -1,0 +1,232 @@
+"""Tests for the stateless model checker (schedule exploration)."""
+
+import pytest
+
+from repro.config import ChannelConfig, ClusterConfig
+from repro.core.base import SnapshotResult
+from repro.core.cluster import SnapshotCluster, register_algorithm
+from repro.core.dgfr_nonblocking import DgfrNonBlocking
+from repro.sim.kernel import Kernel, TieBreak
+from repro.verify import explore, explore_snapshot_scenario
+
+
+class TestScriptedKernel:
+    def test_default_script_behaves_like_fifo(self):
+        def run(tie_break, script=()):
+            kernel = Kernel(tie_break=tie_break)
+            kernel.decision_script = list(script)
+            order = []
+            for label in "abc":
+                kernel.call_later(1.0, order.append, label)
+            kernel.run()
+            return order, kernel.decision_log
+
+        fifo_order, _ = run(TieBreak.FIFO)
+        scripted_order, log = run(TieBreak.SCRIPTED)
+        assert scripted_order == fifo_order == list("abc")
+        assert log == [(0, 3), (0, 2)]
+
+    def test_script_reorders_ties(self):
+        kernel = Kernel(tie_break=TieBreak.SCRIPTED)
+        kernel.decision_script = [2, 1]
+        order = []
+        for label in "abc":
+            kernel.call_later(1.0, order.append, label)
+        kernel.run()
+        assert order == ["c", "b", "a"]
+
+    def test_out_of_range_choices_clamped(self):
+        kernel = Kernel(tie_break=TieBreak.SCRIPTED)
+        kernel.decision_script = [99]
+        order = []
+        for label in "ab":
+            kernel.call_later(1.0, order.append, label)
+        kernel.run()
+        assert order == ["b", "a"]
+        assert kernel.decision_log[0] == (1, 2)
+
+    def test_singleton_events_not_logged(self):
+        kernel = Kernel(tie_break=TieBreak.SCRIPTED)
+        kernel.call_later(1.0, lambda: None)
+        kernel.call_later(2.0, lambda: None)
+        kernel.run()
+        assert kernel.decision_log == []
+
+
+class TestExplore:
+    def test_enumerates_small_tree_exhaustively(self):
+        """A scenario with one 3-way and one 2-way choice: 6 leaves."""
+        observed = []
+
+        def run_one(script):
+            kernel = Kernel(tie_break=TieBreak.SCRIPTED)
+            kernel.decision_script = list(script)
+            order = []
+            for label in "abc":
+                kernel.call_later(1.0, order.append, label)
+            kernel.run()
+            observed.append(tuple(order))
+            return kernel.decision_log, True, ""
+
+        result = explore(run_one, max_runs=50)
+        assert result.exhausted
+        assert result.ok
+        assert len(set(observed)) == 6  # all 3! permutations reached
+
+    def test_budget_limits_runs(self):
+        def run_one(script):
+            kernel = Kernel(tie_break=TieBreak.SCRIPTED)
+            kernel.decision_script = list(script)
+            for index in range(6):
+                kernel.call_later(1.0, lambda: None)
+            kernel.run()
+            return kernel.decision_log, True, ""
+
+        result = explore(run_one, max_runs=10)
+        assert result.runs == 10
+        assert not result.exhausted
+
+    def test_violation_carries_reproducible_script(self):
+        def run_one(script):
+            kernel = Kernel(tie_break=TieBreak.SCRIPTED)
+            kernel.decision_script = list(script)
+            order = []
+            for label in "ab":
+                kernel.call_later(1.0, order.append, label)
+            kernel.run()
+            ok = order != ["b", "a"]  # declare one interleaving "a bug"
+            return kernel.decision_log, ok, f"order={order}"
+
+        result = explore(run_one, max_runs=10)
+        assert not result.ok
+        assert result.violations[0].script == (1,)
+        assert "['b', 'a']" in result.violations[0].details
+
+
+class BrokenFirstAckOnly(DgfrNonBlocking):
+    """Deliberately wrong: the snapshot merges only the FIRST ack instead
+    of a full majority — a quorum-intersection bug.  Which ack arrives
+    first is a pure scheduling choice, so only some interleavings return
+    a stale (non-linearizable) view; finding one is the model checker's
+    job."""
+
+    async def _query_round(self) -> None:
+        from repro.core.dgfr_nonblocking import (
+            SnapshotAckMessage,
+            SnapshotMessage,
+        )
+        from repro.net.quorum import AckCollector, broadcast_until
+
+        def matches(sender: int, msg) -> bool:
+            return msg.ssn == self.ssn and sender != self.node_id
+
+        with AckCollector(
+            self, SnapshotAckMessage.KIND, 1, match=matches
+        ) as collector:
+            await broadcast_until(
+                self,
+                lambda: SnapshotMessage(reg=self.reg.copy(), ssn=self.ssn),
+                collector,
+            )
+            replies = collector.reply_messages()
+        self.merge(msg.reg for msg in replies[:1])
+
+
+register_algorithm("broken-first-ack", BrokenFirstAckOnly)
+
+
+def _partitioned_run_one(algorithm):
+    """Scenario: node 0 cannot reach nodes 3/4; write then snapshot at 4.
+
+    After node 0's write completes via the majority {0,1,2}, nodes 3 and
+    4 are still stale.  The snapshot's ack order decides whether a buggy
+    first-ack-only merge reads the stale node.
+    """
+    channel = ChannelConfig(min_delay=1.0, max_delay=1.0)
+
+    def run_one(script):
+        config = ClusterConfig(n=5, seed=0, channel=channel)
+        cluster = SnapshotCluster(
+            algorithm, config, tie_break=TieBreak.SCRIPTED, start=False
+        )
+        cluster.kernel.decision_script = list(script)
+        cluster.network.channel(0, 3).blocked = True
+        cluster.network.channel(0, 4).blocked = True
+
+        async def scenario():
+            await cluster.write(0, "committed")
+            await cluster.kernel.sleep(0.5)  # strict real-time separation
+            await cluster.snapshot(4)
+
+        cluster.run_until(scenario(), max_events=200_000)
+        from repro.analysis.linearizability import check_snapshot_history
+
+        report = check_snapshot_history(cluster.history.records(), 5)
+        return cluster.kernel.decision_log, report.ok, report.summary()
+
+    return run_one
+
+
+class TestModelCheckingAlgorithms:
+    @pytest.mark.parametrize(
+        "algorithm", ["dgfr-nonblocking", "ss-nonblocking"]
+    )
+    def test_correct_algorithms_pass_all_explored_schedules(self, algorithm):
+        result = explore_snapshot_scenario(
+            algorithm,
+            [("write", 0, "v1"), ("write", 1, "v1"), ("snapshot", 2, None)],
+            n=3,
+            max_runs=150,
+            max_depth=10,
+        )
+        assert result.ok, result.violations[:1]
+        assert result.runs == 150  # the space is large; budget applies
+
+    def test_ss_always_passes_explored_schedules(self):
+        result = explore_snapshot_scenario(
+            "ss-always",
+            [("write", 0, "v1"), ("snapshot", 1, None)],
+            n=3,
+            delta=0,
+            max_runs=80,
+            max_depth=8,
+        )
+        assert result.ok, result.violations[:1]
+
+    def test_finds_quorum_bug_in_broken_algorithm(self):
+        """The explorer must find the schedule where the first-ack-only
+        snapshot reads from a stale node and misses a *completed* write
+        — a real-time linearizability violation that only manifests
+        under particular ack orderings.
+
+        Setup: node 0's channels to nodes 3 and 4 are severed, so after
+        node 0's write completes (via the majority {0,1,2}) nodes 3 and
+        4 are still stale.  A later snapshot at node 4 that merges only
+        its first ack returns the stale view exactly when node 3's ack
+        wins the race — one specific branch of the tie between the acks.
+        """
+        result = explore(
+            _partitioned_run_one("broken-first-ack"),
+            max_runs=200,
+            max_depth=40,
+            strategy="random-walk",
+        )
+        assert not result.ok, result.summary()
+        violation = result.violations[0]
+        assert "misses write" in violation.details
+        # The counterexample script replays the violation exactly.
+        log, ok, details = _partitioned_run_one("broken-first-ack")(
+            list(violation.script)
+        )
+        assert not ok
+
+    def test_correct_algorithm_survives_same_adversity(self):
+        """The unmodified algorithm passes every schedule of the exact
+        setup that breaks the buggy one (majority intersection saves it)."""
+        result = explore(
+            _partitioned_run_one("dgfr-nonblocking"),
+            max_runs=200,
+            max_depth=40,
+            strategy="random-walk",
+        )
+        assert result.ok, result.violations[:1]
