@@ -1,0 +1,50 @@
+"""CI gate: BENCH_PR1.json must parse and carry every tracked metric.
+
+Usage: ``python benchmarks/check_bench_baseline.py [path]`` (defaults to
+the repository-root ``BENCH_PR1.json``).  Exits non-zero if the file is
+missing, malformed, or lacks a required metric key.
+"""
+
+import json
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+from bench_perf_engine import REQUIRED_METRICS  # noqa: E402
+
+
+def check(path):
+    try:
+        payload = json.loads(Path(path).read_text())
+    except FileNotFoundError:
+        return [f"{path}: not found"]
+    except json.JSONDecodeError as exc:
+        return [f"{path}: invalid JSON ({exc})"]
+    problems = []
+    metrics = payload.get("metrics")
+    if not isinstance(metrics, dict):
+        return [f"{path}: missing 'metrics' object"]
+    for key in REQUIRED_METRICS:
+        value = metrics.get(key)
+        if not isinstance(value, (int, float)) or value <= 0:
+            problems.append(f"{path}: metric {key!r} missing or non-positive")
+    for section in ("seed_baseline", "speedup", "host"):
+        if not isinstance(payload.get(section), dict):
+            problems.append(f"{path}: missing {section!r} section")
+    return problems
+
+
+def main(argv):
+    default = Path(__file__).resolve().parent.parent / "BENCH_PR1.json"
+    path = argv[1] if len(argv) > 1 else str(default)
+    problems = check(path)
+    if problems:
+        for problem in problems:
+            print(problem, file=sys.stderr)
+        return 1
+    print(f"{path}: ok ({len(REQUIRED_METRICS)} metrics present)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv))

@@ -21,9 +21,14 @@ Commands
 ``chaos [events] [seed]``
     Run a randomized fault campaign (default 150 events): operations,
     crashes, partitions, and corruption bursts with continuous
-    linearizability and invariant checking.
+    linearizability and invariant checking.  ``--seeds K`` runs K
+    campaigns at consecutive seeds.
 ``demo``
     Run a tiny end-to-end demo (write/snapshot/corrupt/recover).
+
+``experiments``, ``ablations``, and ``chaos`` accept ``--jobs N`` to fan
+their independent cells out across N worker processes; results merge
+deterministically, so parallel output is byte-identical to serial.
 """
 
 from __future__ import annotations
@@ -54,17 +59,18 @@ def _cmd_figures(args: list[str]) -> int:
 
 
 def _cmd_ablations(args: list[str]) -> int:
-    from repro.harness.ablations import ABLATIONS
+    from repro.harness.ablations import ABLATIONS, run_ablations
+    from repro.harness.parallel import extract_jobs
     from repro.harness.report import print_table
 
+    jobs, args = extract_jobs(args)
     names = args or sorted(ABLATIONS)
     unknown = [name for name in names if name not in ABLATIONS]
     if unknown:
         print(f"unknown ablations: {unknown}; available: {sorted(ABLATIONS)}")
         return 2
-    for name in names:
-        title, runner = ABLATIONS[name]
-        print_table(runner(), title=title)
+    for name, rows in zip(names, run_ablations(names, jobs=jobs)):
+        print_table(rows, title=ABLATIONS[name][0])
     return 0
 
 
@@ -102,15 +108,36 @@ def _cmd_verify(args: list[str]) -> int:
 
 
 def _cmd_chaos(args: list[str]) -> int:
-    from repro.harness.chaos import ChaosCampaign
+    from repro.harness.chaos import run_chaos_campaigns
+    from repro.harness.parallel import extract_jobs
 
-    events = int(args[0]) if args else 150
-    seed = int(args[1]) if len(args) > 1 else 0
-    report = ChaosCampaign(seed=seed).run(events=events)
-    print(report.summary())
-    for failure in report.failures:
-        print("FAILURE:", failure)
-    return 0 if report.ok else 1
+    jobs, args = extract_jobs(args)
+    n_seeds = 1
+    rest: list[str] = []
+    it = iter(args)
+    for arg in it:
+        if arg == "--seeds":
+            value = next(it, None)
+            if value is None:
+                raise SystemExit("--seeds requires a value")
+            n_seeds = int(value)
+        elif arg.startswith("--seeds="):
+            n_seeds = int(arg.split("=", 1)[1])
+        else:
+            rest.append(arg)
+    events = int(rest[0]) if rest else 150
+    seed = int(rest[1]) if len(rest) > 1 else 0
+    reports = run_chaos_campaigns(
+        list(range(seed, seed + n_seeds)), events=events, jobs=jobs
+    )
+    ok = True
+    for campaign_seed, report in zip(range(seed, seed + n_seeds), reports):
+        prefix = f"seed {campaign_seed}: " if n_seeds > 1 else ""
+        print(prefix + report.summary())
+        for failure in report.failures:
+            print("FAILURE:", failure)
+        ok = ok and report.ok
+    return 0 if ok else 1
 
 
 def _cmd_demo(_args: list[str]) -> int:

@@ -87,13 +87,41 @@ class MetricsCollector:
     message was still *sent*, which is what the complexity claims count).
     """
 
-    def __init__(self) -> None:
+    __slots__ = (
+        "_messages",
+        "_bytes",
+        "_per_sender",
+        "_enabled",
+        "dropped_loss",
+        "dropped_capacity",
+        "duplicated",
+    )
+
+    def __init__(self, enabled: bool = True) -> None:
         self._messages: Counter[str] = Counter()
         self._bytes: Counter[str] = Counter()
         self._per_sender: Counter[tuple[int, str]] = Counter()
+        #: Fast-path switch, read directly by :meth:`Network.send
+        #: <repro.net.network.Network.send>`: while False, the network
+        #: skips recording *and* the per-message ``wire_size`` walk, making
+        #: an unobserved run's accounting cost a single attribute test.
+        self._enabled = enabled
         self.dropped_loss = 0
         self.dropped_capacity = 0
         self.duplicated = 0
+
+    @property
+    def enabled(self) -> bool:
+        """Whether sends are currently being recorded."""
+        return self._enabled
+
+    def disable(self) -> None:
+        """Stop recording (counters keep their values; snapshots still work)."""
+        self._enabled = False
+
+    def enable(self) -> None:
+        """Resume recording after :meth:`disable`."""
+        self._enabled = True
 
     def record_send(self, src: int, dst: int, kind: str, size: int) -> None:
         """Account one message of ``kind`` and ``size`` bytes from ``src``."""

@@ -29,6 +29,7 @@ from repro.harness.workloads import ContinuousWriters
 
 __all__ = [
     "ABLATIONS",
+    "run_ablations",
     "a1_recovery_seed_sweep",
     "a2_gossip_interval_ablation",
     "a3_loss_retransmission_cost",
@@ -229,6 +230,18 @@ def a4_delta_latency_distribution(deltas=(0, 4, 16), n=5, seeds=8):
             }
         )
     return rows
+
+
+def run_ablations(names: list[str], jobs: int = 1) -> list[list[dict]]:
+    """Run several ablation studies, optionally in parallel; rows in order.
+
+    Each ablation is one independent cell of the parallel runner
+    (:mod:`repro.harness.parallel`); results merge deterministically, so
+    ``jobs > 1`` output equals the serial output.
+    """
+    from repro.harness.parallel import ablation_cells, run_cells
+
+    return run_cells(ablation_cells(names), jobs=jobs)
 
 
 #: Ablation id → (title, runner).

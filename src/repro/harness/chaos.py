@@ -23,7 +23,26 @@ from repro.config import ChannelConfig, ClusterConfig
 from repro.core.cluster import SnapshotCluster
 from repro.fault import TransientFaultInjector
 
-__all__ = ["ChaosCampaign", "ChaosReport"]
+__all__ = ["ChaosCampaign", "ChaosReport", "run_chaos_campaigns"]
+
+
+def run_chaos_campaigns(
+    seeds: list[int],
+    events: int = 150,
+    algorithm: str = "ss-always",
+    jobs: int = 1,
+) -> list["ChaosReport"]:
+    """Run one campaign per seed, optionally across worker processes.
+
+    Campaigns are fully seeded, so each is an independent cell of the
+    parallel runner; reports come back in seed order regardless of which
+    worker finished first.
+    """
+    from repro.harness.parallel import chaos_cells, run_cells
+
+    return run_cells(
+        chaos_cells(seeds, events=events, algorithm=algorithm), jobs=jobs
+    )
 
 
 @dataclass(slots=True)

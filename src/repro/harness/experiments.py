@@ -2,14 +2,18 @@
 
 ``python -m repro.harness.experiments`` runs every experiment (E1–E15)
 and prints its table; ``python -m repro.harness.experiments e07 e09``
-runs a subset.  The same functions back the pytest-benchmark targets in
-``benchmarks/``.
+runs a subset, and ``--jobs N`` fans the selected experiments out across
+``N`` worker processes (the printed output is byte-identical to a serial
+run; see :mod:`repro.harness.parallel`).  The same functions back the
+pytest-benchmark targets in ``benchmarks/``.
 """
 
 from __future__ import annotations
 
 import sys
 from typing import Callable
+
+from repro.harness.parallel import experiment_cells, extract_jobs, run_cells
 
 from repro.harness.costs import (
     e01_nonblocking_op_costs,
@@ -34,7 +38,7 @@ from repro.harness.recovery import (
 )
 from repro.harness.report import print_table
 
-__all__ = ["EXPERIMENTS", "run_experiment", "main"]
+__all__ = ["EXPERIMENTS", "run_experiment", "run_experiments", "main"]
 
 #: Experiment id → (title, runner).
 EXPERIMENTS: dict[str, tuple[str, Callable[[], list[dict]]]] = {
@@ -107,18 +111,30 @@ def run_experiment(experiment_id: str) -> list[dict]:
     return runner()
 
 
+def run_experiments(
+    experiment_ids: list[str], jobs: int = 1
+) -> list[list[dict]]:
+    """Run several experiments, optionally in parallel; rows in id order.
+
+    Each experiment is one independent cell; with ``jobs > 1`` the cells
+    execute in worker processes and the merged result list matches the
+    serial run exactly (every runner is a pure function of its seed).
+    """
+    return run_cells(experiment_cells(experiment_ids), jobs=jobs)
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point: run and print the selected (or all) experiments."""
     argv = list(sys.argv[1:] if argv is None else argv)
+    jobs, argv = extract_jobs(argv)
     selected = argv or sorted(EXPERIMENTS)
     unknown = [eid for eid in selected if eid not in EXPERIMENTS]
     if unknown:
         print(f"unknown experiment ids: {unknown}", file=sys.stderr)
         print(f"available: {sorted(EXPERIMENTS)}", file=sys.stderr)
         return 2
-    for experiment_id in selected:
-        title, runner = EXPERIMENTS[experiment_id]
-        print_table(runner(), title=title)
+    for experiment_id, rows in zip(selected, run_experiments(selected, jobs=jobs)):
+        print_table(rows, title=EXPERIMENTS[experiment_id][0])
     return 0
 
 

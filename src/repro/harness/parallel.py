@@ -1,0 +1,157 @@
+"""Parallel experiment runner: deterministic fan-out over a process pool.
+
+Every experiment, ablation, and chaos campaign in the harness is a pure
+function of its descriptor — all randomness derives from explicit seeds —
+so independent ``(runner, kwargs)`` cells can execute in worker processes
+with no shared state.  This module fans a list of :class:`Cell`
+descriptors out across a :mod:`multiprocessing` pool and merges results
+**deterministically**: each result is keyed by its cell's position in the
+submitted list and the merged list is returned in that order, so the
+output of a parallel run is byte-identical to a serial run of the same
+cells (``--jobs 4`` equals ``--jobs 1``; the regression test in
+``tests/test_parallel_runner.py`` holds us to that).
+
+Cells name their runner through the harness registries
+(:data:`repro.harness.experiments.EXPERIMENTS`,
+:data:`repro.harness.ablations.ABLATIONS`, chaos campaigns) rather than
+carrying callables, which keeps them picklable under every
+multiprocessing start method.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from dataclasses import dataclass
+from typing import Any, Iterable, Sequence
+
+__all__ = [
+    "Cell",
+    "run_cells",
+    "experiment_cells",
+    "ablation_cells",
+    "chaos_cells",
+    "extract_jobs",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class Cell:
+    """One independent unit of work: a registered runner plus its kwargs.
+
+    ``kind`` selects the registry (``"experiment"``, ``"ablation"``, or
+    ``"chaos"``), ``name`` the entry within it, and ``kwargs`` is a sorted
+    tuple of ``(key, value)`` pairs — a hashable, picklable spelling of the
+    keyword arguments.
+    """
+
+    kind: str
+    name: str
+    kwargs: tuple[tuple[str, Any], ...] = ()
+
+
+def _make_kwargs(kwargs: dict[str, Any] | None) -> tuple[tuple[str, Any], ...]:
+    if not kwargs:
+        return ()
+    return tuple(sorted(kwargs.items()))
+
+
+def experiment_cells(
+    ids: Iterable[str], seeds: Iterable[int] | None = None
+) -> list[Cell]:
+    """Cells for experiment ids, optionally crossed with explicit seeds."""
+    if seeds is None:
+        return [Cell("experiment", eid) for eid in ids]
+    return [
+        Cell("experiment", eid, _make_kwargs({"seed": seed}))
+        for eid in ids
+        for seed in seeds
+    ]
+
+
+def ablation_cells(names: Iterable[str]) -> list[Cell]:
+    """Cells for ablation study names."""
+    return [Cell("ablation", name) for name in names]
+
+
+def chaos_cells(
+    seeds: Iterable[int], events: int = 150, algorithm: str = "ss-always"
+) -> list[Cell]:
+    """Cells for one chaos campaign per seed."""
+    return [
+        Cell("chaos", algorithm, _make_kwargs({"seed": seed, "events": events}))
+        for seed in seeds
+    ]
+
+
+def _run_cell(indexed: tuple[int, Cell]) -> tuple[int, Any]:
+    """Execute one cell in a worker process (top-level for picklability)."""
+    index, cell = indexed
+    kwargs = dict(cell.kwargs)
+    if cell.kind == "experiment":
+        from repro.harness.experiments import EXPERIMENTS
+
+        _title, runner = EXPERIMENTS[cell.name]
+        return index, runner(**kwargs)
+    if cell.kind == "ablation":
+        from repro.harness.ablations import ABLATIONS
+
+        _title, runner = ABLATIONS[cell.name]
+        return index, runner(**kwargs)
+    if cell.kind == "chaos":
+        from repro.harness.chaos import ChaosCampaign
+
+        events = kwargs.pop("events", 150)
+        campaign = ChaosCampaign(algorithm=cell.name, **kwargs)
+        return index, campaign.run(events=events)
+    raise ValueError(f"unknown cell kind {cell.kind!r}")
+
+
+def _pool_context() -> multiprocessing.context.BaseContext:
+    # fork is much cheaper to start and inherits sys.path for free; fall
+    # back to spawn where fork is unavailable (spawn also propagates
+    # sys.path, just with a per-worker interpreter startup cost).
+    methods = multiprocessing.get_all_start_methods()
+    return multiprocessing.get_context("fork" if "fork" in methods else "spawn")
+
+
+def run_cells(cells: Sequence[Cell], jobs: int | None = None) -> list[Any]:
+    """Run every cell and return their results in cell order.
+
+    ``jobs`` of ``None``, ``0``, or ``1`` runs serially in-process (no pool,
+    no pickling).  Larger values fan out across that many worker processes;
+    completion order is nondeterministic but the merge keys results by cell
+    index, so the returned list — and anything printed from it — is
+    identical to the serial run.
+    """
+    indexed = list(enumerate(cells))
+    if jobs is None or jobs <= 1 or len(indexed) <= 1:
+        return [_run_cell(pair)[1] for pair in indexed]
+    results: list[Any] = [None] * len(indexed)
+    with _pool_context().Pool(processes=min(jobs, len(indexed))) as pool:
+        for index, result in pool.imap_unordered(_run_cell, indexed):
+            results[index] = result
+    return results
+
+
+def extract_jobs(argv: list[str], default: int = 1) -> tuple[int, list[str]]:
+    """Split ``--jobs N`` / ``-j N`` / ``--jobs=N`` out of an argv list.
+
+    Returns ``(jobs, remaining_args)``.  Used by the ``python -m repro``
+    subcommands so every table-producing command accepts the same flag.
+    """
+    jobs = default
+    rest: list[str] = []
+    it = iter(argv)
+    for arg in it:
+        if arg in ("--jobs", "-j"):
+            value = next(it, None)
+            if value is None:
+                raise SystemExit(f"{arg} requires a value")
+            jobs = int(value)
+        elif arg.startswith("--jobs="):
+            jobs = int(arg.split("=", 1)[1])
+        else:
+            rest.append(arg)
+    if jobs < 1:
+        raise SystemExit(f"--jobs must be >= 1, got {jobs}")
+    return jobs, rest

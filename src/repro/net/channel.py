@@ -13,20 +13,51 @@ initial state includes corrupted channel contents.
 
 from __future__ import annotations
 
-import itertools
 import random
 from typing import Callable
 
 from repro.analysis.metrics import MetricsCollector
 from repro.config import ChannelConfig
-from repro.net.message import Message
+from repro.net.message import Message, invalidate_wire_cache
 from repro.sim.kernel import Kernel
 
 __all__ = ["Channel"]
 
 
 class Channel:
-    """One directed channel ``src → dst`` with loss/duplication/reorder/delay."""
+    """One directed channel ``src → dst`` with loss/duplication/reorder/delay.
+
+    A full mesh holds ``n·(n-1)`` of these and every wire message crosses
+    one, so the send path is kept allocation-free: ``__slots__``, config
+    knobs hoisted to attributes, and a plain integer token counter.
+
+    **RNG draw-order contract** (frozen by ``tests/test_rng_draw_order.py``;
+    seeded schedules depend on it, so fast-path refactors must not change
+    it): a *blocked* send draws nothing; otherwise ``send`` draws (1) the
+    loss uniform, then — if the packet survives loss and fits under the
+    capacity bound — (2) the delay uniform, then (3) the duplication
+    uniform, then (4) the duplicate's delay uniform if duplication fired
+    and the duplicate fits.  A capacity drop consumes *no* delay draw: the
+    decision precedes the draw.
+    """
+
+    __slots__ = (
+        "_kernel",
+        "_rng",
+        "_config",
+        "src",
+        "dst",
+        "_deliver",
+        "_metrics",
+        "_in_flight",
+        "_next_token",
+        "blocked",
+        "_loss_p",
+        "_dup_p",
+        "_capacity",
+        "_min_delay",
+        "_max_delay",
+    )
 
     def __init__(
         self,
@@ -46,9 +77,14 @@ class Channel:
         self._deliver = deliver
         self._metrics = metrics
         self._in_flight: dict[int, Message] = {}
-        self._tokens = itertools.count()
+        self._next_token = 0
         #: When True, every packet is dropped (used to model partitions).
         self.blocked = False
+        self._loss_p = config.loss_probability
+        self._dup_p = config.duplication_probability
+        self._capacity = config.capacity
+        self._min_delay = config.min_delay
+        self._max_delay = config.max_delay
 
     # -- introspection / fault hooks -----------------------------------------
 
@@ -76,6 +112,9 @@ class Channel:
             if replacement is None:
                 del self._in_flight[token]
             else:
+                # A mutated packet's cached encoding/size is stale; drop it
+                # so the fast path re-measures the corrupted contents.
+                invalidate_wire_cache(replacement)
                 self._in_flight[token] = replacement
         return affected
 
@@ -95,24 +134,27 @@ class Channel:
         """
         if self.blocked:
             return
-        if self._rng.random() < self._config.loss_probability:
+        rng = self._rng
+        if rng.random() < self._loss_p:
             if self._metrics is not None:
                 self._metrics.record_loss()
             return
         self._enqueue(message)
-        if self._rng.random() < self._config.duplication_probability:
+        if rng.random() < self._dup_p:
             if self._metrics is not None:
                 self._metrics.record_duplication()
             self._enqueue(message)
 
     def _enqueue(self, message: Message) -> None:
-        if len(self._in_flight) >= self._config.capacity:
+        in_flight = self._in_flight
+        if len(in_flight) >= self._capacity:
             if self._metrics is not None:
                 self._metrics.record_capacity_drop()
             return
-        token = next(self._tokens)
-        self._in_flight[token] = message
-        delay = self._rng.uniform(self._config.min_delay, self._config.max_delay)
+        token = self._next_token
+        self._next_token = token + 1
+        in_flight[token] = message
+        delay = self._rng.uniform(self._min_delay, self._max_delay)
         self._kernel.call_later(delay, self._arrive, token)
 
     def _arrive(self, token: int) -> None:

@@ -162,10 +162,24 @@ def _encode_value(buffer: bytearray, value: Any) -> None:
 
 
 def encode_message(message: Message) -> bytes:
-    """Encode a message (and everything it nests) to bytes."""
+    """Encode a message (and everything it nests) to bytes.
+
+    The encoding is cached on the message instance: a broadcast encodes
+    its payload once and reuses the bytes for every destination (the UDP
+    transport otherwise re-encodes per datagram).  The cache follows the
+    same contract as :meth:`repro.net.message.Message.wire_size` — frozen
+    dataclasses plus ``dataclasses.replace``-style mutation keep it sound;
+    in-place mutators must call
+    :func:`repro.net.message.invalidate_wire_cache`.
+    """
+    cached = message.__dict__.get("_wire_bytes")
+    if cached is not None:
+        return cached
     buffer = bytearray()
     _encode_value(buffer, message)
-    return bytes(buffer)
+    encoded = bytes(buffer)
+    object.__setattr__(message, "_wire_bytes", encoded)
+    return encoded
 
 
 # -- decoding ---------------------------------------------------------------------

@@ -16,7 +16,13 @@ from typing import Any, ClassVar
 
 from repro.core.register import RegisterArray, TimestampedValue
 
-__all__ = ["Message", "measure_size", "HEADER_BYTES", "INT_BYTES"]
+__all__ = [
+    "Message",
+    "measure_size",
+    "invalidate_wire_cache",
+    "HEADER_BYTES",
+    "INT_BYTES",
+]
 
 #: Fixed per-message framing overhead we charge (kind tag + addressing).
 HEADER_BYTES = 16
@@ -40,8 +46,38 @@ class Message:
         return self.KIND
 
     def wire_size(self) -> int:
-        """Estimated serialized size in bytes, including framing."""
-        return HEADER_BYTES + measure_size(self)
+        """Estimated serialized size in bytes, including framing.
+
+        The size is measured once per instance and cached: a broadcast
+        hands the *same* message object to all ``n-1`` destination
+        channels, so without the cache every fan-out re-walks the payload
+        recursively per destination.  Messages are frozen dataclasses, so
+        the cache is sound as long as mutation goes through
+        ``dataclasses.replace`` (a fresh instance, as the fault injectors
+        do) — anything that mutates a packet in place must call
+        :func:`invalidate_wire_cache` on it.
+        """
+        cache = self.__dict__
+        size = cache.get("_wire_size")
+        if size is None:
+            size = HEADER_BYTES + measure_size(self)
+            object.__setattr__(self, "_wire_size", size)
+        return size
+
+
+def invalidate_wire_cache(message: Message) -> None:
+    """Drop any cached size/encoding from ``message``.
+
+    Fault injectors that hand back a mutated packet (rather than a fresh
+    ``dataclasses.replace`` copy) must call this so the cached wire size
+    (:meth:`Message.wire_size`) and cached codec bytes
+    (:func:`repro.net.codec.encode_message`) are re-derived from the
+    corrupted contents.
+    """
+    cache = getattr(message, "__dict__", None)
+    if cache is not None:
+        cache.pop("_wire_size", None)
+        cache.pop("_wire_bytes", None)
 
 
 def measure_size(obj: Any) -> int:

@@ -90,18 +90,28 @@ class Network:
             # (still asynchronous so handlers never run re-entrantly).
             self.kernel.call_soon(self._deliver, src, dst, message)
             return
-        self.metrics.record_send(src, dst, message.kind, message.wire_size())
-        for listener in self.trace_listeners:
-            listener("send", self.kernel.now, src, dst, message.kind)
-        self.channel(src, dst).send(message)
+        metrics = self.metrics
+        if metrics._enabled:
+            # wire_size() is cached per instance, so a broadcast measures
+            # its payload once and reuses the size for all n-1 channels.
+            metrics.record_send(src, dst, message.KIND, message.wire_size())
+        if self.trace_listeners:
+            now = self.kernel.now
+            kind = message.KIND
+            for listener in self.trace_listeners:
+                listener("send", now, src, dst, kind)
+        channel = self._channels.get((src, dst))
+        if channel is None:
+            raise NetworkError(f"no channel {src}->{dst}")
+        channel.send(message)
 
     def _deliver(self, src: int, dst: int, message: Message) -> None:
         process = self._processes.get(dst)
         if process is None:
             return
-        if src != dst:
+        if self.trace_listeners and src != dst:
             for listener in self.trace_listeners:
-                listener("deliver", self.kernel.now, src, dst, message.kind)
+                listener("deliver", self.kernel.now, src, dst, message.KIND)
         process.deliver(src, message)
 
     # -- adversary controls ---------------------------------------------------------

@@ -104,7 +104,10 @@ class UdpNetwork:
             return
         if not self._open:
             raise NetworkError("UdpNetwork.open() has not completed")
-        self.metrics.record_send(src, dst, message.kind, message.wire_size())
+        if self.metrics._enabled:
+            self.metrics.record_send(src, dst, message.kind, message.wire_size())
+        # encode_message caches on the instance: a broadcast encodes once
+        # and reuses the bytes for every destination datagram.
         payload = struct.pack(">I", src) + encode_message(message)
         self._transports[src].sendto(payload, self._addresses[dst])
 

@@ -214,14 +214,65 @@ class SimTask(SimFuture):
                 self.set_exception(exc)
             return
         if not isinstance(yielded, SimFuture):
-            self._coro.throw(
-                SimulationError(
-                    f"task {self.name!r} awaited a non-kernel object: {yielded!r}"
-                )
-            )
+            self._fail_foreign_await(yielded)
             return
         self._awaiting = yielded
         yielded.add_done_callback(self._step)
+
+    def _fail_foreign_await(self, yielded: Any) -> None:
+        """Handle a coroutine awaiting something the kernel doesn't own.
+
+        The error is thrown into the coroutine (so it can clean up), but —
+        unlike a bare ``throw`` — the outcome always completes the task's
+        future: a coroutine that swallows the error must not leave the task
+        pending forever (no callback would ever fire again).
+        """
+        error = SimulationError(
+            f"task {self.name!r} awaited a non-kernel object: {yielded!r}"
+        )
+        try:
+            self._coro.throw(error)
+        except StopIteration as stop:
+            # The coroutine handled the error and returned normally.
+            if not self.done():
+                self.set_result(stop.value)
+        except CancelledError:
+            if not self.done():
+                super().cancel()
+        except BaseException as exc:  # noqa: BLE001 - surfaced via the future
+            if not self.done():
+                self.set_exception(exc)
+        else:
+            # The coroutine swallowed the error and yielded again; there is
+            # nothing the kernel can resume it with — fail deterministically
+            # instead of leaving the task pending forever.
+            self._coro.close()
+            if not self.done():
+                self.set_exception(error)
+
+
+class _Timer(SimFuture):
+    """A pooled one-shot timer future backing :meth:`Kernel.sleep`.
+
+    ``sleep`` is the single hottest allocation site in a simulation (every
+    do-forever loop, retransmission loop, and workload pacer sleeps once per
+    iteration).  Instead of allocating a fresh future plus a guard lambda per
+    sleep, the kernel recycles ``_Timer`` objects through a free list.  A
+    generation counter makes stale heap entries harmless: a timer callback
+    only completes the future if the generation it captured at scheduling
+    time is still current (cancellation bumps the generation when the timer
+    is recycled, so a late firing for a previous occupant is a no-op).
+    """
+
+    __slots__ = ("_gen",)
+
+    def __init__(self, kernel: "Kernel") -> None:
+        super().__init__(kernel)
+        self._gen = 0
+
+    def _fire(self, gen: int) -> None:
+        if gen == self._gen and self._state == _PENDING:
+            self.set_result(None)
 
 
 class Event:
@@ -320,10 +371,15 @@ class Kernel:
             raise SimulationError(f"unknown tie_break: {tie_break!r}")
         self.rng = random.Random(seed)
         self._tie_break = tie_break
+        # Mode flags hoisted out of the hot path (string compares per event
+        # add up at millions of events per run).
+        self._random_tie = tie_break == TieBreak.RANDOM
+        self._scripted = tie_break == TieBreak.SCRIPTED
         self._now = 0.0
         self._seq = 0
         self._heap: list[tuple[float, float, int, Callable[..., None], tuple]] = []
         self._events_processed = 0
+        self._timer_pool: list[_Timer] = []
         #: SCRIPTED mode: the decision to take at the k-th same-instant
         #: choice point (index into the candidate list; 0 beyond the end).
         self.decision_script: list[int] = []
@@ -347,10 +403,7 @@ class Kernel:
         if when < self._now:
             raise SimulationError(f"cannot schedule in the past: {when} < {self._now}")
         self._seq += 1
-        if self._tie_break == TieBreak.RANDOM:
-            priority = self.rng.random()
-        else:
-            priority = 0.0
+        priority = self.rng.random() if self._random_tie else 0.0
         heapq.heappush(self._heap, (when, priority, self._seq, callback, args))
 
     def call_later(
@@ -359,11 +412,17 @@ class Kernel:
         """Schedule ``callback(*args)`` after ``delay`` units of simulated time."""
         if delay < 0:
             raise SimulationError(f"negative delay: {delay}")
-        self.call_at(self._now + delay, callback, *args)
+        self._seq += 1
+        priority = self.rng.random() if self._random_tie else 0.0
+        heapq.heappush(
+            self._heap, (self._now + delay, priority, self._seq, callback, args)
+        )
 
     def call_soon(self, callback: Callable[..., None], *args: Any) -> None:
         """Schedule ``callback(*args)`` at the current simulated time."""
-        self.call_at(self._now, callback, *args)
+        self._seq += 1
+        priority = self.rng.random() if self._random_tie else 0.0
+        heapq.heappush(self._heap, (self._now, priority, self._seq, callback, args))
 
     # -- primitives ----------------------------------------------------------
 
@@ -385,9 +444,25 @@ class Kernel:
 
     async def sleep(self, delay: float) -> None:
         """Suspend the calling task for ``delay`` units of simulated time."""
-        future = self.create_future()
-        self.call_later(delay, lambda: future.done() or future.set_result(None))
-        await future
+        pool = self._timer_pool
+        timer = pool.pop() if pool else _Timer(self)
+        gen = timer._gen
+        self.call_later(delay, timer._fire, gen)
+        try:
+            await timer
+        finally:
+            # Recycle the timer: bump the generation so the pending heap
+            # entry (if the sleep was cancelled before it fired) can never
+            # complete the next occupant, reset the state, and return it to
+            # the pool.  A timer whose completion callbacks have not drained
+            # (coroutine torn down mid-step) is simply left to the GC.
+            timer._gen = gen + 1
+            if timer._state != _PENDING and not timer._callbacks:
+                timer._state = _PENDING
+                timer._result = None
+                timer._exception = None
+                if len(pool) < 1024:
+                    pool.append(timer)
 
     def gather(self, awaitables: Iterable[Awaitable[Any]]) -> SimFuture:
         """Aggregate awaitables into one future resolving to a result list.
@@ -511,21 +586,44 @@ class Kernel:
         until:
             Stop as soon as this future completes.
         """
+        heap = self._heap
+        scripted = self._scripted
+        heappop = heapq.heappop
         processed = 0
-        while self._heap:
-            if until is not None and until.done():
-                return
-            when = self._heap[0][0]
-            if until_time is not None and when > until_time:
-                self._now = until_time
-                return
-            _when, _priority, _seq, callback, args = self._pop_next()
-            self._now = when
-            callback(*args)
-            self._events_processed += 1
-            processed += 1
-            if max_events is not None and processed >= max_events:
-                return
+        try:
+            while heap:
+                if until is not None and until._state != _PENDING:
+                    return
+                when = heap[0][0]
+                if until_time is not None and when > until_time:
+                    self._now = until_time
+                    return
+                if scripted:
+                    entry = self._pop_next()
+                else:
+                    entry = heappop(heap)
+                self._now = when
+                entry[3](*entry[4])
+                processed += 1
+                if max_events is not None and processed >= max_events:
+                    return
+                # Batch dispatch: drain further events at the *same* instant
+                # without re-testing ``until_time`` (``when`` already passed
+                # it).  The ``until`` check stays — stopping promptly once
+                # the target future completes is part of the run() contract.
+                # SCRIPTED mode never batches: same-instant groups are its
+                # choice points.
+                if not scripted:
+                    while heap and heap[0][0] == when:
+                        if until is not None and until._state != _PENDING:
+                            return
+                        entry = heappop(heap)
+                        entry[3](*entry[4])
+                        processed += 1
+                        if max_events is not None and processed >= max_events:
+                            return
+        finally:
+            self._events_processed += processed
 
     def _pop_next(self) -> tuple[float, float, int, Callable[..., None], tuple]:
         """Pop the next event; in SCRIPTED mode, branch over ties.

@@ -1,0 +1,102 @@
+"""Unit tests for the parallel experiment runner (repro.harness.parallel)."""
+
+import pytest
+
+from repro.harness.parallel import (
+    Cell,
+    ablation_cells,
+    chaos_cells,
+    experiment_cells,
+    extract_jobs,
+    run_cells,
+)
+
+
+class TestCells:
+    def test_experiment_cells_without_seeds(self):
+        cells = experiment_cells(["e01", "e07"])
+        assert cells == [Cell("experiment", "e01"), Cell("experiment", "e07")]
+
+    def test_experiment_cells_cross_seeds(self):
+        cells = experiment_cells(["e01"], seeds=[0, 1])
+        assert cells == [
+            Cell("experiment", "e01", (("seed", 0),)),
+            Cell("experiment", "e01", (("seed", 1),)),
+        ]
+
+    def test_ablation_and_chaos_cells(self):
+        assert ablation_cells(["a1"]) == [Cell("ablation", "a1")]
+        assert chaos_cells([3], events=10) == [
+            Cell("chaos", "ss-always", (("events", 10), ("seed", 3)))
+        ]
+
+    def test_unknown_kind_raises(self):
+        with pytest.raises(ValueError, match="unknown cell kind"):
+            run_cells([Cell("nope", "x")])
+
+
+class TestRunCells:
+    def test_serial_matches_parallel(self):
+        cells = experiment_cells(["e01"], seeds=[0, 1])
+        serial = run_cells(cells, jobs=1)
+        parallel = run_cells(cells, jobs=2)
+        assert serial == parallel
+        assert len(serial) == 2
+
+    def test_results_keep_cell_order(self):
+        # e13 is slower than e01; order must still follow the cell list,
+        # not completion order.
+        cells = experiment_cells(["e13", "e01"])
+        results = run_cells(cells, jobs=2)
+        serial = run_cells(cells, jobs=1)
+        assert results == serial
+
+    def test_jobs_none_runs_in_process(self):
+        cells = experiment_cells(["e01"])
+        assert run_cells(cells, jobs=None) == run_cells(cells, jobs=1)
+
+
+class TestChaosCampaigns:
+    def test_parallel_reports_match_serial(self):
+        from repro.harness.chaos import run_chaos_campaigns
+
+        serial = run_chaos_campaigns([0, 1], events=20, jobs=1)
+        parallel = run_chaos_campaigns([0, 1], events=20, jobs=2)
+        assert serial == parallel
+        assert all(report.ok for report in serial)
+
+
+class TestExtractJobs:
+    def test_default(self):
+        assert extract_jobs(["e01"]) == (1, ["e01"])
+
+    def test_long_flag(self):
+        assert extract_jobs(["--jobs", "4", "e01"]) == (4, ["e01"])
+
+    def test_equals_form(self):
+        assert extract_jobs(["e01", "--jobs=2"]) == (2, ["e01"])
+
+    def test_short_flag(self):
+        assert extract_jobs(["-j", "3"]) == (3, [])
+
+    def test_missing_value_exits(self):
+        with pytest.raises(SystemExit):
+            extract_jobs(["--jobs"])
+
+    def test_nonpositive_exits(self):
+        with pytest.raises(SystemExit):
+            extract_jobs(["--jobs", "0"])
+
+
+class TestCli:
+    def test_chaos_seeds_flag(self, capsys):
+        from repro.__main__ import main
+
+        assert main(["chaos", "25", "0", "--seeds", "2", "--jobs", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "seed 0:" in out and "seed 1:" in out
+
+    def test_ablations_jobs_flag_rejects_unknown(self, capsys):
+        from repro.__main__ import main
+
+        assert main(["ablations", "zz", "--jobs", "2"]) == 2

@@ -1,0 +1,107 @@
+"""Freezes the channel's RNG draw order.
+
+Every channel shares one seeded RNG (per network fabric), so the *order*
+and *count* of draws is part of the deterministic schedule: skipping or
+reordering a draw in a hot-path refactor silently changes every seeded
+run after that point.  These tests pin the contract documented on
+:class:`repro.net.channel.Channel`:
+
+* a blocked send draws nothing;
+* an unblocked send draws loss first;
+* a surviving packet draws its delay only if it fits under the capacity
+  bound (the capacity decision precedes — and on drop, consumes — no
+  draw);
+* the duplication draw follows the first enqueue, and a duplicate that
+  fires draws its own delay under the same capacity rule.
+"""
+
+from repro.config import ChannelConfig
+from repro.net.channel import Channel
+from repro.sim.kernel import Kernel
+
+
+class DrawRecorder:
+    """Duck-typed stand-in for ``random.Random`` that logs every draw."""
+
+    def __init__(self, random_values=()):
+        self.calls = []
+        self._values = list(random_values)
+
+    def random(self):
+        self.calls.append("random")
+        return self._values.pop(0) if self._values else 0.99
+
+    def uniform(self, low, high):
+        self.calls.append("uniform")
+        return low
+
+
+def make_channel(rng, **config_kwargs):
+    kernel = Kernel()
+    return Channel(
+        kernel,
+        rng,
+        ChannelConfig(**config_kwargs),
+        src=0,
+        dst=1,
+        deliver=lambda s, d, m: None,
+    )
+
+
+class Packet:
+    KIND = "PKT"
+
+
+class TestDrawOrder:
+    def test_blocked_send_draws_nothing(self):
+        rng = DrawRecorder()
+        channel = make_channel(rng)
+        channel.blocked = True
+        channel.send(Packet())
+        assert rng.calls == []
+
+    def test_plain_send_draws_loss_delay_duplication(self):
+        rng = DrawRecorder()
+        channel = make_channel(rng)
+        channel.send(Packet())
+        assert rng.calls == ["random", "uniform", "random"]
+
+    def test_lost_packet_draws_only_loss(self):
+        rng = DrawRecorder(random_values=[0.0])  # below loss threshold
+        channel = make_channel(rng, loss_probability=0.5)
+        channel.send(Packet())
+        assert rng.calls == ["random"]
+
+    def test_duplicated_packet_draws_second_delay(self):
+        # loss survives (0.9), duplication fires (0.0).
+        rng = DrawRecorder(random_values=[0.9, 0.0])
+        channel = make_channel(rng, duplication_probability=0.5)
+        channel.send(Packet())
+        assert rng.calls == ["random", "uniform", "random", "uniform"]
+
+    def test_capacity_drop_consumes_no_delay_draw(self):
+        rng = DrawRecorder()
+        channel = make_channel(rng, capacity=1)
+        channel.send(Packet())  # fills the channel
+        rng.calls.clear()
+        channel.send(Packet())  # capacity drop: loss + dup draws only
+        assert rng.calls == ["random", "random"]
+
+    def test_duplicate_over_capacity_skips_its_delay_draw(self):
+        # Capacity 1: the original enqueues, the duplicate is dropped at
+        # the capacity bound, so only one delay draw happens.
+        rng = DrawRecorder(random_values=[0.9, 0.0])
+        channel = make_channel(rng, capacity=1, duplication_probability=0.5)
+        channel.send(Packet())
+        assert rng.calls == ["random", "uniform", "random"]
+
+    def test_loss_and_duplication_draws_happen_even_at_zero_probability(self):
+        # The draws must NOT be skipped when the probabilities are 0.0:
+        # all channels share one RNG, so eliding a draw would shift every
+        # subsequent delay in the run and change the seeded schedule.
+        rng = DrawRecorder()
+        channel = make_channel(
+            rng, loss_probability=0.0, duplication_probability=0.0
+        )
+        channel.send(Packet())
+        assert rng.calls.count("random") == 2
