@@ -65,11 +65,12 @@ def _best(fn, repeats=3):
     return min(times)
 
 
-def kernel_tick_workload(events=20_000):
+def kernel_tick_workload(events=20_000, kernel=None):
     """The raw scheduler loop: one self-rearming timer, ``events`` firings."""
     from repro.sim.kernel import Kernel
 
-    kernel = Kernel()
+    if kernel is None:
+        kernel = Kernel()
     count = 0
 
     def tick():
@@ -80,6 +81,129 @@ def kernel_tick_workload(events=20_000):
 
     kernel.call_later(0.001, tick)
     kernel.run()
+    return count
+
+
+def _pre_obs_kernel_cls():
+    """A :class:`Kernel` whose ``run()`` is the pre-observability loop.
+
+    Verbatim copy of the dispatch loop from before ``kernel.obs`` existed
+    (no ``self.obs`` test, no batch accounting) — the reference the
+    obs-overhead case compares against.  Kept in the benchmark rather than
+    the kernel so the production code carries exactly one loop per path.
+    """
+    import heapq
+
+    from repro.sim.kernel import Kernel
+
+    heappop = heapq.heappop
+
+    class _PreObsKernel(Kernel):
+        def run(self, until_time=None, max_events=None, until=None):
+            heap = self._heap
+            scripted = self._scripted
+            processed = 0
+            try:
+                while heap:
+                    if until is not None and until._state != "pending":
+                        return
+                    when = heap[0][0]
+                    if until_time is not None and when > until_time:
+                        self._now = until_time
+                        return
+                    if scripted:
+                        entry = self._pop_next()
+                    else:
+                        entry = heappop(heap)
+                    self._now = when
+                    entry[3](*entry[4])
+                    processed += 1
+                    if max_events is not None and processed >= max_events:
+                        return
+                    if not scripted:
+                        while heap and heap[0][0] == when:
+                            if until is not None and until._state != "pending":
+                                return
+                            entry = heappop(heap)
+                            entry[3](*entry[4])
+                            processed += 1
+                            if (
+                                max_events is not None
+                                and processed >= max_events
+                            ):
+                                return
+            finally:
+                self._events_processed += processed
+
+    return _PreObsKernel
+
+
+def measure_obs_overhead(events=100_000, rounds=7):
+    """Kernel-dispatch cost with observability *disabled* vs the pre-obs loop.
+
+    Interleaves the two variants round by round (cancelling load drift on
+    a busy host) and compares best-of-``rounds`` times.  Returns
+    ``(overhead_pct, current_best, reference_best)``; the contract —
+    asserted by ``test_obs_disabled_overhead`` — is that the disabled path
+    pays only one ``self.obs is None`` test per ``run()`` call (the
+    dispatch loop itself is the verbatim pre-obs loop), ≤ 2% of kernel
+    throughput.  The default workload is sized so one round is ~50ms:
+    sub-10ms rounds measure scheduler jitter, not the loop.
+    """
+    from repro.sim.kernel import Kernel
+
+    pre_obs_cls = _pre_obs_kernel_cls()
+
+    def timed(cls):
+        start = time.perf_counter()
+        kernel_tick_workload(events, kernel=cls())
+        return time.perf_counter() - start
+
+    # Warmup: the first dispatch of each loop pays bytecode-cache and
+    # branch-predictor cold costs that would bias whichever variant the
+    # measured rounds happened to run first.
+    timed(Kernel)
+    timed(pre_obs_cls)
+    current_best = float("inf")
+    reference_best = float("inf")
+    for r in range(rounds):
+        first, second = (
+            (Kernel, pre_obs_cls) if r % 2 == 0 else (pre_obs_cls, Kernel)
+        )
+        a, b = timed(first), timed(second)
+        cur, ref = (a, b) if first is Kernel else (b, a)
+        current_best = min(current_best, cur)
+        reference_best = min(reference_best, ref)
+    overhead_pct = (current_best / reference_best - 1.0) * 100.0
+    return overhead_pct, current_best, reference_best
+
+
+def dispatch_line_events(cls, events):
+    """Traced line-event count inside ``cls.run`` for a tick workload.
+
+    Deterministic proxy for dispatch-loop cost: ``sys.settrace`` counts
+    every source line the run loop executes (callback frames are not
+    traced).  Two loops that execute the same lines per event cost the
+    same per event, regardless of how noisy the host's wall clock is.
+    """
+    import sys
+
+    target = cls.run.__code__
+    count = 0
+
+    def tracer(frame, event, arg):
+        nonlocal count
+        if frame.f_code is target:
+            if event == "line":
+                count += 1
+            return tracer
+        return None
+
+    sys.settrace(tracer)
+    try:
+        kernel_tick_workload(events, kernel=cls())
+    finally:
+        sys.settrace(None)
     return count
 
 
@@ -248,6 +372,70 @@ def test_metrics_disabled_run(benchmark):
 def test_model_checker_throughput(benchmark):
     result = benchmark(model_checker_workload)
     assert result.runs == 50 or result.exhausted
+
+
+def test_obs_enabled_counting():
+    """KernelStats attached: the tick workload is one single-event batch
+    per instant, so the batch counters must track the event count exactly
+    (and the first sleep-free workload never touches the timer pool)."""
+    from repro.obs.observe import KernelStats
+    from repro.sim.kernel import Kernel
+
+    kernel = Kernel()
+    kernel.obs = KernelStats()
+    assert kernel_tick_workload(2_000, kernel=kernel) == 2_000
+    assert kernel.obs.batches == 2_000
+    assert kernel.obs.batch_events == 2_000
+    assert kernel.obs.largest_batch == 1
+
+
+def test_obs_disabled_path_is_pre_obs_loop():
+    """The obs-off dispatch loop does zero extra work per event.
+
+    Compares traced line-event counts against the verbatim pre-obs loop
+    at two workload sizes: the difference must be a small constant (the
+    once-per-``run()`` ``self.obs`` test), NOT grow with the event count.
+    This is the deterministic form of the ≤ 2% overhead contract — it
+    cannot be fooled by a noisy host clock.
+    """
+    from repro.sim.kernel import Kernel
+
+    pre_obs_cls = _pre_obs_kernel_cls()
+    deltas = [
+        dispatch_line_events(Kernel, ev) - dispatch_line_events(pre_obs_cls, ev)
+        for ev in (1_000, 2_000)
+    ]
+    assert deltas[0] == deltas[1], (
+        f"obs-off dispatch executes {deltas[1] - deltas[0]} extra lines per "
+        "1000 events vs the pre-obs loop; the disabled path must match it "
+        "line for line"
+    )
+    assert 0 <= deltas[0] <= 4, (
+        f"obs-off run() prefix costs {deltas[0]} line events; expected the "
+        "single per-call `self.obs is None` test"
+    )
+
+
+@pytest.mark.slow
+def test_obs_disabled_overhead():
+    """Observability off costs ≤ 2% kernel throughput vs the pre-obs loop.
+
+    Wall-clock backstop for ``test_obs_disabled_path_is_pre_obs_loop``.
+    The container's clock jitters by several percent even on best-of
+    measurements, so the structural test above is the authoritative gate;
+    here we take the best of a few attempts before asserting.
+    """
+    overhead_pct = current_best = reference_best = None
+    for _ in range(5):
+        overhead_pct, current_best, reference_best = measure_obs_overhead()
+        if overhead_pct <= 2.0:
+            break
+    assert overhead_pct <= 2.0, (
+        f"obs-disabled kernel dispatch {overhead_pct:.2f}% slower than the "
+        f"pre-observability loop ({current_best:.4f}s vs "
+        f"{reference_best:.4f}s); the disabled path must pay only one "
+        "`self.obs is None` test per run() call"
+    )
 
 
 @pytest.mark.slow

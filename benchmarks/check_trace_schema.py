@@ -1,0 +1,143 @@
+"""CI gate: a ``--trace-out`` file must be a well-formed Chrome trace.
+
+Usage: ``python benchmarks/check_trace_schema.py trace.json``.  Validates
+the structure :func:`repro.obs.export.chrome_trace` promises — the same
+contract the Perfetto UI relies on:
+
+* a ``traceEvents`` list whose every event carries a known phase (``M``
+  metadata, ``X`` complete slices, ``s``/``f`` flow arrows, ``i``
+  instants) with that phase's required fields;
+* per-node tracks: ``process_name`` and ``thread_name`` metadata, plus a
+  ``run`` track per cluster;
+* operation spans: ``X`` slices of category ``op`` with span arguments
+  (``op_id``, ``status``) and non-negative durations;
+* flow-arrow pairing: every finish (``f``) id matches some start (``s``).
+
+Exits non-zero, printing one line per problem, if anything is off.
+``tests/test_obs_export.py`` imports :func:`validate` as its golden
+structure check, so the CI step and the test suite enforce one schema.
+"""
+
+import json
+import sys
+from pathlib import Path
+
+_KNOWN_PHASES = {"M", "X", "s", "f", "i"}
+_METADATA_NAMES = {"process_name", "thread_name"}
+
+
+def _check_event(index, event, problems):
+    """Validate one trace event; append problems in place."""
+    where = f"traceEvents[{index}]"
+    if not isinstance(event, dict):
+        problems.append(f"{where}: not an object")
+        return None
+    phase = event.get("ph")
+    if phase not in _KNOWN_PHASES:
+        problems.append(f"{where}: unknown phase {phase!r}")
+        return None
+    if phase == "M":
+        if event.get("name") not in _METADATA_NAMES:
+            problems.append(f"{where}: metadata name {event.get('name')!r}")
+        if not isinstance(event.get("args", {}).get("name"), str):
+            problems.append(f"{where}: metadata missing args.name")
+    else:
+        ts = event.get("ts")
+        if not isinstance(ts, (int, float)) or ts < 0:
+            problems.append(f"{where}: bad ts {ts!r}")
+    if phase != "M" or "pid" in event:
+        if not isinstance(event.get("pid"), int):
+            problems.append(f"{where}: bad pid {event.get('pid')!r}")
+    if phase == "X":
+        dur = event.get("dur")
+        if not isinstance(dur, (int, float)) or dur < 0:
+            problems.append(f"{where}: bad dur {dur!r}")
+        if not isinstance(event.get("name"), str):
+            problems.append(f"{where}: X slice missing name")
+        if event.get("cat") == "op":
+            args = event.get("args", {})
+            if "op_id" not in args or "status" not in args:
+                problems.append(f"{where}: op slice missing op_id/status args")
+    if phase in ("s", "f"):
+        if "id" not in event:
+            problems.append(f"{where}: flow event missing id")
+        if phase == "f" and event.get("bp") != "e":
+            problems.append(f"{where}: flow finish must carry bp='e'")
+    return phase
+
+
+def validate(payload):
+    """Validate a Chrome-trace payload; return a list of problem strings."""
+    problems = []
+    if not isinstance(payload, dict):
+        return ["payload is not a JSON object"]
+    events = payload.get("traceEvents")
+    if not isinstance(events, list) or not events:
+        return ["missing or empty 'traceEvents' list"]
+    if "displayTimeUnit" not in payload:
+        problems.append("missing 'displayTimeUnit'")
+    process_names = set()
+    thread_names = set()
+    run_tracks = set()
+    op_slices = 0
+    flow_starts = set()
+    flow_finishes = set()
+    for index, event in enumerate(events):
+        phase = _check_event(index, event, problems)
+        if phase == "M":
+            if event.get("name") == "process_name":
+                process_names.add(event.get("pid"))
+            else:
+                thread_names.add((event.get("pid"), event.get("tid")))
+        elif phase == "X":
+            if event.get("cat") == "run":
+                run_tracks.add(event.get("pid"))
+            elif event.get("cat") == "op":
+                op_slices += 1
+        elif phase == "s":
+            flow_starts.add(event.get("id"))
+        elif phase == "f":
+            flow_finishes.add(event.get("id"))
+    if not process_names:
+        problems.append("no process_name metadata (per-cluster tracks)")
+    if not thread_names:
+        problems.append("no thread_name metadata (per-node tracks)")
+    for pid in sorted(process_names):
+        if not any(track_pid == pid for track_pid, _tid in thread_names):
+            problems.append(f"cluster pid={pid} has no node tracks")
+    if not run_tracks:
+        problems.append("no run-level root slice (cat='run')")
+    unmatched = flow_finishes - flow_starts
+    if unmatched:
+        problems.append(
+            f"{len(unmatched)} flow finish(es) without a matching start"
+        )
+    return problems
+
+
+def main(argv):
+    if len(argv) < 2:
+        print("usage: check_trace_schema.py TRACE.json", file=sys.stderr)
+        return 2
+    path = argv[1]
+    try:
+        payload = json.loads(Path(path).read_text())
+    except FileNotFoundError:
+        print(f"{path}: not found", file=sys.stderr)
+        return 1
+    except json.JSONDecodeError as exc:
+        print(f"{path}: invalid JSON ({exc})", file=sys.stderr)
+        return 1
+    problems = validate(payload)
+    if problems:
+        for problem in problems:
+            print(f"{path}: {problem}", file=sys.stderr)
+        return 1
+    events = payload["traceEvents"]
+    phases = sorted({event.get("ph") for event in events})
+    print(f"{path}: ok ({len(events)} events, phases {phases})")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv))

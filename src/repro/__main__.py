@@ -29,6 +29,23 @@ Commands
 ``experiments``, ``ablations``, and ``chaos`` accept ``--jobs N`` to fan
 their independent cells out across N worker processes; results merge
 deterministically, so parallel output is byte-identical to serial.
+
+The same three commands accept the observability flags (see
+``docs/observability.md``):
+
+``--trace-out FILE``
+    Capture every cluster the run constructs — operation spans, message
+    flow arrows, one track per node — and write a Chrome ``trace_event``
+    JSON file viewable at https://ui.perfetto.dev.
+``--jsonl-out FILE``
+    Write the same session as a JSON-lines event stream (spans, messages,
+    metrics) for ad-hoc analysis.
+``--stats``
+    Print a terminal summary: per-operation table (counts, latency,
+    retransmits, messages) plus the full metric catalog.
+
+Capturing runs in-process, so these flags force ``--jobs 1``.  Tracing
+never perturbs seeded schedules — results are identical with or without.
 """
 
 from __future__ import annotations
@@ -62,15 +79,23 @@ def _cmd_ablations(args: list[str]) -> int:
     from repro.harness.ablations import ABLATIONS, run_ablations
     from repro.harness.parallel import extract_jobs
     from repro.harness.report import print_table
+    from repro.obs.cli import (
+        clamp_jobs_for_capture,
+        extract_obs_flags,
+        observe_cli,
+    )
 
+    obs_flags, args = extract_obs_flags(args)
     jobs, args = extract_jobs(args)
     names = args or sorted(ABLATIONS)
     unknown = [name for name in names if name not in ABLATIONS]
     if unknown:
         print(f"unknown ablations: {unknown}; available: {sorted(ABLATIONS)}")
         return 2
-    for name, rows in zip(names, run_ablations(names, jobs=jobs)):
-        print_table(rows, title=ABLATIONS[name][0])
+    jobs = clamp_jobs_for_capture(obs_flags, jobs)
+    with observe_cli(obs_flags):
+        for name, rows in zip(names, run_ablations(names, jobs=jobs)):
+            print_table(rows, title=ABLATIONS[name][0])
     return 0
 
 
@@ -110,7 +135,13 @@ def _cmd_verify(args: list[str]) -> int:
 def _cmd_chaos(args: list[str]) -> int:
     from repro.harness.chaos import run_chaos_campaigns
     from repro.harness.parallel import extract_jobs
+    from repro.obs.cli import (
+        clamp_jobs_for_capture,
+        extract_obs_flags,
+        observe_cli,
+    )
 
+    obs_flags, args = extract_obs_flags(args)
     jobs, args = extract_jobs(args)
     n_seeds = 1
     rest: list[str] = []
@@ -127,16 +158,18 @@ def _cmd_chaos(args: list[str]) -> int:
             rest.append(arg)
     events = int(rest[0]) if rest else 150
     seed = int(rest[1]) if len(rest) > 1 else 0
-    reports = run_chaos_campaigns(
-        list(range(seed, seed + n_seeds)), events=events, jobs=jobs
-    )
-    ok = True
-    for campaign_seed, report in zip(range(seed, seed + n_seeds), reports):
-        prefix = f"seed {campaign_seed}: " if n_seeds > 1 else ""
-        print(prefix + report.summary())
-        for failure in report.failures:
-            print("FAILURE:", failure)
-        ok = ok and report.ok
+    jobs = clamp_jobs_for_capture(obs_flags, jobs)
+    with observe_cli(obs_flags):
+        reports = run_chaos_campaigns(
+            list(range(seed, seed + n_seeds)), events=events, jobs=jobs
+        )
+        ok = True
+        for campaign_seed, report in zip(range(seed, seed + n_seeds), reports):
+            prefix = f"seed {campaign_seed}: " if n_seeds > 1 else ""
+            print(prefix + report.summary())
+            for failure in report.failures:
+                print("FAILURE:", failure)
+            ok = ok and report.ok
     return 0 if ok else 1
 
 

@@ -14,6 +14,8 @@ from contextlib import contextmanager
 from dataclasses import dataclass
 from typing import Iterator
 
+from repro.errors import ObservabilityError
+
 __all__ = ["MetricsCollector", "MetricsSnapshot", "TrafficWindow"]
 
 
@@ -68,14 +70,33 @@ class MetricsSnapshot:
         return sum(self.bytes_by_kind.get(kind, 0) for kind in kinds)
 
 
-@dataclass(slots=True)
 class TrafficWindow:
     """Mutable holder filled in when a :meth:`MetricsCollector.window` closes."""
 
-    stats: MetricsSnapshot | None = None
+    __slots__ = ("_stats",)
 
-    def __getattr__(self, name):  # pragma: no cover - convenience passthrough
-        raise AttributeError(name)
+    def __init__(self) -> None:
+        self._stats: MetricsSnapshot | None = None
+
+    @property
+    def closed(self) -> bool:
+        """Whether the window has closed (i.e. :attr:`stats` is readable)."""
+        return self._stats is not None
+
+    @property
+    def stats(self) -> MetricsSnapshot:
+        """The traffic measured while the window was open.
+
+        Only available once the ``with metrics.window()`` block has exited;
+        reading it earlier is always a bug (the diff has not been taken yet).
+        """
+        if self._stats is None:
+            raise ObservabilityError(
+                "TrafficWindow.stats read before the window closed; the "
+                "snapshot diff is taken when the `with metrics.window()` "
+                "block exits"
+            )
+        return self._stats
 
 
 class MetricsCollector:
@@ -91,6 +112,7 @@ class MetricsCollector:
         "_messages",
         "_bytes",
         "_per_sender",
+        "_sender_totals",
         "_enabled",
         "dropped_loss",
         "dropped_capacity",
@@ -101,6 +123,7 @@ class MetricsCollector:
         self._messages: Counter[str] = Counter()
         self._bytes: Counter[str] = Counter()
         self._per_sender: Counter[tuple[int, str]] = Counter()
+        self._sender_totals: Counter[int] = Counter()
         #: Fast-path switch, read directly by :meth:`Network.send
         #: <repro.net.network.Network.send>`: while False, the network
         #: skips recording *and* the per-message ``wire_size`` walk, making
@@ -124,10 +147,18 @@ class MetricsCollector:
         self._enabled = True
 
     def record_send(self, src: int, dst: int, kind: str, size: int) -> None:
-        """Account one message of ``kind`` and ``size`` bytes from ``src``."""
+        """Account one message of ``kind`` and ``size`` bytes from ``src``.
+
+        Honors the enabled flag here too — the network fast path checks it
+        before even computing ``size``, but a direct caller must not be able
+        to mutate counters while the collector is disabled.
+        """
+        if not self._enabled:
+            return
         self._messages[kind] += 1
         self._bytes[kind] += size
         self._per_sender[(src, kind)] += 1
+        self._sender_totals[src] += 1
 
     def record_loss(self) -> None:
         """Account a message dropped by the channel loss model."""
@@ -142,12 +173,15 @@ class MetricsCollector:
         self.duplicated += 1
 
     def sender_messages(self, src: int, kind: str | None = None) -> int:
-        """Messages sent by one node, optionally restricted to a kind."""
+        """Messages sent by one node, optionally restricted to a kind.
+
+        The no-kind case reads a dedicated per-sender total, so it is O(1)
+        rather than a scan over every ``(sender, kind)`` pair (this is hot
+        in the E11/E12 write-throughput probes).
+        """
         if kind is not None:
             return self._per_sender[(src, kind)]
-        return sum(
-            count for (sender, _), count in self._per_sender.items() if sender == src
-        )
+        return self._sender_totals[src]
 
     def snapshot(self) -> MetricsSnapshot:
         """An immutable copy of the current counters."""
@@ -172,4 +206,4 @@ class MetricsCollector:
         try:
             yield holder
         finally:
-            holder.stats = self.snapshot().diff(before)
+            holder._stats = self.snapshot().diff(before)

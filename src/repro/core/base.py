@@ -144,6 +144,8 @@ class SnapshotAlgorithm(Process):
         """
         self.ts += 1
         self.reg[self.node_id] = TimestampedValue(self.ts, value)
+        if self.obs is not None:
+            self.obs.phase("write.quorum_round")
         l_reg = self.reg.copy()
 
         def matches(sender: int, msg: Message) -> bool:

@@ -28,6 +28,7 @@ from repro.core.ss_always import SelfStabilizingAlwaysTerminating
 from repro.core.ss_nonblocking import SelfStabilizingNonBlocking
 from repro.errors import ConfigurationError
 from repro.net.network import Network
+from repro.obs.observe import current_session
 from repro.sim.kernel import Kernel, SimTask, TieBreak
 
 __all__ = ["SnapshotCluster", "ALGORITHMS", "register_algorithm"]
@@ -107,6 +108,17 @@ class SnapshotCluster:
         ]
         self.tracker = CycleTracker(self.kernel, self.processes)
         self.history = HistoryRecorder()
+        #: Observability hook (:class:`repro.obs.observe.ClusterObs` or
+        #: ``None``), set by :meth:`Observability.attach
+        #: <repro.obs.observe.Observability.attach>`.  When an ambient
+        #: session is installed (``with repro.obs.session(): …``), every
+        #: cluster attaches itself on construction — that is how the CLI's
+        #: ``--trace-out`` observes clusters built inside experiment
+        #: runners.
+        self.obs = None
+        ambient = current_session()
+        if ambient is not None:
+            ambient.attach(self)
         self._started = False
         if start:
             self.start()
@@ -136,23 +148,37 @@ class SnapshotCluster:
     async def write(self, node_id: int, value: Any) -> int:
         """Invoke ``write(value)`` at a node, recording it in the history."""
         op_id = self.history.invoke(node_id, WRITE, value, now=self.kernel.now)
+        obs = self.obs
+        span = obs.begin_op(node_id, WRITE, op_id) if obs is not None else None
         try:
             ts = await self.processes[node_id].write(value)
         except BaseException:
             self.history.abort(op_id, now=self.kernel.now)
+            if span is not None:
+                obs.end_op(span, status="aborted")
             raise
         self.history.respond(op_id, result=ts, now=self.kernel.now)
+        if span is not None:
+            obs.end_op(span)
         return ts
 
     async def snapshot(self, node_id: int) -> SnapshotResult:
         """Invoke ``snapshot()`` at a node, recording it in the history."""
         op_id = self.history.invoke(node_id, SNAPSHOT, now=self.kernel.now)
+        obs = self.obs
+        span = (
+            obs.begin_op(node_id, SNAPSHOT, op_id) if obs is not None else None
+        )
         try:
             result = await self.processes[node_id].snapshot()
         except BaseException:
             self.history.abort(op_id, now=self.kernel.now)
+            if span is not None:
+                obs.end_op(span, status="aborted")
             raise
         self.history.respond(op_id, result=result, now=self.kernel.now)
+        if span is not None:
+            obs.end_op(span)
         return result
 
     # -- synchronous convenience ---------------------------------------------------

@@ -96,6 +96,8 @@ class DgfrNonBlocking(SnapshotAlgorithm):
             while True:
                 prev = self.reg.copy()
                 self.ssn += 1
+                if self.obs is not None:
+                    self.obs.phase("snapshot.query_round")
                 await self._query_round()
                 if prev == self.reg:
                     return SnapshotResult.from_registers(self.reg)

@@ -243,9 +243,20 @@ class SelfStabilizingAlwaysTerminating(SnapshotAlgorithm):
         """Cleanup, gossip, then serve pending write and eligible tasks."""
         # Line 74: stale SNAPSHOTack replies are structurally discarded —
         # collectors filter on the current ssn and store nothing else.
-        # Line 75: heal the operation indices from local evidence.
-        self.ts = max(self.ts, self.reg[self.node_id].ts)
-        self.sns = max(self.sns, self.pnd_tsk[self.node_id].sns)
+        # Line 75: heal the operation indices from local evidence.  Each
+        # branch fires only when the cleanup actually changed state — a
+        # corrupted-state detection, counted for E7/E8.
+        obs = self.obs
+        reg_ts = self.reg[self.node_id].ts
+        if self.ts < reg_ts:
+            self.ts = reg_ts
+            if obs is not None:
+                obs.ts_heals += 1
+        task_sns = self.pnd_tsk[self.node_id].sns
+        if self.sns < task_sns:
+            self.sns = task_sns
+            if obs is not None:
+                obs.sns_heals += 1
         # Line 76: clear vector clocks that could not have been sampled
         # from any past register state (they exceed the current VC).
         vc = self.vc_now()
@@ -254,10 +265,14 @@ class SelfStabilizingAlwaysTerminating(SnapshotAlgorithm):
                 sample > current for sample, current in zip(task.vc, vc)
             ):
                 task.vc = None
+                if obs is not None:
+                    obs.vc_clears += 1
         # Line 77: re-assert the own-task invariant sns = pndTsk[i].sns.
         mine = self.pnd_tsk[self.node_id]
         if self.sns != mine.sns:
             self.pnd_tsk[self.node_id] = PendingTask(sns=self.sns)
+            if obs is not None:
+                obs.task_repairs += 1
             self._notify()
         # Line 78: gossip each peer its own entry and task index.
         for peer in self.peers():
@@ -295,6 +310,8 @@ class SelfStabilizingAlwaysTerminating(SnapshotAlgorithm):
         self._begin_operation("write")
         try:
             self.write_pending = value
+            if self.obs is not None:
+                self.obs.phase("write.deposited")
             self._notify()
             await self._wait_until(lambda: self.write_pending is None)
             return self.reg[self.node_id].ts
@@ -307,6 +324,8 @@ class SelfStabilizingAlwaysTerminating(SnapshotAlgorithm):
         try:
             self.sns += 1
             self.pnd_tsk[self.node_id] = PendingTask(sns=self.sns)
+            if self.obs is not None:
+                self.obs.phase("snapshot.task_registered")
             self._notify()
             mine = lambda: self.pnd_tsk[self.node_id]  # noqa: E731
             await self._wait_until(lambda: mine().fnl is not None)
@@ -369,6 +388,8 @@ class SelfStabilizingAlwaysTerminating(SnapshotAlgorithm):
                 )
             elif i in served and self.pnd_tsk[i].vc is None:
                 self.pnd_tsk[i].vc = self.vc_now()
+                if self.obs is not None:
+                    self.obs.phase("snapshot.interference_observed")
             # Line 94: the outer until.
             served = self._served_now(sampled)
             if not served:
@@ -381,6 +402,8 @@ class SelfStabilizingAlwaysTerminating(SnapshotAlgorithm):
                     and mine.vc is not None
                     and self.config.delta <= self._writes_observed_since(mine.vc)
                 ):
+                    if self.obs is not None:
+                        self.obs.phase("snapshot.delegated")
                     return
 
     async def _query_round(self, sampled: frozenset[int]) -> None:
@@ -408,6 +431,10 @@ class SelfStabilizingAlwaysTerminating(SnapshotAlgorithm):
                 # only re-evaluate the exit conditions.
                 now = self.kernel.now
                 if now >= next_send:
+                    if next_send != -math.inf and self.obs is not None:
+                        # Re-broadcasts after the first are retransmissions,
+                        # same accounting as quorum.broadcast_until.
+                        self.obs.retransmit()
                     self.broadcast(
                         SnapshotMessage3(
                             tasks=tuple(served[k] for k in sorted(served)),
@@ -445,6 +472,15 @@ class SelfStabilizingAlwaysTerminating(SnapshotAlgorithm):
     def _on_gossip(self, sender: int, message: GossipMessage3) -> None:
         """Lines 98–99: merge own entry; absorb operation indices."""
         i = self.node_id
+        obs = self.obs
+        if obs is not None:
+            # In a legitimate execution our own entry and sns are always
+            # at least as fresh as any peer's view of them, so either
+            # comparison firing means gossip is healing corrupted state.
+            if message.entry.ts > self.reg[i].ts:
+                obs.ts_heals += 1
+            if message.task_sns > self.sns:
+                obs.sns_heals += 1
         self.reg.merge_entry(i, message.entry)
         self.ts = max(self.ts, self.reg[i].ts)
         self.sns = max(self.sns, message.task_sns)

@@ -56,6 +56,15 @@ class LinearizabilityError(ReproError):
     """Raised when a history fails a linearizability check in strict mode."""
 
 
+class ObservabilityError(ReproError):
+    """Misuse of the observability layer (metrics registry, spans, windows).
+
+    Raised e.g. when a :class:`~repro.analysis.metrics.TrafficWindow`'s
+    ``stats`` is read before the window closed, or when a registry
+    instrument name is reused with a different instrument type.
+    """
+
+
 class ResetInProgressError(ReproError):
     """An operation was rejected because a global reset is in progress.
 

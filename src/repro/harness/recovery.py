@@ -11,6 +11,7 @@ from repro.config import ClusterConfig
 from repro.core.cluster import SnapshotCluster
 from repro.errors import ResetInProgressError
 from repro.fault import TransientFaultInjector
+from repro.obs.observe import Observability
 
 __all__ = [
     "e07_recovery_nonblocking",
@@ -44,47 +45,92 @@ def _cycles_until(cluster: SnapshotCluster, predicate) -> int | None:
     return cluster.run_until(measure(), max_events=None)
 
 
+def _recovery_cell(algorithm, config, corrupt, predicate):
+    """One corruption → recovery measurement, observed through the registry.
+
+    Builds the cluster under an :class:`Observability` session (spans and
+    message tracing off — only the metric registry is needed), runs the
+    corruption and the recovery wait, pushes the measured cycle count into
+    the ``stabilization.recovery_cycles`` gauge, and returns ``(cycles,
+    detections)`` where ``detections`` is this cell's contribution to
+    ``stabilization.corrupted_state_detections`` — the number of
+    self-stabilizing cleanup-line executions that actually changed state
+    while healing.
+
+    If an ambient session is installed (the experiments CLI is capturing
+    with ``--trace-out``), the cluster already attached to it during
+    construction; detections are then computed as the delta of the
+    session-wide metric, so earlier cells' counts are not re-reported.
+    """
+    obs = Observability(trace_messages=False)
+    cluster = SnapshotCluster(algorithm, config)
+    cobs = obs.attach(cluster)  # no-op if an ambient session attached first
+    session = cobs.session
+    baseline = session.collect().get(
+        "stabilization.corrupted_state_detections", 0
+    )
+    cluster.write_sync(0, b"pre")
+    corrupt(TransientFaultInjector(cluster, seed=config.seed))
+    cycles = _cycles_until(cluster, predicate)
+    session.registry.gauge("stabilization.recovery_cycles").set(
+        float(_CYCLE_CAP + 1) if cycles is None else float(cycles)
+    )
+    metrics = session.collect()
+    detections = int(
+        metrics["stabilization.corrupted_state_detections"] - baseline
+    )
+    return cycles, detections
+
+
 def e07_recovery_nonblocking(n_values=(4, 8, 12), seed=0):
     """E7 (Theorem 1): Algorithm 1 recovery cycles per corruption class.
 
     Paper claim: within O(1) asynchronous cycles of a fair execution the
-    ts/ssn consistency invariants hold — a bound independent of n.
+    ts/ssn consistency invariants hold — a bound independent of n.  The
+    ``detections`` column reports ``stabilization.corrupted_state_detections``
+    summed over the row's corruption classes: how many cleanup-line
+    executions actually repaired state during those recoveries.
     """
     rows = []
     for n in n_values:
         row = {"n": n}
+        detections = 0
         for name, corrupt in _CORRUPTIONS.items():
-            cluster = SnapshotCluster(
-                "ss-nonblocking", ClusterConfig(n=n, seed=seed)
-            )
-            cluster.write_sync(0, b"pre")
-            corrupt(TransientFaultInjector(cluster, seed=seed))
-            cycles = _cycles_until(
-                cluster,
+            cycles, healed = _recovery_cell(
+                "ss-nonblocking",
+                ClusterConfig(n=n, seed=seed),
+                corrupt,
                 lambda c: ts_consistent(c).ok and ssn_consistent(c).ok,
             )
+            detections += healed
             row[name] = cycles if cycles is not None else f">{_CYCLE_CAP}"
+        row["detections"] = detections
         rows.append(row)
     return rows
 
 
 def e08_recovery_always(n_values=(4, 8, 12), seed=0, delta=2):
-    """E8 (Theorem 2): Algorithm 3 cycles to a Definition-1 state."""
+    """E8 (Theorem 2): Algorithm 3 cycles to a Definition-1 state.
+
+    As in E7, ``detections`` comes from the observability registry's
+    ``stabilization.corrupted_state_detections``.
+    """
     corruptions = dict(_CORRUPTIONS)
     corruptions["pndTsk"] = lambda inj: inj.corrupt_pending_tasks()
     rows = []
     for n in n_values:
         row = {"n": n}
+        detections = 0
         for name, corrupt in corruptions.items():
-            cluster = SnapshotCluster(
-                "ss-always", ClusterConfig(n=n, seed=seed, delta=delta)
+            cycles, healed = _recovery_cell(
+                "ss-always",
+                ClusterConfig(n=n, seed=seed, delta=delta),
+                corrupt,
+                lambda c: definition1_consistent(c).ok,
             )
-            cluster.write_sync(0, b"pre")
-            corrupt(TransientFaultInjector(cluster, seed=seed))
-            cycles = _cycles_until(
-                cluster, lambda c: definition1_consistent(c).ok
-            )
+            detections += healed
             row[name] = cycles if cycles is not None else f">{_CYCLE_CAP}"
+        row["detections"] = detections
         rows.append(row)
     return rows
 

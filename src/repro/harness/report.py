@@ -4,7 +4,12 @@ from __future__ import annotations
 
 from typing import Any, Iterable, Mapping
 
-__all__ = ["format_table", "print_table", "format_bar_chart"]
+__all__ = [
+    "format_table",
+    "print_table",
+    "format_bar_chart",
+    "print_obs_summary",
+]
 
 
 def _fmt(value: Any) -> str:
@@ -56,6 +61,19 @@ def print_table(
     """Print :func:`format_table` output with surrounding blank lines."""
     print()
     print(format_table(rows, title=title, columns=columns))
+    print()
+
+
+def print_obs_summary(obs: Any) -> None:
+    """Print an observability session's terminal summary.
+
+    ``obs`` is a :class:`repro.obs.observe.Observability`; its
+    :meth:`~repro.obs.observe.Observability.summary` renders the
+    operations and metrics tables through :func:`format_table`, so the
+    output matches the experiment tables around it.
+    """
+    print()
+    print(obs.summary())
     print()
 
 

@@ -81,6 +81,17 @@ class Network:
         """All directed channels (fault injection iterates these)."""
         return list(self._channels.values())
 
+    def in_flight_total(self) -> int:
+        """Packets currently in flight across all channels.
+
+        A pull-style depth gauge for the observability registry
+        (``net.in_flight``): sampled at collect time only, so the send
+        path pays nothing for it.
+        """
+        return sum(
+            channel.in_flight_count for channel in self._channels.values()
+        )
+
     # -- transport ----------------------------------------------------------------
 
     def send(self, src: int, dst: int, message: Message) -> None:

@@ -59,6 +59,10 @@ class Process:
         self._loop_task: SimTask | None = None
         self._iteration_listeners: list[Callable[[int], None]] = []
         self.iterations_completed = 0
+        #: Observability hook (:class:`repro.obs.observe.ProcessObs` or
+        #: ``None``).  Algorithm code updates its heal/retransmit counters
+        #: behind an ``obs is not None`` test; see ``docs/observability.md``.
+        self.obs = None
         network.attach(self)
         self.initialize_state()
 

@@ -101,8 +101,17 @@ async def broadcast_until(
     (undetectable restart).
     """
     interval = process.config.retransmit_interval
+    first = True
     while not collector.satisfied:
         await process.gate.passthrough()
+        if not first:
+            # Every broadcast after the first is a retransmission — the
+            # quantity the observability layer attributes to the active
+            # operation span (lossy channels show up here directly).
+            obs = process.obs
+            if obs is not None:
+                obs.retransmit()
+        first = False
         process.broadcast(make_message(), include_self=include_self)
         try:
             await process.kernel.wait_for(collector.wait(), timeout=interval)

@@ -1,0 +1,50 @@
+"""``repro.obs``: the unified observability layer.
+
+Spans for every ``write()``/``snapshot()``, a kernel/network/stabilization
+metric registry, a causal message trace, and exporters (Chrome
+``trace_event`` for Perfetto, JSONL, terminal summary).  See
+``docs/observability.md`` for the span model, the metric catalog, and the
+overhead contract.
+
+Quick start::
+
+    from repro import ClusterConfig, SnapshotCluster
+    from repro.obs import Observability, session
+
+    with session() as obs:                   # ambient: clusters auto-attach
+        cluster = SnapshotCluster("ss-nonblocking", ClusterConfig(n=4))
+        cluster.write_sync(0, b"hello")
+    obs.finish()
+    print(obs.summary())                     # terminal tables
+    trace = obs.chrome_trace()               # dict for json.dump(...)
+
+or, from the CLI::
+
+    python -m repro experiments e01 --trace-out trace.json --stats
+"""
+
+from repro.obs.observe import (
+    ClusterObs,
+    KernelStats,
+    Observability,
+    ProcessObs,
+    current_session,
+    session,
+)
+from repro.obs.registry import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.spans import Span, SpanRecorder
+
+__all__ = [
+    "Observability",
+    "ClusterObs",
+    "KernelStats",
+    "ProcessObs",
+    "session",
+    "current_session",
+    "MetricsRegistry",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "Span",
+    "SpanRecorder",
+]

@@ -1,0 +1,283 @@
+"""Exporters: Chrome ``trace_event`` JSON, JSONL stream, terminal summary.
+
+Chrome trace layout (loadable in Perfetto or ``about://tracing``):
+
+* one *process* per attached cluster (pid = cluster index), one *thread*
+  per node (tid = node id) plus a ``run`` track (tid = n) for the
+  run-level root span;
+* operation spans are complete slices (``ph: "X"``), phase transitions
+  are thread-scoped instants (``ph: "i"``);
+* every network send/deliver is a small slice on its node's track, and
+  matched send/deliver pairs are joined by flow arrows (``ph: "s"`` /
+  ``ph: "f"``).  Pairs are matched FIFO per ``(src, dst, kind)`` — exact
+  for per-kind-FIFO channels, approximate under reordering; duplicated
+  deliveries render as slices without an arrow, lost sends leave an
+  unterminated flow start (both harmless to the viewers).
+
+Timescale: 1 simulated time unit is rendered as 1 ms (``ts`` is in
+microseconds, so ``ts = time * 1000``).
+"""
+
+from __future__ import annotations
+
+import json
+from collections import deque
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.obs.observe import Observability
+
+__all__ = ["chrome_trace", "jsonl", "summary"]
+
+#: Simulated time units -> trace microseconds (1 unit = 1 ms).
+TIME_SCALE = 1000.0
+#: Width of the send/deliver marker slices, in microseconds.
+MSG_SLICE_US = 40.0
+
+
+def chrome_trace(obs: "Observability") -> dict:
+    """Build the session's Chrome ``trace_event`` JSON object."""
+    events: list[dict] = []
+    flow_id = 0
+    for cobs in obs.clusters:
+        pid = cobs.index
+        cluster = cobs.cluster
+        n = cluster.config.n
+        events.append(
+            {
+                "name": "process_name",
+                "ph": "M",
+                "pid": pid,
+                "args": {"name": f"cluster{pid} ({cluster.algorithm_name})"},
+            }
+        )
+        for tid in range(n):
+            events.append(
+                {
+                    "name": "thread_name",
+                    "ph": "M",
+                    "pid": pid,
+                    "tid": tid,
+                    "args": {"name": f"p{tid}"},
+                }
+            )
+        events.append(
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "pid": pid,
+                "tid": n,
+                "args": {"name": "run"},
+            }
+        )
+        if cobs.trace is None:
+            continue
+        pending: dict[tuple[int, int, str], deque[int]] = {}
+        for event in cobs.trace.events:
+            ts = event.time * TIME_SCALE
+            if event.event == "send":
+                flow_id += 1
+                pending.setdefault(
+                    (event.src, event.dst, event.kind), deque()
+                ).append(flow_id)
+                events.append(
+                    {
+                        "name": event.kind,
+                        "cat": "msg",
+                        "ph": "X",
+                        "ts": ts,
+                        "dur": MSG_SLICE_US,
+                        "pid": pid,
+                        "tid": event.src,
+                        "args": {"dst": event.dst},
+                    }
+                )
+                events.append(
+                    {
+                        "name": event.kind,
+                        "cat": "msg-flow",
+                        "ph": "s",
+                        "ts": ts,
+                        "pid": pid,
+                        "tid": event.src,
+                        "id": flow_id,
+                    }
+                )
+            elif event.event == "deliver":
+                events.append(
+                    {
+                        "name": event.kind,
+                        "cat": "msg",
+                        "ph": "X",
+                        "ts": ts,
+                        "dur": MSG_SLICE_US,
+                        "pid": pid,
+                        "tid": event.dst,
+                        "args": {"src": event.src},
+                    }
+                )
+                queue = pending.get((event.src, event.dst, event.kind))
+                if queue:
+                    events.append(
+                        {
+                            "name": event.kind,
+                            "cat": "msg-flow",
+                            "ph": "f",
+                            "bp": "e",
+                            "ts": ts,
+                            "pid": pid,
+                            "tid": event.dst,
+                            "id": queue.popleft(),
+                        }
+                    )
+            else:  # a caller-inserted mark
+                events.append(
+                    {
+                        "name": event.kind,
+                        "cat": "mark",
+                        "ph": "i",
+                        "s": "t",
+                        "ts": ts,
+                        "pid": pid,
+                        "tid": event.src,
+                    }
+                )
+    for span in obs.recorder.spans:
+        cobs = obs.clusters[span.cluster]
+        tid = span.node if span.node is not None else cobs.cluster.config.n
+        end = span.end if span.end is not None else cobs.cluster.kernel.now
+        events.append(
+            {
+                "name": span.name,
+                "cat": "op" if span.parent_id is not None else "run",
+                "ph": "X",
+                "ts": span.start * TIME_SCALE,
+                "dur": max((end - span.start) * TIME_SCALE, 1.0),
+                "pid": span.cluster,
+                "tid": tid,
+                "args": {
+                    "op_id": span.op_id,
+                    "status": span.status,
+                    "retransmits": span.retransmits,
+                    "messages_by_kind": dict(span.messages_by_kind),
+                    "message_bytes": span.message_bytes,
+                },
+            }
+        )
+        for time, label in span.phases:
+            events.append(
+                {
+                    "name": label,
+                    "cat": "phase",
+                    "ph": "i",
+                    "s": "t",
+                    "ts": time * TIME_SCALE,
+                    "pid": span.cluster,
+                    "tid": tid,
+                }
+            )
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "generator": "repro.obs",
+            "time_scale": "1 simulated unit = 1 ms",
+            "clusters": [
+                {
+                    "index": cobs.index,
+                    "algorithm": cobs.cluster.algorithm_name,
+                    "n": cobs.cluster.config.n,
+                }
+                for cobs in obs.clusters
+            ],
+        },
+    }
+
+
+def jsonl(obs: "Observability") -> str:
+    """The session as newline-delimited JSON (one event object per line)."""
+    lines = [
+        json.dumps(
+            {
+                "type": "session",
+                "clusters": [
+                    {
+                        "index": cobs.index,
+                        "algorithm": cobs.cluster.algorithm_name,
+                        "n": cobs.cluster.config.n,
+                    }
+                    for cobs in obs.clusters
+                ],
+            }
+        )
+    ]
+    for span in obs.recorder.spans:
+        lines.append(json.dumps({"type": "span", **span.to_dict()}))
+    for cobs in obs.clusters:
+        if cobs.trace is None:
+            continue
+        for event in cobs.trace.events:
+            lines.append(
+                json.dumps(
+                    {
+                        "type": "message",
+                        "cluster": cobs.index,
+                        "event": event.event,
+                        "time": event.time,
+                        "src": event.src,
+                        "dst": event.dst,
+                        "kind": event.kind,
+                    }
+                )
+            )
+    for name, value in obs.collect().items():
+        lines.append(json.dumps({"type": "metric", "name": name, "value": value}))
+    return "\n".join(lines) + "\n"
+
+
+def summary(obs: "Observability") -> str:
+    """Terminal tables: per-operation statistics plus the metric registry."""
+    from repro.harness.report import format_table
+
+    parts = []
+    ops = obs.recorder.ops()
+    if ops:
+        rows = []
+        for name in sorted({span.name for span in ops}):
+            group = [span for span in ops if span.name == name]
+            durations = [
+                span.duration for span in group if span.duration is not None
+            ]
+            rows.append(
+                {
+                    "op": name,
+                    "count": len(group),
+                    "ok": sum(1 for s in group if s.status == "ok"),
+                    "aborted": sum(1 for s in group if s.status == "aborted"),
+                    "mean_time": (
+                        sum(durations) / len(durations) if durations else None
+                    ),
+                    "max_time": max(durations) if durations else None,
+                    "retransmits": sum(s.retransmits for s in group),
+                    "messages": sum(
+                        sum(s.messages_by_kind.values()) for s in group
+                    ),
+                }
+            )
+        parts.append(format_table(rows, title="operations"))
+    values = obs.collect()
+    scalar_rows = [
+        {"metric": name, "value": value}
+        for name, value in values.items()
+        if not isinstance(value, dict)
+    ]
+    if scalar_rows:
+        parts.append(format_table(scalar_rows, title="metrics"))
+    histogram_lines = [
+        f"{name}: {value}"
+        for name, value in values.items()
+        if isinstance(value, dict)
+    ]
+    if histogram_lines:
+        parts.append("histograms\n==========\n" + "\n".join(histogram_lines))
+    return "\n\n".join(parts) if parts else "(no observability data)"

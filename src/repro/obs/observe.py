@@ -1,0 +1,381 @@
+"""The observability session: spans + metrics + message trace, wired in.
+
+One :class:`Observability` object is a *session*: it owns a
+:class:`~repro.obs.spans.SpanRecorder`, a
+:class:`~repro.obs.registry.MetricsRegistry`, and one
+:class:`ClusterObs` per attached cluster.  Attaching a cluster
+
+* records its network traffic into a per-cluster
+  :class:`~repro.analysis.trace.MessageTrace` (the causal send/deliver
+  edges the Chrome exporter turns into flow arrows),
+* opens a run-level root span that every operation span nests under,
+* hands the kernel a :class:`KernelStats` struct and every process a
+  :class:`ProcessObs` struct — the plain-integer hooks the hot paths
+  update behind an ``obs is not None`` test.
+
+Sessions can be installed as *ambient* via :func:`session`, in which
+case every :class:`~repro.core.cluster.SnapshotCluster` constructed
+inside the ``with`` block attaches itself automatically — this is how
+``--trace-out`` observes clusters that experiment runners build
+internally.
+
+Determinism contract: nothing in this module (or in the hooks it
+installs) draws from a kernel RNG or schedules kernel events.  Hooks
+append to lists and increment integers only, so enabling observability
+cannot perturb a seeded schedule — ``tests/test_determinism_regression``
+asserts the golden fingerprints hold with tracing on.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import TYPE_CHECKING, Any, Iterator
+
+from repro.analysis.trace import MessageTrace
+from repro.obs.registry import MetricsRegistry
+from repro.obs.spans import ABORTED, OK, Span, SpanRecorder
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.cluster import SnapshotCluster
+
+__all__ = [
+    "KernelStats",
+    "ProcessObs",
+    "ClusterObs",
+    "Observability",
+    "session",
+    "current_session",
+]
+
+
+class KernelStats:
+    """Plain-integer kernel instrumentation (batches, timer pool).
+
+    Attached as ``kernel.obs``; the dispatch loop and ``sleep`` update it
+    behind a single ``obs is not None`` test.  Event counts and queue
+    depth come from the kernel's own attributes at collect time.
+    """
+
+    __slots__ = (
+        "batches",
+        "batch_events",
+        "largest_batch",
+        "timer_pool_hits",
+        "timer_pool_misses",
+    )
+
+    def __init__(self) -> None:
+        self.batches = 0
+        self.batch_events = 0
+        self.largest_batch = 0
+        self.timer_pool_hits = 0
+        self.timer_pool_misses = 0
+
+    def record_batch(self, size: int) -> None:
+        """Account one same-instant dispatch batch of ``size`` events."""
+        self.batches += 1
+        self.batch_events += size
+        if size > self.largest_batch:
+            self.largest_batch = size
+
+
+class ProcessObs:
+    """Per-process stabilization/retry counters, attached as ``process.obs``.
+
+    The heal counters are the paper's *corrupted-state detections*: each
+    one increments when a self-stabilizing cleanup line actually changed
+    state (evidence that a transient fault, restart, or stale message had
+    left an inconsistency) rather than merely re-asserting an invariant
+    that already held.
+    """
+
+    __slots__ = (
+        "_owner",
+        "node_id",
+        "retransmits",
+        "ts_heals",
+        "sns_heals",
+        "vc_clears",
+        "task_repairs",
+        "reset_invocations",
+    )
+
+    def __init__(self, owner: "ClusterObs", node_id: int) -> None:
+        self._owner = owner
+        self.node_id = node_id
+        self.retransmits = 0
+        self.ts_heals = 0
+        self.sns_heals = 0
+        self.vc_clears = 0
+        self.task_repairs = 0
+        self.reset_invocations = 0
+
+    @property
+    def detections(self) -> int:
+        """Total corrupted-state detections across all heal classes."""
+        return self.ts_heals + self.sns_heals + self.vc_clears + self.task_repairs
+
+    def retransmit(self) -> None:
+        """Account one quorum-loop retransmission (a repeat broadcast)."""
+        self.retransmits += 1
+        span = self._owner.active_span(self.node_id)
+        if span is not None:
+            span.retransmits += 1
+
+    def phase(self, label: str) -> None:
+        """Record a phase transition on the node's active operation span."""
+        span = self._owner.active_span(self.node_id)
+        if span is not None:
+            span.phases.append((self._owner.cluster.kernel.now, label))
+
+
+class ClusterObs:
+    """Everything the session knows about one attached cluster."""
+
+    def __init__(
+        self,
+        session: "Observability",
+        cluster: "SnapshotCluster",
+        index: int,
+        trace_messages: bool = True,
+    ) -> None:
+        self.session = session
+        self.cluster = cluster
+        self.index = index
+        self.trace: MessageTrace | None = (
+            MessageTrace(cluster.network) if trace_messages else None
+        )
+        if cluster.kernel.obs is None:
+            cluster.kernel.obs = KernelStats()
+        self.kernel_stats = cluster.kernel.obs
+        self.process_obs: list[ProcessObs] = []
+        for process in cluster.processes:
+            pobs = ProcessObs(self, process.node_id)
+            process.obs = pobs
+            self.process_obs.append(pobs)
+        #: node id -> stack of (span, window_cm, window_holder) for the
+        #: operations currently open on that node (a node may run one
+        #: write and one snapshot concurrently).
+        self._active: dict[int, list[tuple[Span, Any, Any]]] = {}
+        self.root = session.recorder.begin(
+            name="run",
+            cluster=index,
+            node=None,
+            algorithm=cluster.algorithm_name,
+            start=cluster.kernel.now,
+        )
+
+    # -- span lifecycle --------------------------------------------------------
+
+    def active_span(self, node_id: int) -> Span | None:
+        """The innermost open operation span on ``node_id``, if any."""
+        stack = self._active.get(node_id)
+        return stack[-1][0] if stack else None
+
+    def begin_op(self, node_id: int, name: str, op_id: int) -> Span:
+        """Open an operation span and its traffic-attribution window."""
+        span = self.session.recorder.begin(
+            name=name,
+            cluster=self.index,
+            node=node_id,
+            algorithm=self.cluster.algorithm_name,
+            start=self.cluster.kernel.now,
+            parent_id=self.root.span_id,
+            op_id=op_id,
+        )
+        window_cm = self.cluster.metrics.window()
+        holder = window_cm.__enter__()
+        self._active.setdefault(node_id, []).append((span, window_cm, holder))
+        return span
+
+    def end_op(self, span: Span, status: str = OK) -> None:
+        """Close an operation span, folding in its traffic window."""
+        stack = self._active.get(span.node, [])
+        for position, (candidate, window_cm, holder) in enumerate(stack):
+            if candidate is span:
+                del stack[position]
+                window_cm.__exit__(None, None, None)
+                stats = holder.stats
+                span.messages_by_kind = dict(stats.messages_by_kind)
+                span.message_bytes = stats.total_bytes
+                break
+        self.session.recorder.end(
+            span, end=self.cluster.kernel.now, status=status
+        )
+
+    # -- metric contribution ---------------------------------------------------
+
+    def contribute(
+        self, totals: dict[str, float], seen_kernels: set[int]
+    ) -> None:
+        """Add this cluster's pull-style metric values into ``totals``.
+
+        ``seen_kernels`` deduplicates kernels shared across clusters
+        (reconfiguration runs two clusters on one timeline).
+        """
+        cluster = self.cluster
+        kernel = cluster.kernel
+        if id(kernel) not in seen_kernels:
+            seen_kernels.add(id(kernel))
+            _add(totals, "kernel.events_dispatched", kernel.events_processed)
+            _add(totals, "kernel.queue_depth", len(kernel._heap))
+            _add(totals, "kernel.timer_pool_size", len(kernel._timer_pool))
+            stats = kernel.obs
+            if stats is not None:
+                _add(totals, "kernel.batches", stats.batches)
+                _add(totals, "kernel.batched_events", stats.batch_events)
+                _add(totals, "kernel.timer_pool_hits", stats.timer_pool_hits)
+                _add(totals, "kernel.timer_pool_misses", stats.timer_pool_misses)
+                totals["kernel.largest_batch"] = max(
+                    totals.get("kernel.largest_batch", 0), stats.largest_batch
+                )
+        snap = cluster.metrics.snapshot()
+        _add(totals, "net.messages_total", snap.total_messages)
+        _add(totals, "net.bytes_total", snap.total_bytes)
+        for kind, count in snap.messages_by_kind.items():
+            _add(totals, f"net.messages.{kind}", count)
+        _add(totals, "net.dropped_loss", snap.dropped_loss)
+        _add(totals, "net.dropped_capacity", snap.dropped_capacity)
+        _add(totals, "net.duplicated", snap.duplicated)
+        _add(totals, "net.in_flight", cluster.network.in_flight_total())
+        _add(
+            totals,
+            "stabilization.gossip_rounds",
+            sum(p.iterations_completed for p in cluster.processes),
+        )
+        _add(
+            totals,
+            "stabilization.corrupted_state_detections",
+            sum(p.detections for p in self.process_obs),
+        )
+        _add(totals, "stabilization.ts_heals", sum(p.ts_heals for p in self.process_obs))
+        _add(totals, "stabilization.sns_heals", sum(p.sns_heals for p in self.process_obs))
+        _add(totals, "stabilization.vc_clears", sum(p.vc_clears for p in self.process_obs))
+        _add(
+            totals,
+            "stabilization.task_repairs",
+            sum(p.task_repairs for p in self.process_obs),
+        )
+        _add(
+            totals,
+            "stabilization.reset_invocations",
+            sum(p.reset_invocations for p in self.process_obs),
+        )
+        _add(
+            totals,
+            "stabilization.resets_completed",
+            sum(getattr(p, "resets_completed", 0) for p in cluster.processes),
+        )
+        _add(
+            totals,
+            "quorum.retransmits",
+            sum(p.retransmits for p in self.process_obs),
+        )
+
+
+def _add(totals: dict[str, float], name: str, value: float) -> None:
+    totals[name] = totals.get(name, 0) + value
+
+
+class Observability:
+    """One observability session: registry + span recorder + clusters."""
+
+    def __init__(self, trace_messages: bool = True) -> None:
+        self.registry = MetricsRegistry()
+        self.recorder = SpanRecorder()
+        self.clusters: list[ClusterObs] = []
+        self._trace_messages = trace_messages
+
+    def attach(self, cluster: "SnapshotCluster") -> ClusterObs:
+        """Observe a cluster (idempotent: re-attaching returns the existing)."""
+        if cluster.obs is not None:
+            return cluster.obs
+        cobs = ClusterObs(
+            self, cluster, len(self.clusters), trace_messages=self._trace_messages
+        )
+        self.clusters.append(cobs)
+        cluster.obs = cobs
+        return cobs
+
+    def collect(self) -> dict[str, Any]:
+        """Pull every metric source and return ``{name: value}``.
+
+        Cluster-derived values land in gauges (summed across clusters,
+        except ``kernel.largest_batch`` which takes the max); values
+        pushed directly into the registry (e.g. by E07/E08) pass through
+        untouched.
+        """
+        totals: dict[str, float] = {}
+        seen_kernels: set[int] = set()
+        for cobs in self.clusters:
+            cobs.contribute(totals, seen_kernels)
+        ops = self.recorder.ops()
+        totals["ops.total"] = len(ops)
+        totals["ops.completed"] = sum(1 for s in ops if s.status == OK)
+        totals["ops.aborted"] = sum(1 for s in ops if s.status == ABORTED)
+        totals["ops.open"] = sum(1 for s in ops if s.end is None)
+        totals["ops.retransmits"] = sum(s.retransmits for s in ops)
+        for name, value in totals.items():
+            self.registry.gauge(name).set(value)
+        return self.registry.collect()
+
+    def finish(self) -> None:
+        """Close every still-open span at its cluster's current sim time.
+
+        Open operation spans keep status ``"open"`` (they genuinely did
+        not finish); run roots close ``"ok"``.
+        """
+        for cobs in self.clusters:
+            now = cobs.cluster.kernel.now
+            for stack in list(cobs._active.values()):
+                for span, window_cm, _holder in list(stack):
+                    window_cm.__exit__(None, None, None)
+                    span.end = now
+                stack.clear()
+            for span in self.recorder.spans:
+                if span.cluster == cobs.index and span.end is None:
+                    span.end = now
+            if cobs.root.status == "open":
+                cobs.root.status = OK
+
+    # -- exporter front doors (implementations in repro.obs.export) ------------
+
+    def chrome_trace(self) -> dict:
+        """The session as a Chrome ``trace_event`` JSON object."""
+        from repro.obs.export import chrome_trace
+
+        return chrome_trace(self)
+
+    def jsonl(self) -> str:
+        """The session as a JSON-lines event stream."""
+        from repro.obs.export import jsonl
+
+        return jsonl(self)
+
+    def summary(self) -> str:
+        """The session as a terminal summary (operations + metrics tables)."""
+        from repro.obs.export import summary
+
+        return summary(self)
+
+
+#: Stack of ambient sessions; clusters constructed while one is installed
+#: attach to the innermost.
+_SESSIONS: list[Observability] = []
+
+
+def current_session() -> Observability | None:
+    """The innermost ambient session, or ``None``."""
+    return _SESSIONS[-1] if _SESSIONS else None
+
+
+@contextmanager
+def session(obs: Observability | None = None) -> Iterator[Observability]:
+    """Install an ambient session for the duration of the ``with`` block."""
+    if obs is None:
+        obs = Observability()
+    _SESSIONS.append(obs)
+    try:
+        yield obs
+    finally:
+        _SESSIONS.pop()

@@ -1,0 +1,172 @@
+"""A lightweight metric registry: counters, gauges, and histograms.
+
+The registry is the sink for everything the observability layer measures
+— kernel dispatch statistics, network depth/drops, stabilization heal
+counters — plus anything experiment code wants to publish itself (E07/E08
+push ``stabilization.recovery_cycles`` here).  Instruments are created on
+first use and addressed by dotted names (``kernel.events_dispatched``,
+``net.dropped_loss``, …; the full catalog is in ``docs/observability.md``).
+
+Design constraints, inherited from the determinism contract:
+
+* instruments are plain Python numbers behind ``__slots__`` — updating
+  one never allocates per-update, draws RNG, or schedules kernel events;
+* pull-style values (queue depth, in-flight packets) are produced by
+  *collector* callbacks run only at :meth:`MetricsRegistry.collect`
+  time, so the simulation hot path pays nothing for them.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.errors import ObservabilityError
+
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry"]
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    __slots__ = ("name", "_value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        """Add ``amount`` (default 1) to the count."""
+        self._value += amount
+
+    @property
+    def value(self) -> int:
+        """The current count."""
+        return self._value
+
+
+class Gauge:
+    """A value that can go up and down (depth, cycles, last-seen)."""
+
+    __slots__ = ("name", "_value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._value: float = 0
+
+    def set(self, value: float) -> None:
+        """Replace the gauge's value."""
+        self._value = value
+
+    @property
+    def value(self) -> float:
+        """The most recently set value."""
+        return self._value
+
+
+class Histogram:
+    """A streaming summary: count, sum, min, max (no buckets, no lists).
+
+    Exposed as a dict (``{"count", "sum", "min", "max", "mean"}``) so the
+    exporters can serialize it without a schema of their own.
+    """
+
+    __slots__ = ("name", "_count", "_sum", "_min", "_max")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._count = 0
+        self._sum = 0.0
+        self._min = 0.0
+        self._max = 0.0
+
+    def observe(self, value: float) -> None:
+        """Record one sample."""
+        if self._count == 0:
+            self._min = self._max = value
+        else:
+            if value < self._min:
+                self._min = value
+            if value > self._max:
+                self._max = value
+        self._count += 1
+        self._sum += value
+
+    @property
+    def value(self) -> dict[str, float]:
+        """The summary statistics of the samples observed so far."""
+        count = self._count
+        return {
+            "count": count,
+            "sum": self._sum,
+            "min": self._min,
+            "max": self._max,
+            "mean": self._sum / count if count else 0.0,
+        }
+
+
+class MetricsRegistry:
+    """Named instruments plus pull-style collector callbacks.
+
+    ``counter``/``gauge``/``histogram`` are get-or-create: asking for the
+    same name twice returns the same instrument; asking for it with a
+    different instrument type raises :class:`ObservabilityError`.
+    """
+
+    def __init__(self) -> None:
+        self._instruments: dict[str, Any] = {}
+        self._collectors: list[Callable[["MetricsRegistry"], None]] = []
+
+    def _get_or_create(self, name: str, cls: type) -> Any:
+        instrument = self._instruments.get(name)
+        if instrument is None:
+            instrument = cls(name)
+            self._instruments[name] = instrument
+        elif type(instrument) is not cls:
+            raise ObservabilityError(
+                f"metric {name!r} already registered as "
+                f"{type(instrument).__name__}, requested {cls.__name__}"
+            )
+        return instrument
+
+    def counter(self, name: str) -> Counter:
+        """Get or create the counter ``name``."""
+        return self._get_or_create(name, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        """Get or create the gauge ``name``."""
+        return self._get_or_create(name, Gauge)
+
+    def histogram(self, name: str) -> Histogram:
+        """Get or create the histogram ``name``."""
+        return self._get_or_create(name, Histogram)
+
+    def add_collector(
+        self, collector: Callable[["MetricsRegistry"], None]
+    ) -> None:
+        """Register a callback run at :meth:`collect` time.
+
+        Collectors sample current system state (queue depth, in-flight
+        packets) into gauges — the pull half of the registry, costing the
+        hot path nothing.
+        """
+        self._collectors.append(collector)
+
+    def collect(self) -> dict[str, Any]:
+        """Run every collector, then snapshot all instruments by name."""
+        for collector in self._collectors:
+            collector(self)
+        return {
+            name: instrument.value
+            for name, instrument in sorted(self._instruments.items())
+        }
+
+    def value(self, name: str) -> Any:
+        """Read one instrument's current value (no collector pass)."""
+        try:
+            return self._instruments[name].value
+        except KeyError:
+            raise ObservabilityError(f"no metric named {name!r}") from None
+
+    def names(self) -> list[str]:
+        """The names of all instruments created so far, sorted."""
+        return sorted(self._instruments)

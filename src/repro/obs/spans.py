@@ -1,0 +1,134 @@
+"""Operation spans: one structured record per ``write()``/``snapshot()``.
+
+A :class:`Span` is the unit the exporters work from: it carries the
+operation id (linking back to the :class:`~repro.analysis.history.
+HistoryRecorder` record), the node and algorithm, start/end times on the
+simulated clock, phase transitions observed inside the operation,
+retransmit counts, and the message traffic attributed to the operation
+(via :meth:`MetricsCollector.window <repro.analysis.metrics.
+MetricsCollector.window>`).  Spans nest: every operation span's
+``parent_id`` points at its cluster's run-level root span.
+
+Causal message links are *not* stored on spans — they come from the
+:class:`~repro.analysis.trace.MessageTrace` recorded alongside, and the
+Chrome exporter joins the two (spans become slices, trace send/deliver
+pairs become flow arrows).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["Span", "SpanRecorder"]
+
+#: Span lifecycle states.
+OPEN = "open"
+OK = "ok"
+ABORTED = "aborted"
+
+
+@dataclass(slots=True)
+class Span:
+    """One timed, structured unit of work on the simulated clock."""
+
+    span_id: int
+    name: str
+    cluster: int
+    node: int | None
+    algorithm: str
+    start: float
+    parent_id: int | None = None
+    end: float | None = None
+    status: str = OPEN
+    op_id: int | None = None
+    retransmits: int = 0
+    #: ``(time, label)`` phase transitions recorded inside the span.
+    phases: list[tuple[float, str]] = field(default_factory=list)
+    #: Message traffic sent while the span was open, by kind.
+    messages_by_kind: dict[str, int] = field(default_factory=dict)
+    message_bytes: int = 0
+
+    @property
+    def duration(self) -> float | None:
+        """Span length in simulated time units (``None`` while open)."""
+        if self.end is None:
+            return None
+        return self.end - self.start
+
+    def to_dict(self) -> dict:
+        """A JSON-ready view (used by the JSONL exporter)."""
+        return {
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "name": self.name,
+            "cluster": self.cluster,
+            "node": self.node,
+            "algorithm": self.algorithm,
+            "op_id": self.op_id,
+            "start": self.start,
+            "end": self.end,
+            "status": self.status,
+            "retransmits": self.retransmits,
+            "phases": [list(phase) for phase in self.phases],
+            "messages_by_kind": dict(self.messages_by_kind),
+            "message_bytes": self.message_bytes,
+        }
+
+
+class SpanRecorder:
+    """Creates and stores spans; one recorder per observability session."""
+
+    def __init__(self) -> None:
+        self.spans: list[Span] = []
+        self._next_id = 1
+
+    def begin(
+        self,
+        name: str,
+        cluster: int,
+        node: int | None,
+        algorithm: str,
+        start: float,
+        parent_id: int | None = None,
+        op_id: int | None = None,
+    ) -> Span:
+        """Open a new span and return it."""
+        span = Span(
+            span_id=self._next_id,
+            name=name,
+            cluster=cluster,
+            node=node,
+            algorithm=algorithm,
+            start=start,
+            parent_id=parent_id,
+            op_id=op_id,
+        )
+        self._next_id += 1
+        self.spans.append(span)
+        return span
+
+    def end(self, span: Span, end: float, status: str = OK) -> None:
+        """Close a span at simulated time ``end``."""
+        span.end = end
+        span.status = status
+
+    # -- queries ---------------------------------------------------------------
+
+    def ops(self) -> list[Span]:
+        """Operation spans (everything except run-level roots)."""
+        return [span for span in self.spans if span.parent_id is not None]
+
+    def roots(self) -> list[Span]:
+        """Run-level root spans (one per attached cluster)."""
+        return [span for span in self.spans if span.parent_id is None]
+
+    def by_name(self, name: str) -> list[Span]:
+        """All spans with the given name (e.g. ``"write"``)."""
+        return [span for span in self.spans if span.name == name]
+
+    def open_spans(self) -> list[Span]:
+        """Spans not yet closed."""
+        return [span for span in self.spans if span.end is None]
+
+    def __len__(self) -> int:
+        return len(self.spans)

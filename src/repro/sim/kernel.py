@@ -380,6 +380,13 @@ class Kernel:
         self._heap: list[tuple[float, float, int, Callable[..., None], tuple]] = []
         self._events_processed = 0
         self._timer_pool: list[_Timer] = []
+        #: Observability hook (:class:`repro.obs.observe.KernelStats` or
+        #: ``None``).  When set, the dispatch loop records same-instant
+        #: batch sizes and ``sleep`` records timer-pool hits/misses —
+        #: plain integer increments, so attaching it never perturbs a
+        #: seeded schedule.  When ``None`` (the default) the hot path
+        #: pays a single attribute test.
+        self.obs = None
         #: SCRIPTED mode: the decision to take at the k-th same-instant
         #: choice point (index into the candidate list; 0 beyond the end).
         self.decision_script: list[int] = []
@@ -445,7 +452,15 @@ class Kernel:
     async def sleep(self, delay: float) -> None:
         """Suspend the calling task for ``delay`` units of simulated time."""
         pool = self._timer_pool
-        timer = pool.pop() if pool else _Timer(self)
+        obs = self.obs
+        if pool:
+            timer = pool.pop()
+            if obs is not None:
+                obs.timer_pool_hits += 1
+        else:
+            timer = _Timer(self)
+            if obs is not None:
+                obs.timer_pool_misses += 1
         gen = timer._gen
         self.call_later(delay, timer._fire, gen)
         try:
@@ -586,6 +601,17 @@ class Kernel:
         until:
             Stop as soon as this future completes.
         """
+        # Observability is tested ONCE per run() call, not per instant: a
+        # stats-attached kernel dispatches through the batch-accounting
+        # mirror below, while the default path stays verbatim pre-obs so
+        # disabling observability costs nothing on the hot loop.  A kernel
+        # observed mid-run (reconfiguration under an ambient capture
+        # session) starts counting at its next run() call.  SCRIPTED mode
+        # always uses this loop: it never batches — same-instant groups
+        # are its choice points — so there is nothing to count.
+        if self.obs is not None and not self._scripted:
+            self._run_counting(until_time, max_events, until)
+            return
         heap = self._heap
         scripted = self._scripted
         heappop = heapq.heappop
@@ -611,8 +637,6 @@ class Kernel:
                 # without re-testing ``until_time`` (``when`` already passed
                 # it).  The ``until`` check stays — stopping promptly once
                 # the target future completes is part of the run() contract.
-                # SCRIPTED mode never batches: same-instant groups are its
-                # choice points.
                 if not scripted:
                     while heap and heap[0][0] == when:
                         if until is not None and until._state != _PENDING:
@@ -622,6 +646,54 @@ class Kernel:
                         processed += 1
                         if max_events is not None and processed >= max_events:
                             return
+        finally:
+            self._events_processed += processed
+
+    def _run_counting(
+        self,
+        until_time: float | None,
+        max_events: int | None,
+        until: SimFuture | None,
+    ) -> None:
+        """Dispatch loop with same-instant batch accounting.
+
+        Mirrors :meth:`run`'s non-scripted path exactly — same stop
+        conditions, same dispatch order — plus one
+        :meth:`~repro.obs.observe.KernelStats.record_batch` call per
+        instant.  Kept separate so the observability-off hot loop pays
+        nothing for the accounting.
+        """
+        obs = self.obs
+        heap = self._heap
+        heappop = heapq.heappop
+        processed = 0
+        try:
+            while heap:
+                if until is not None and until._state != _PENDING:
+                    return
+                when = heap[0][0]
+                if until_time is not None and when > until_time:
+                    self._now = until_time
+                    return
+                entry = heappop(heap)
+                self._now = when
+                entry[3](*entry[4])
+                processed += 1
+                if max_events is not None and processed >= max_events:
+                    return
+                batch = 1
+                while heap and heap[0][0] == when:
+                    if until is not None and until._state != _PENDING:
+                        break
+                    entry = heappop(heap)
+                    entry[3](*entry[4])
+                    processed += 1
+                    batch += 1
+                    if max_events is not None and processed >= max_events:
+                        break
+                obs.record_batch(batch)
+                if max_events is not None and processed >= max_events:
+                    return
         finally:
             self._events_processed += processed
 

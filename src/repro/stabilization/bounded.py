@@ -138,6 +138,8 @@ class _BoundedCounterMixin:
     def _enter_reset(self) -> None:
         self.resetting = True
         self._join_votes = {self.node_id: self.reg.copy()}
+        if self.obs is not None:
+            self.obs.reset_invocations += 1
 
     # -- reset protocol handlers ----------------------------------------------------------
 

@@ -1,6 +1,13 @@
 """Tests for the ``python -m repro`` command-line interface."""
 
+import json
+import sys
+from pathlib import Path
+
 from repro.__main__ import main
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "benchmarks"))
+from check_trace_schema import validate  # noqa: E402
 
 
 class TestCli:
@@ -39,6 +46,10 @@ class TestCli:
     def test_experiments_unknown_id(self, capsys):
         assert main(["experiments", "e99"]) == 2
 
+    def test_experiments_ids_are_case_insensitive(self, capsys):
+        assert main(["experiments", "E01"]) == 0
+        assert "E1" in capsys.readouterr().out
+
     def test_figures_single(self, capsys):
         assert main(["figures", "fig1-upper"]) == 0
         out = capsys.readouterr().out
@@ -53,6 +64,66 @@ class TestCli:
         out = capsys.readouterr().out
         assert "consistent after 6 cycles: True" in out
         assert "recovered" in out
+
+
+class TestObservabilityFlags:
+    def test_experiments_trace_out_writes_valid_chrome_trace(
+        self, capsys, tmp_path
+    ):
+        out = tmp_path / "trace.json"
+        assert main(["experiments", "E01", "--trace-out", str(out)]) == 0
+        stdout = capsys.readouterr().out
+        assert "wrote Chrome trace" in stdout
+        assert "perfetto" in stdout
+        payload = json.loads(out.read_text())
+        assert validate(payload) == []
+        ops = [
+            e
+            for e in payload["traceEvents"]
+            if e["ph"] == "X" and e.get("cat") == "op"
+        ]
+        assert ops, "expected operation spans in the E01 trace"
+        assert {e["name"] for e in ops} == {"write", "snapshot"}
+
+    def test_experiments_jsonl_out_and_stats(self, capsys, tmp_path):
+        out = tmp_path / "events.jsonl"
+        assert main(
+            ["experiments", "e01", "--jsonl-out", str(out), "--stats"]
+        ) == 0
+        stdout = capsys.readouterr().out
+        assert "metrics" in stdout
+        assert "net.messages_total" in stdout
+        records = [
+            json.loads(line) for line in out.read_text().splitlines()
+        ]
+        assert records[0]["type"] == "session"
+        assert {r["type"] for r in records} == {
+            "session",
+            "span",
+            "message",
+            "metric",
+        }
+
+    def test_capture_forces_jobs_serial(self, capsys, tmp_path):
+        out = tmp_path / "trace.json"
+        assert main(
+            ["experiments", "e01", "--jobs", "4", "--trace-out", str(out)]
+        ) == 0
+        captured = capsys.readouterr()
+        assert "forcing --jobs 1" in captured.err
+        assert validate(json.loads(out.read_text())) == []
+
+    def test_trace_out_requires_a_path(self):
+        import pytest
+
+        with pytest.raises(SystemExit, match="requires a file path"):
+            main(["experiments", "e01", "--trace-out"])
+
+    def test_chaos_accepts_stats(self, capsys):
+        assert main(["chaos", "40", "0", "--stats"]) == 0
+        out = capsys.readouterr().out
+        assert "metrics" in out
+        assert "ops.total" in out
 
 
 class TestVerifyCommand:

@@ -72,6 +72,33 @@ def test_golden_fingerprint(algorithm):
 
 
 @pytest.mark.parametrize("algorithm", ALGORITHMS)
+def test_golden_fingerprint_with_tracing_on(algorithm):
+    """Observability must not perturb seeded schedules.
+
+    The same workload run under a full capture session (spans, message
+    trace, kernel stats, per-process heal counters) must reproduce the
+    frozen fingerprints exactly — the obs hooks consume no RNG and
+    schedule no events, so the schedule cannot shift.
+    """
+    from repro.obs import session
+
+    with session() as obs:
+        cluster, snap = run_workload(algorithm)
+    obs.finish()
+    expected_values, expected_messages, expected_now = GOLDEN_FINGERPRINTS[
+        algorithm
+    ]
+    assert tuple(snap.values) == expected_values
+    assert cluster.metrics.snapshot().total_messages == expected_messages
+    assert round(cluster.kernel.now, 6) == expected_now
+    # And the capture itself saw the run: spans and trace are populated.
+    assert len(obs.recorder.ops()) == 6  # 5 writes + 1 snapshot
+    assert all(span.status == "ok" for span in obs.recorder.ops())
+    assert len(obs.clusters[0].trace.events) > 0
+    assert obs.collect()["net.messages_total"] == expected_messages
+
+
+@pytest.mark.parametrize("algorithm", ALGORITHMS)
 def test_scripted_decision_log_replays(algorithm):
     def scripted_run():
         cluster = SnapshotCluster(

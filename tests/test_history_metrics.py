@@ -125,6 +125,45 @@ class TestMetricsCollector:
             1,
         )
 
+    def test_record_send_disabled_is_a_no_op(self):
+        metrics = MetricsCollector()
+        metrics.record_send(0, 1, "WRITE", 100)
+        metrics.disable()
+        metrics.record_send(0, 1, "WRITE", 100)
+        metrics.record_send(2, 1, "GOSSIP", 10)
+        assert metrics.snapshot().total_messages == 1
+        assert metrics.sender_messages(0) == 1
+        assert metrics.sender_messages(2) == 0
+        metrics.enable()
+        metrics.record_send(2, 1, "GOSSIP", 10)
+        assert metrics.sender_messages(2) == 1
+
+    def test_sender_totals_match_per_kind_sums(self):
+        metrics = MetricsCollector()
+        for _ in range(3):
+            metrics.record_send(5, 1, "WRITE", 10)
+        for _ in range(2):
+            metrics.record_send(5, 2, "GOSSIP", 10)
+        metrics.record_send(6, 5, "WRITE", 10)
+        # The no-kind total is kept as a running per-sender counter (O(1)
+        # to read); it must agree with summing the per-kind breakdown.
+        assert metrics.sender_messages(5) == 5
+        assert metrics.sender_messages(5) == sum(
+            metrics.sender_messages(5, kind) for kind in ("WRITE", "GOSSIP")
+        )
+        assert metrics.sender_messages(6) == 1
+
+    def test_window_stats_before_close_raises(self):
+        from repro.errors import ObservabilityError
+
+        metrics = MetricsCollector()
+        with metrics.window() as window:
+            assert not window.closed
+            with pytest.raises(ObservabilityError, match="before the window"):
+                window.stats
+        assert window.closed
+        assert window.stats.total_messages == 0
+
 
 class TestMessageSizing:
     def test_primitives(self):

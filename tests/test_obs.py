@@ -1,0 +1,231 @@
+"""Tests for the observability layer: registry, spans, sessions, hooks."""
+
+import pytest
+
+from repro import ClusterConfig, SnapshotCluster
+from repro.errors import ObservabilityError
+from repro.fault import TransientFaultInjector
+from repro.obs import (
+    Histogram,
+    MetricsRegistry,
+    Observability,
+    SpanRecorder,
+    current_session,
+    session,
+)
+from repro.obs.observe import KernelStats
+
+
+class TestMetricsRegistry:
+    def test_counter_gauge_histogram(self):
+        registry = MetricsRegistry()
+        registry.counter("a").inc()
+        registry.counter("a").inc(4)
+        registry.gauge("b").set(2.5)
+        registry.histogram("c").observe(1.0)
+        registry.histogram("c").observe(3.0)
+        values = registry.collect()
+        assert values["a"] == 5
+        assert values["b"] == 2.5
+        assert values["c"] == {
+            "count": 2,
+            "sum": 4.0,
+            "min": 1.0,
+            "max": 3.0,
+            "mean": 2.0,
+        }
+
+    def test_get_or_create_returns_same_instrument(self):
+        registry = MetricsRegistry()
+        assert registry.counter("x") is registry.counter("x")
+
+    def test_type_conflict_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("x")
+        with pytest.raises(ObservabilityError, match="already registered"):
+            registry.gauge("x")
+
+    def test_unknown_value_raises(self):
+        with pytest.raises(ObservabilityError, match="no metric"):
+            MetricsRegistry().value("missing")
+
+    def test_collector_runs_at_collect_time(self):
+        registry = MetricsRegistry()
+        state = {"depth": 7}
+        registry.add_collector(
+            lambda reg: reg.gauge("depth").set(state["depth"])
+        )
+        assert registry.collect()["depth"] == 7
+        state["depth"] = 9
+        assert registry.collect()["depth"] == 9
+
+    def test_histogram_empty(self):
+        assert Histogram("h").value["count"] == 0
+
+
+class TestSpanRecorder:
+    def test_begin_end_and_queries(self):
+        recorder = SpanRecorder()
+        root = recorder.begin(name="run", cluster=0, node=None, algorithm="a", start=0.0)
+        op = recorder.begin(
+            name="write",
+            cluster=0,
+            node=1,
+            algorithm="a",
+            start=1.0,
+            parent_id=root.span_id,
+            op_id=0,
+        )
+        assert recorder.open_spans() == [root, op]
+        recorder.end(op, end=3.5)
+        assert op.duration == 2.5
+        assert op.status == "ok"
+        assert recorder.ops() == [op]
+        assert recorder.roots() == [root]
+        assert recorder.by_name("write") == [op]
+
+    def test_to_dict_round_trips_fields(self):
+        recorder = SpanRecorder()
+        span = recorder.begin(
+            name="snapshot", cluster=0, node=2, algorithm="ss-always", start=1.0
+        )
+        span.phases.append((1.5, "snapshot.task_registered"))
+        recorder.end(span, end=2.0, status="aborted")
+        data = span.to_dict()
+        assert data["name"] == "snapshot"
+        assert data["node"] == 2
+        assert data["status"] == "aborted"
+        assert data["phases"] == [[1.5, "snapshot.task_registered"]]
+
+
+class TestSessions:
+    def test_no_ambient_session_by_default(self):
+        assert current_session() is None
+        cluster = SnapshotCluster("ss-nonblocking", ClusterConfig(n=3))
+        assert cluster.obs is None
+
+    def test_ambient_session_attaches_clusters(self):
+        with session() as obs:
+            assert current_session() is obs
+            cluster = SnapshotCluster("ss-nonblocking", ClusterConfig(n=3))
+            assert cluster.obs is not None
+            assert cluster.obs.session is obs
+            assert obs.clusters == [cluster.obs]
+        assert current_session() is None
+
+    def test_sessions_nest_innermost_wins(self):
+        with session() as outer:
+            with session() as inner:
+                assert current_session() is inner
+            assert current_session() is outer
+
+    def test_attach_is_idempotent(self):
+        obs = Observability()
+        cluster = SnapshotCluster("ss-nonblocking", ClusterConfig(n=3))
+        first = obs.attach(cluster)
+        assert obs.attach(cluster) is first
+        assert len(obs.clusters) == 1
+
+
+class TestOperationSpans:
+    def test_write_and_snapshot_spans(self):
+        with session() as obs:
+            cluster = SnapshotCluster("ss-nonblocking", ClusterConfig(n=4))
+            cluster.write_sync(0, b"hello")
+            cluster.snapshot_sync(1)
+        obs.finish()
+        ops = obs.recorder.ops()
+        assert [s.name for s in ops] == ["write", "snapshot"]
+        write = ops[0]
+        assert write.node == 0
+        assert write.status == "ok"
+        assert write.end is not None and write.end >= write.start
+        assert write.messages_by_kind.get("WRITE", 0) >= 3  # n-1 broadcasts
+        assert write.message_bytes > 0
+        assert any(label == "write.quorum_round" for _, label in write.phases)
+        snapshot = ops[1]
+        assert snapshot.parent_id == obs.clusters[0].root.span_id
+        assert any(
+            label == "snapshot.query_round" for _, label in snapshot.phases
+        )
+
+    def test_metric_catalog_populated(self):
+        with session() as obs:
+            cluster = SnapshotCluster("ss-always", ClusterConfig(n=4, delta=2))
+            cluster.write_sync(0, b"x")
+            cluster.snapshot_sync(1)
+            cluster.run_for(5.0)
+        obs.finish()
+        metrics = obs.collect()
+        assert metrics["ops.total"] == 2
+        assert metrics["ops.completed"] == 2
+        assert metrics["kernel.events_dispatched"] > 0
+        assert metrics["kernel.batches"] > 0
+        assert metrics["kernel.largest_batch"] >= 1
+        assert metrics["net.messages_total"] > 0
+        assert metrics["net.messages.GOSSIP"] > 0
+        assert metrics["stabilization.gossip_rounds"] > 0
+        assert metrics["stabilization.corrupted_state_detections"] == 0
+
+    def test_heal_counters_fire_on_corruption(self):
+        with session() as obs:
+            cluster = SnapshotCluster("ss-nonblocking", ClusterConfig(n=4))
+            cluster.write_sync(0, b"pre")
+            TransientFaultInjector(cluster, seed=0).corrupt_registers()
+            cluster.tracker.reset()
+            cluster.run_until(cluster.tracker.wait_cycles(6), max_events=None)
+        obs.finish()
+        metrics = obs.collect()
+        assert metrics["stabilization.corrupted_state_detections"] > 0
+
+    def test_finish_closes_open_spans(self):
+        with session() as obs:
+            cluster = SnapshotCluster("ss-nonblocking", ClusterConfig(n=4))
+            cobs = cluster.obs
+            span = cobs.begin_op(0, "write", op_id=0)
+            assert cobs.active_span(0) is span
+        obs.finish()
+        assert span.end is not None
+        assert span.status == "open"  # genuinely never completed
+        assert cobs.active_span(0) is None
+        assert obs.clusters[0].root.status == "ok"
+
+
+class TestKernelStats:
+    def test_record_batch_tracks_extremes(self):
+        stats = KernelStats()
+        stats.record_batch(3)
+        stats.record_batch(10)
+        stats.record_batch(1)
+        assert stats.batches == 3
+        assert stats.batch_events == 14
+        assert stats.largest_batch == 10
+
+    def test_kernel_counts_same_instant_batches(self):
+        from repro.sim.kernel import Kernel
+
+        kernel = Kernel()
+        kernel.obs = KernelStats()
+        hits = []
+        for _ in range(5):
+            kernel.call_at(1.0, hits.append, None)
+        kernel.call_at(2.0, hits.append, None)
+        kernel.run()
+        assert len(hits) == 6
+        assert kernel.obs.largest_batch == 5
+        assert kernel.obs.batches == 2
+        assert kernel.obs.batch_events == 6
+
+    def test_timer_pool_hit_miss_accounting(self):
+        from repro.sim.kernel import Kernel
+
+        kernel = Kernel()
+        kernel.obs = KernelStats()
+
+        async def sleeper():
+            await kernel.sleep(1.0)
+            await kernel.sleep(1.0)
+
+        kernel.run_until_complete(sleeper())
+        assert kernel.obs.timer_pool_misses == 1  # first sleep allocates
+        assert kernel.obs.timer_pool_hits == 1  # second reuses it

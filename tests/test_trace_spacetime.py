@@ -102,6 +102,78 @@ class TestSpacetimeRendering:
         assert diagram.startswith("My Figure")
 
 
+class TestRecordedTraceRendering:
+    """Render diagrams from traces recorded off a live cluster's network.
+
+    The synthetic tests above pin row geometry; these pin the integration:
+    a :class:`MessageTrace` attached to a real network produces a
+    renderable diagram whose rows reflect what the run actually did.
+    """
+
+    def test_write_round_renders_request_and_ack_arrows(self):
+        cluster, trace = traced_cluster()
+        trace.mark(0, "write(x)", cluster.kernel.now)
+        cluster.write_sync(0, "x")
+        trace.detach()
+        diagram = render_spacetime(trace, n=3, title="one write")
+        assert diagram.startswith("one write")
+        assert "[write(x)]" in diagram
+        assert "WRITE" in diagram and "WRITEack" in diagram
+        # Both broadcast legs leave p0's lane: at least two arrow rows.
+        assert diagram.count("●") >= 2
+
+    def test_mark_row_precedes_traffic_rows(self):
+        cluster, trace = traced_cluster()
+        trace.mark(0, "begin", cluster.kernel.now)
+        cluster.write_sync(0, "x")
+        trace.detach()
+        diagram = render_spacetime(trace, n=3)
+        assert diagram.index("[begin]") < diagram.index("WRITE")
+
+    def test_deliver_rows_use_dotted_prefix(self):
+        cluster, trace = traced_cluster()
+        cluster.write_sync(0, "x")
+        trace.detach()
+        diagram = render_spacetime(trace, n=3, include_deliveries=True)
+        deliver_rows = [line for line in diagram.splitlines() if "…" in line]
+        assert len(deliver_rows) == len(trace.deliveries())
+        assert all("●" in row for row in deliver_rows)
+
+    def test_gossip_traffic_appears_for_ss_variant(self):
+        cluster, trace = traced_cluster(algorithm="ss-nonblocking")
+        cluster.write_sync(0, "x")
+        cluster.run_for(3.0)
+        trace.detach()
+        assert "GOSSIP" in render_spacetime(trace, n=3, max_rows=200)
+
+    def test_between_window_renders_only_first_operation(self):
+        cluster, trace = traced_cluster()
+        cluster.write_sync(0, "x")
+        cutoff = cluster.kernel.now
+        cluster.snapshot_sync(1)
+        trace.detach()
+        # The snapshot's first sends happen exactly at ``cutoff`` (the
+        # window is inclusive), so stop the window just short of it.
+        early = render_spacetime(trace.between(0.0, cutoff - 1e-9), n=3)
+        assert "WRITE" in early
+        assert "SNAPSHOT" not in early
+        full = render_spacetime(trace, n=3, max_rows=200)
+        assert "SNAPSHOT" in full
+
+    def test_rows_are_time_sorted_even_with_late_marks(self):
+        cluster, trace = traced_cluster()
+        cluster.write_sync(0, "x")
+        trace.detach()
+        trace.mark(0, "early", 0.0)  # inserted after recording, dated first
+        diagram = render_spacetime(trace, n=3)
+        lines = diagram.splitlines()
+        times = [
+            float(line[:7]) for line in lines[2:] if line[:7].strip()
+        ]
+        assert times == sorted(times)
+        assert "[early]" in diagram
+
+
 class TestPaperFigures:
     def test_all_figures_render(self):
         for name in FIGURES:
