@@ -4,33 +4,56 @@ Commands
 --------
 ``experiments [ids…]``
     Run the reproduction experiments (all of E1–E15 by default) and
-    print their tables.
+    print their tables.  ``--seeds K`` re-runs each selected experiment
+    at K consecutive seeds.
 ``figures [names…]``
     Render the paper's Figures 1–3 as ASCII space-time diagrams
     (all by default; names: fig1-upper, fig1-lower, fig2, fig3-upper,
     fig3-lower).
 ``ablations [ids…]``
-    Run the ablation studies (A1–A4 by default): seed-robustness,
+    Run the ablation studies (A1–A5 by default): seed-robustness,
     gossip-interval, loss-retransmission, and δ-latency distributions.
+    ``--seeds K`` widens each study's per-cell seed sweep to K seeds.
 ``algorithms``
     List the registered snapshot-object algorithms.
-``verify [algorithm]``
-    Model-check an algorithm (default: every self-stabilizing one) on a
-    standard concurrent write/snapshot scenario: explore interleavings
-    and check every schedule's history for linearizability.
-``chaos [events] [seed]``
-    Run a randomized fault campaign (default 150 events): operations,
-    crashes, partitions, and corruption bursts with continuous
-    linearizability and invariant checking.  ``--seeds K`` runs K
-    campaigns at consecutive seeds.
+
+Campaign commands — ``verify``, ``chaos``, and ``fuzz`` share one flag
+vocabulary (``--seeds K``, ``--seed-start S``, ``--algorithm NAME``,
+``--budget N``, ``--jobs N``) and one report format (a summary line per
+seed plus a ``FAILURE:`` line per violation; exit status 1 when any
+seed failed):
+
+``verify``
+    Model-check the standard concurrent write/snapshot scenario: one
+    exhaustive-ish DFS pass plus one seeded random-walk exploration per
+    seed, checking every schedule's history for linearizability.
+    ``--budget`` bounds runs per exploration (default 200).
+``chaos``
+    Randomized fault campaigns: operations, crashes, partitions, and
+    corruption bursts with continuous linearizability and invariant
+    checking.  ``--budget`` is events per campaign (default 150).
+``fuzz``
+    Counterexample-driven fuzzing: each seed draws a full scenario spec
+    (config dimensions + event program), executes it with per-phase
+    checks, and every failure is automatically shrunk — ddmin over
+    events, config minimization, schedule pinning — to a minimal
+    deterministic counterexample.  ``--budget`` is events per generated
+    spec (default 40); ``--out DIR`` writes counterexample JSON files;
+    ``--no-shrink`` records failures unminimized.
+``replay FILE``
+    Re-execute a counterexample file written by ``fuzz`` and verify it
+    reproduces the recorded violation bit-identically (exit 0 exactly
+    when it does).
+
 ``demo``
     Run a tiny end-to-end demo (write/snapshot/corrupt/recover).
 
-``experiments``, ``ablations``, and ``chaos`` accept ``--jobs N`` to fan
-their independent cells out across N worker processes; results merge
-deterministically, so parallel output is byte-identical to serial.
+``experiments``, ``ablations``, and the campaign commands accept
+``--jobs N`` to fan their independent cells out across N worker
+processes; results merge deterministically, so parallel output is
+byte-identical to serial.
 
-The same three commands accept the observability flags (see
+The same commands accept the observability flags (see
 ``docs/observability.md``):
 
 ``--trace-out FILE``
@@ -77,6 +100,7 @@ def _cmd_figures(args: list[str]) -> int:
 
 def _cmd_ablations(args: list[str]) -> int:
     from repro.harness.ablations import ABLATIONS, run_ablations
+    from repro.harness.campaign import extract_campaign_flags
     from repro.harness.parallel import extract_jobs
     from repro.harness.report import print_table
     from repro.obs.cli import (
@@ -87,14 +111,18 @@ def _cmd_ablations(args: list[str]) -> int:
 
     obs_flags, args = extract_obs_flags(args)
     jobs, args = extract_jobs(args)
+    options, args = extract_campaign_flags(args, default_budget=1)
     names = args or sorted(ABLATIONS)
     unknown = [name for name in names if name not in ABLATIONS]
     if unknown:
         print(f"unknown ablations: {unknown}; available: {sorted(ABLATIONS)}")
         return 2
+    seeds = len(options.seeds) if len(options.seeds) > 1 else None
     jobs = clamp_jobs_for_capture(obs_flags, jobs)
     with observe_cli(obs_flags):
-        for name, rows in zip(names, run_ablations(names, jobs=jobs)):
+        for name, rows in zip(
+            names, run_ablations(names, jobs=jobs, seeds=seeds)
+        ):
             print_table(rows, title=ABLATIONS[name][0])
     return 0
 
@@ -107,32 +135,72 @@ def _cmd_algorithms(_args: list[str]) -> int:
 
 
 def _cmd_verify(args: list[str]) -> int:
-    from repro.verify import explore_snapshot_scenario
+    from repro.harness.campaign import extract_campaign_flags, warn_deprecated
+    from repro.harness.parallel import extract_jobs
+    from repro.obs.cli import (
+        clamp_jobs_for_capture,
+        extract_obs_flags,
+        observe_cli,
+    )
+    from repro.verify.explorer import (
+        STANDARD_SCENARIO,
+        explore_snapshot_scenario,
+        run_verify_campaigns,
+    )
 
-    algorithms = args or ["ss-nonblocking", "ss-always"]
-    scenario = [
-        ("write", 0, "v1", 0.0),
-        ("write", 1, "v1", 0.1),
-        ("snapshot", 2, None, 0.2),
-    ]
-    failures = 0
-    for algorithm in algorithms:
-        for strategy in ("dfs", "random-walk"):
-            result = explore_snapshot_scenario(
+    obs_flags, args = extract_obs_flags(args)
+    jobs, args = extract_jobs(args)
+    options, rest = extract_campaign_flags(args, default_budget=200)
+    if rest:
+        warn_deprecated(
+            "positional algorithm names", "--algorithm NAME (one per run)"
+        )
+        algorithms = rest
+    elif options.algorithm is not None:
+        algorithms = [options.algorithm]
+    else:
+        algorithms = ["ss-nonblocking", "ss-always"]
+    jobs = clamp_jobs_for_capture(obs_flags, jobs)
+    ok = True
+    with observe_cli(obs_flags):
+        for algorithm in algorithms:
+            dfs = explore_snapshot_scenario(
                 algorithm,
-                scenario,
+                list(STANDARD_SCENARIO),
                 n=3,
                 delta=0,
-                max_runs=200,
+                max_runs=options.budget,
                 max_depth=20,
-                strategy=strategy,
+                strategy="dfs",
             )
-            print(f"{algorithm:20s} [{strategy:11s}] {result.summary()}")
-            failures += len(result.violations)
-    return 1 if failures else 0
+            print(f"{algorithm:20s} [dfs        ] {dfs.summary()}")
+            ok = ok and dfs.ok
+            results = run_verify_campaigns(
+                options.seeds,
+                jobs=jobs,
+                algorithm=algorithm,
+                budget=options.budget,
+            )
+            for seed, result in zip(options.seeds, results):
+                label = (
+                    "random-walk"
+                    if len(options.seeds) == 1
+                    else f"walk s={seed}"
+                )
+                print(f"{algorithm:20s} [{label:11s}] {result.summary()}")
+                for failure in result.failures:
+                    print("FAILURE:", failure)
+                ok = ok and result.ok
+    return 0 if ok else 1
 
 
 def _cmd_chaos(args: list[str]) -> int:
+    from repro.harness.campaign import (
+        CampaignOptions,
+        extract_campaign_flags,
+        print_reports,
+        warn_deprecated,
+    )
     from repro.harness.chaos import run_chaos_campaigns
     from repro.harness.parallel import extract_jobs
     from repro.obs.cli import (
@@ -143,34 +211,91 @@ def _cmd_chaos(args: list[str]) -> int:
 
     obs_flags, args = extract_obs_flags(args)
     jobs, args = extract_jobs(args)
-    n_seeds = 1
-    rest: list[str] = []
-    it = iter(args)
-    for arg in it:
-        if arg == "--seeds":
-            value = next(it, None)
-            if value is None:
-                raise SystemExit("--seeds requires a value")
-            n_seeds = int(value)
-        elif arg.startswith("--seeds="):
-            n_seeds = int(arg.split("=", 1)[1])
-        else:
-            rest.append(arg)
-    events = int(rest[0]) if rest else 150
-    seed = int(rest[1]) if len(rest) > 1 else 0
+    options, rest = extract_campaign_flags(
+        args, default_budget=150, budget_alias="--events"
+    )
+    if rest:
+        warn_deprecated(
+            "positional [events] [seed]", "--budget N / --seed-start S"
+        )
+        budget = int(rest[0])
+        start = int(rest[1]) if len(rest) > 1 else options.seeds[0]
+        options = CampaignOptions(
+            seeds=list(range(start, start + len(options.seeds))),
+            algorithm=options.algorithm,
+            budget=budget,
+        )
+    algorithm = options.algorithm or "ss-always"
     jobs = clamp_jobs_for_capture(obs_flags, jobs)
     with observe_cli(obs_flags):
         reports = run_chaos_campaigns(
-            list(range(seed, seed + n_seeds)), events=events, jobs=jobs
+            options.seeds,
+            budget=options.budget,
+            algorithm=algorithm,
+            jobs=jobs,
         )
-        ok = True
-        for campaign_seed, report in zip(range(seed, seed + n_seeds), reports):
-            prefix = f"seed {campaign_seed}: " if n_seeds > 1 else ""
-            print(prefix + report.summary())
-            for failure in report.failures:
-                print("FAILURE:", failure)
-            ok = ok and report.ok
+        ok = print_reports(options.seeds, reports)
     return 0 if ok else 1
+
+
+def _cmd_fuzz(args: list[str]) -> int:
+    from repro.fuzz import run_fuzz_campaign
+    from repro.harness.campaign import extract_campaign_flags, print_reports
+    from repro.harness.parallel import extract_jobs
+    from repro.obs.cli import (
+        clamp_jobs_for_capture,
+        extract_obs_flags,
+        observe_cli,
+    )
+
+    obs_flags, args = extract_obs_flags(args)
+    jobs, args = extract_jobs(args)
+    options, rest = extract_campaign_flags(args, default_budget=40)
+    out_dir: str | None = None
+    shrink = True
+    it = iter(rest)
+    leftover: list[str] = []
+    for arg in it:
+        if arg == "--out":
+            out_dir = next(it, None)
+            if out_dir is None:
+                raise SystemExit("--out requires a directory path")
+        elif arg.startswith("--out="):
+            out_dir = arg.split("=", 1)[1]
+        elif arg == "--no-shrink":
+            shrink = False
+        else:
+            leftover.append(arg)
+    if leftover:
+        raise SystemExit(f"fuzz: unexpected arguments {leftover}")
+    algorithm = options.algorithm or "ss-always"
+    jobs = clamp_jobs_for_capture(obs_flags, jobs)
+    with observe_cli(obs_flags):
+        reports = run_fuzz_campaign(
+            options.seeds,
+            jobs=jobs,
+            algorithm=algorithm,
+            budget=options.budget,
+            out_dir=out_dir,
+            shrink=shrink,
+        )
+        ok = print_reports(options.seeds, reports)
+    return 0 if ok else 1
+
+
+def _cmd_replay(args: list[str]) -> int:
+    from repro.fuzz import replay_counterexample
+    from repro.obs.cli import extract_obs_flags, observe_cli
+
+    obs_flags, args = extract_obs_flags(args)
+    if len(args) != 1:
+        raise SystemExit("usage: python -m repro replay <counterexample.json>")
+    with observe_cli(obs_flags):
+        result = replay_counterexample(args[0])
+        print(result.summary())
+        for failure in result.outcome.failures:
+            print("FAILURE:", failure)
+    return 0 if result.ok else 1
 
 
 def _cmd_demo(_args: list[str]) -> int:
@@ -199,6 +324,8 @@ _COMMANDS = {
     "algorithms": _cmd_algorithms,
     "verify": _cmd_verify,
     "chaos": _cmd_chaos,
+    "fuzz": _cmd_fuzz,
+    "replay": _cmd_replay,
     "demo": _cmd_demo,
 }
 

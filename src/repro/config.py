@@ -11,7 +11,12 @@ from dataclasses import dataclass, field, replace
 
 from repro.errors import ConfigurationError
 
-__all__ = ["ChannelConfig", "ClusterConfig", "UNBOUNDED_DELTA"]
+__all__ = [
+    "ChannelConfig",
+    "ClusterConfig",
+    "UNBOUNDED_DELTA",
+    "scenario_config",
+]
 
 #: Sentinel for "δ effectively infinite": Algorithm 3 then behaves like the
 #: O(n)-messages non-blocking algorithm and never blocks writes.
@@ -137,3 +142,57 @@ class ClusterConfig:
     def max_crash_faults(self) -> int:
         """Largest ``f`` with ``2f < n`` — the crash-tolerance bound."""
         return (self.n - 1) // 2
+
+
+def scenario_config(
+    *,
+    n: int = 5,
+    seed: int = 0,
+    delta: float = 0.0,
+    min_delay: float | None = None,
+    max_delay: float | None = None,
+    fixed_delay: float | None = None,
+    loss: float = 0.0,
+    duplication: float | None = None,
+    capacity: int | None = None,
+    **overrides,
+) -> ClusterConfig:
+    """One factory for every scenario-style cluster configuration.
+
+    The chaos campaigns, the schedule explorer, the recovery experiments,
+    and the fuzz executor all describe a cluster the same way — a shape
+    (``n``, ``delta``, ``seed``) plus a channel model — but used to spell
+    the ``ClusterConfig``/``ChannelConfig`` pair out by hand.  This
+    factory is the single spelling.
+
+    Channel knobs: ``fixed_delay`` pins ``min_delay == max_delay`` (what
+    the explorer needs — coincident timestamps are its choice points);
+    otherwise ``min_delay``/``max_delay`` default to the
+    :class:`ChannelConfig` defaults.  ``duplication`` defaults to
+    ``loss / 2``, the chaos campaigns' convention.  Remaining keyword
+    arguments (``retransmit_interval``, ``max_int``, ``quorum_size``, …)
+    pass through to :class:`ClusterConfig` unchanged.
+    """
+    if fixed_delay is not None:
+        if min_delay is not None or max_delay is not None:
+            raise ConfigurationError(
+                "pass either fixed_delay or min_delay/max_delay, not both"
+            )
+        min_delay = max_delay = fixed_delay
+    channel_kwargs: dict = {"loss_probability": loss}
+    if min_delay is not None:
+        channel_kwargs["min_delay"] = min_delay
+    if max_delay is not None:
+        channel_kwargs["max_delay"] = max_delay
+    if capacity is not None:
+        channel_kwargs["capacity"] = capacity
+    channel_kwargs["duplication_probability"] = (
+        loss / 2 if duplication is None else duplication
+    )
+    return ClusterConfig(
+        n=n,
+        seed=seed,
+        delta=delta,
+        channel=ChannelConfig(**channel_kwargs),
+        **overrides,
+    )

@@ -1,0 +1,331 @@
+"""The one executor giving every :class:`ScenarioSpec` a deterministic meaning.
+
+:func:`run_spec` builds a :class:`~repro.core.cluster.SnapshotCluster`
+from the spec's config dimensions and drives its event program, checking
+after each phase:
+
+* **linearizability** of the recorded history
+  (:func:`~repro.analysis.linearizability.check_snapshot_history`) before
+  every corruption burst and at the end of the run;
+* **Definition-1 invariants**
+  (:func:`~repro.analysis.invariants.definition1_consistent`) after each
+  corruption burst's recovery window and at the end (self-stabilizing
+  algorithms only — corruption is skipped for algorithms that do not
+  claim recovery);
+* **per-operation termination bounds**: an operation invoked while a
+  majority is alive and the network unpartitioned must complete within
+  :data:`OP_TERMINATION_BOUND` simulated time units.
+
+Runs are pure functions of the spec: the ``RANDOM`` tie-break is seeded
+by ``spec.seed``, a pinned ``decision_script`` switches to ``SCRIPTED``,
+and the returned :class:`SpecOutcome` carries a canonical history
+fingerprint so two runs of the same spec can be compared bit-for-bit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.history import HistoryRecorder
+from repro.analysis.invariants import definition1_consistent
+from repro.analysis.linearizability import check_snapshot_history
+from repro.core.base import SnapshotResult
+from repro.core.cluster import SnapshotCluster
+from repro.errors import DeadlockError, SimulationError
+from repro.fault import TransientFaultInjector
+from repro.fuzz.spec import ScenarioSpec
+from repro.sim.kernel import TieBreak
+
+__all__ = ["SpecOutcome", "run_spec", "OP_TERMINATION_BOUND"]
+
+#: Simulated-time budget for one operation invoked under good conditions
+#: (majority alive, no partition).  Exceeding it is a termination-bound
+#: failure; under a partition it is expected and merely heals the network
+#: (aborted operations impose no history constraints).
+OP_TERMINATION_BOUND = 300.0
+
+#: Cycles granted to a self-stabilizing algorithm to recover after a
+#: corruption burst, matching the chaos campaigns.
+_RECOVERY_CYCLES = 8
+
+#: Prefixes of algorithm names that claim transient-fault recovery;
+#: ``corrupt`` events are skipped (not failed) for anything else.
+_SELF_STABILIZING_PREFIXES = ("ss-", "bounded-ss")
+
+
+@dataclass(frozen=True, slots=True)
+class SpecOutcome:
+    """The complete observable outcome of one spec execution."""
+
+    ok: bool
+    failures: tuple[str, ...]
+    applied: int
+    skipped: int
+    checks: int
+    sim_time: float
+    events_processed: int
+    history: tuple
+    decision_log: tuple[tuple[int, int], ...]
+
+    def summary(self) -> str:
+        """One-line outcome."""
+        verdict = "OK" if self.ok else f"{len(self.failures)} FAILURES"
+        return (
+            f"{self.applied} events applied ({self.skipped} skipped), "
+            f"{self.checks} checks: {verdict}"
+        )
+
+    def fingerprint(self) -> dict:
+        """JSON-safe identity of the run, for replay comparison."""
+        return {
+            "sim_time": self.sim_time,
+            "events_processed": self.events_processed,
+            "history": [list(entry) for entry in self.history],
+        }
+
+
+def _normalize_result(result) -> object:
+    if isinstance(result, SnapshotResult):
+        return [
+            "snapshot",
+            list(result.values),
+            list(result.vector_clock),
+        ]
+    return result
+
+
+def _history_fingerprint(history: HistoryRecorder) -> tuple:
+    return tuple(
+        (
+            record.node_id,
+            record.kind,
+            record.argument,
+            _normalize_result(record.result),
+            record.invoked_at,
+            record.responded_at,
+            record.aborted,
+        )
+        for record in history.records()
+    )
+
+
+def _is_self_stabilizing(algorithm: str) -> bool:
+    return algorithm.startswith(_SELF_STABILIZING_PREFIXES)
+
+
+class _SpecRun:
+    """Mutable state of one execution (one instance per :func:`run_spec`)."""
+
+    def __init__(self, spec: ScenarioSpec, capture_decisions: bool) -> None:
+        self.spec = spec
+        scripted = spec.decision_script is not None
+        self.cluster = SnapshotCluster(
+            spec.algorithm,
+            spec.config(),
+            tie_break=TieBreak.SCRIPTED if scripted else TieBreak.RANDOM,
+        )
+        if scripted:
+            self.cluster.kernel.decision_script = list(spec.decision_script)
+        elif capture_decisions:
+            self.cluster.kernel.capture_decisions = True
+        self.injector = TransientFaultInjector(self.cluster, seed=spec.seed)
+        self.failures: list[str] = []
+        self.applied = 0
+        self.skipped = 0
+        self.checks = 0
+        self.partitioned = False
+        self.stabilizing = _is_self_stabilizing(spec.algorithm)
+
+    # -- helpers -----------------------------------------------------------
+
+    def _majority_alive(self) -> bool:
+        return (
+            len(self.cluster.alive_nodes())
+            >= self.cluster.config.majority
+        )
+
+    def _node_busy(self, node: int) -> bool:
+        return bool(self.cluster.node(node)._ops_in_flight)
+
+    def _check_history(self, context: str) -> None:
+        self.checks += 1
+        report = check_snapshot_history(
+            self.cluster.history.records(), self.cluster.config.n
+        )
+        if not report.ok:
+            self.failures.append(f"{context}: {report.summary()}")
+
+    def _check_invariants(self, context: str) -> None:
+        if not self.stabilizing:
+            return
+        self.checks += 1
+        report = definition1_consistent(self.cluster)
+        if not report.ok:
+            self.failures.append(
+                f"{context}: invariants violated: {report.failures[:3]}"
+            )
+
+    def _heal(self) -> None:
+        self.cluster.network.heal()
+        self.partitioned = False
+
+    # -- event handlers ----------------------------------------------------
+
+    async def _operate(self, index: int, kind: str, node: int, value) -> None:
+        cluster = self.cluster
+        if cluster.node(node).crashed or self._node_busy(node):
+            self.skipped += 1
+            return
+        if not self._majority_alive():
+            self.skipped += 1
+            return
+        unobstructed = not self.partitioned
+        operation = (
+            cluster.write(node, value) if kind == "write" else cluster.snapshot(node)
+        )
+        self.applied += 1
+        try:
+            await cluster.kernel.wait_for(operation, timeout=OP_TERMINATION_BOUND)
+        except TimeoutError:
+            if unobstructed:
+                self.failures.append(
+                    f"event {index}: {kind} at node {node} exceeded the "
+                    f"termination bound ({OP_TERMINATION_BOUND} time units) "
+                    "with a majority alive and no partition"
+                )
+            # Break the stall either way (a minority-side operation can
+            # only complete once the network heals), then let the
+            # cancellation settle before the next event.
+            self._heal()
+            await cluster.kernel.sleep(1.0)
+
+    async def _corrupt(self, index: int, mode: str) -> None:
+        from repro.fuzz.spec import CORRUPTION_MODES
+
+        if not self.stabilizing:
+            self.skipped += 1
+            return
+        cluster = self.cluster
+        # A corruption burst voids past evidence: check the history first,
+        # corrupt, then give the algorithm its recovery window.
+        self._check_history(f"event {index}: pre-corruption")
+        mode = mode if mode in CORRUPTION_MODES else "ts"
+        if mode == "ts":
+            self.injector.corrupt_write_indices()
+        elif mode == "ssn":
+            self.injector.corrupt_snapshot_indices()
+        elif mode == "registers":
+            self.injector.corrupt_registers()
+        else:
+            self.injector.scramble_channels()
+        self.applied += 1
+        self._heal()
+        for node in range(cluster.config.n):
+            if cluster.node(node).crashed:
+                cluster.resume(node)
+        cluster.tracker.reset()
+        await cluster.tracker.wait_cycles(_RECOVERY_CYCLES)
+        self._check_invariants(f"event {index}: post-corruption recovery")
+        cluster.history = HistoryRecorder()
+
+    def _crash(self, node: int) -> None:
+        cluster = self.cluster
+        alive = cluster.alive_nodes()
+        if len(alive) <= cluster.config.majority or cluster.node(node).crashed:
+            self.skipped += 1
+            return
+        cluster.crash(node)
+        self.applied += 1
+
+    def _resume(self, node: int, mode: str) -> None:
+        cluster = self.cluster
+        crashed = [p.node_id for p in cluster.processes if p.crashed]
+        if not crashed:
+            self.skipped += 1
+            return
+        target = crashed[node % len(crashed)]
+        cluster.resume(target, restart=(mode == "restart"))
+        self.applied += 1
+
+    def _partition(self, group: tuple[int, ...]) -> None:
+        cluster = self.cluster
+        n = cluster.config.n
+        minority = {i for i in group if 0 <= i < n}
+        if not minority or len(minority) > (n - 1) // 2:
+            self.skipped += 1
+            return
+        cluster.network.partition(minority, set(range(n)) - minority)
+        self.partitioned = True
+        self.applied += 1
+
+    # -- the program -------------------------------------------------------
+
+    async def drive(self) -> None:
+        cluster = self.cluster
+        for index, event in enumerate(self.spec.events):
+            kind = event.kind
+            if kind in ("write", "snapshot"):
+                await self._operate(index, kind, event.node, event.value)
+            elif kind == "crash":
+                self._crash(event.node)
+            elif kind == "resume":
+                self._resume(event.node, event.mode)
+            elif kind == "partition":
+                self._partition(event.group)
+            elif kind == "heal":
+                self._heal()
+                self.applied += 1
+            elif kind == "corrupt":
+                await self._corrupt(index, event.mode)
+            elif kind == "settle":
+                await cluster.kernel.sleep(
+                    2.0 * cluster.config.gossip_interval
+                )
+                self.applied += 1
+            if event.gap:
+                await cluster.kernel.sleep(event.gap)
+        # Final phase: restore full connectivity and liveness, settle,
+        # then check everything one last time.
+        self._heal()
+        for node in range(cluster.config.n):
+            if cluster.node(node).crashed:
+                cluster.resume(node)
+        if self.stabilizing:
+            await cluster.tracker.wait_cycles(4)
+        else:
+            await cluster.kernel.sleep(4.0 * cluster.config.gossip_interval)
+        self._check_history("final")
+        self._check_invariants("final")
+
+
+def run_spec(
+    spec: ScenarioSpec,
+    capture_decisions: bool = False,
+    max_events: int = 5_000_000,
+) -> SpecOutcome:
+    """Execute one spec and return its deterministic outcome.
+
+    ``capture_decisions`` records every same-instant tie decision of a
+    ``RANDOM``-mode run in the kernel's decision log without changing the
+    run — the raw material the shrinker pins into an explicit
+    ``decision_script``.  ``max_events`` bounds the kernel event count; a
+    run that exhausts it (or deadlocks) is reported as a liveness
+    failure, not an exception.
+    """
+    run = _SpecRun(spec, capture_decisions)
+    try:
+        run.cluster.run_until(run.drive(), max_events=max_events)
+    except (TimeoutError, DeadlockError, SimulationError) as exc:
+        run.failures.append(f"liveness: {type(exc).__name__}: {exc}")
+    failures = tuple(run.failures)
+    return SpecOutcome(
+        ok=not failures,
+        failures=failures,
+        applied=run.applied,
+        skipped=run.skipped,
+        checks=run.checks,
+        sim_time=run.cluster.kernel.now,
+        events_processed=run.cluster.kernel.events_processed,
+        history=_history_fingerprint(run.cluster.history),
+        decision_log=tuple(run.cluster.kernel.decision_log),
+    )

@@ -232,16 +232,20 @@ def a4_delta_latency_distribution(deltas=(0, 4, 16), n=5, seeds=8):
     return rows
 
 
-def run_ablations(names: list[str], jobs: int = 1) -> list[list[dict]]:
+def run_ablations(
+    names: list[str], jobs: int = 1, seeds: int | None = None
+) -> list[list[dict]]:
     """Run several ablation studies, optionally in parallel; rows in order.
 
     Each ablation is one independent cell of the parallel runner
     (:mod:`repro.harness.parallel`); results merge deterministically, so
-    ``jobs > 1`` output equals the serial output.
+    ``jobs > 1`` output equals the serial output.  ``seeds`` widens each
+    study's per-cell seed sweep (every runner accepts a ``seeds``
+    parameter); ``None`` keeps each study's own default.
     """
     from repro.harness.parallel import ablation_cells, run_cells
 
-    return run_cells(ablation_cells(names), jobs=jobs)
+    return run_cells(ablation_cells(names, seeds=seeds), jobs=jobs)
 
 
 #: Ablation id → (title, runner).

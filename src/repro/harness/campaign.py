@@ -1,0 +1,141 @@
+"""The unified campaign surface shared by chaos, verify, and fuzz.
+
+Every verification campaign in the harness answers to one shape:
+
+* **entry point** — ``run_*_campaigns(seeds, jobs=…, algorithm=…,
+  budget=…)`` returning one report per seed, in seed order;
+* **report protocol** — each report has ``ok`` (bool), ``failures``
+  (iterable of strings), and ``summary()`` (one line);
+* **CLI flags** — ``--seeds K``, ``--seed-start S``, ``--algorithm
+  NAME``, ``--budget N``, plus ``--jobs N`` and the observability flags.
+
+This module holds the shared plumbing: :func:`extract_campaign_flags`
+parses the uniform flags (and keeps each command's historical spellings
+working as hidden deprecated aliases that warn on stderr), and
+:func:`print_reports` renders any report sequence the same way, so
+``python -m repro chaos|verify|fuzz`` read identically.
+"""
+
+from __future__ import annotations
+
+import sys
+from dataclasses import dataclass
+from typing import Any, Sequence
+
+__all__ = [
+    "CampaignOptions",
+    "extract_campaign_flags",
+    "print_reports",
+    "warn_deprecated",
+]
+
+
+def warn_deprecated(old: str, new: str) -> None:
+    """Tell the user (on stderr, never stdout) to move off an old spelling."""
+    print(
+        f"note: {old} is deprecated; use {new}",
+        file=sys.stderr,
+    )
+
+
+@dataclass(frozen=True, slots=True)
+class CampaignOptions:
+    """The uniform knobs of one campaign invocation."""
+
+    seeds: list[int]
+    algorithm: str | None
+    budget: int
+
+    @property
+    def seed_range(self) -> str:
+        """Human-readable seed range for banners."""
+        if len(self.seeds) == 1:
+            return f"seed {self.seeds[0]}"
+        return f"seeds {self.seeds[0]}..{self.seeds[-1]}"
+
+
+def extract_campaign_flags(
+    argv: list[str],
+    default_budget: int,
+    default_seeds: int = 1,
+    budget_alias: str | None = None,
+) -> tuple[CampaignOptions, list[str]]:
+    """Split the uniform campaign flags out of an argv list.
+
+    Understands ``--seeds K`` (number of consecutive seeds),
+    ``--seed-start S`` (first seed, default 0), ``--algorithm NAME``, and
+    ``--budget N`` — each also in ``--flag=value`` form.  ``--algo`` is a
+    deprecated alias of ``--algorithm``; ``budget_alias`` (e.g.
+    ``"--events"`` for chaos) names a command-specific deprecated alias
+    of ``--budget``.  Returns ``(options, remaining_args)``; the caller
+    decides what any remaining positionals mean.
+    """
+    values: dict[str, str] = {}
+    rest: list[str] = []
+
+    def canonical(flag: str) -> str | None:
+        if flag in ("--seeds", "--seed-start", "--algorithm", "--budget"):
+            return flag
+        if flag == "--algo":
+            warn_deprecated("--algo", "--algorithm")
+            return "--algorithm"
+        if budget_alias is not None and flag == budget_alias:
+            warn_deprecated(budget_alias, "--budget")
+            return "--budget"
+        return None
+
+    it = iter(argv)
+    for arg in it:
+        flag, eq, inline = arg.partition("=")
+        name = canonical(flag)
+        if name is None:
+            rest.append(arg)
+            continue
+        if eq:
+            values[name] = inline
+        else:
+            value = next(it, None)
+            if value is None:
+                raise SystemExit(f"{flag} requires a value")
+            values[name] = value
+    try:
+        n_seeds = int(values.get("--seeds", default_seeds))
+        seed_start = int(values.get("--seed-start", 0))
+        budget = int(values.get("--budget", default_budget))
+    except ValueError as exc:
+        raise SystemExit(f"bad campaign flag value: {exc}") from None
+    if n_seeds < 1:
+        raise SystemExit(f"--seeds must be >= 1, got {n_seeds}")
+    if budget < 1:
+        raise SystemExit(f"--budget must be >= 1, got {budget}")
+    options = CampaignOptions(
+        seeds=list(range(seed_start, seed_start + n_seeds)),
+        algorithm=values.get("--algorithm"),
+        budget=budget,
+    )
+    return options, rest
+
+
+def print_reports(
+    seeds: Sequence[int],
+    reports: Sequence[Any],
+    label_seeds: bool | None = None,
+) -> bool:
+    """Print any campaign's reports uniformly; returns overall success.
+
+    Works with every report honouring the common protocol (``ok``,
+    ``failures``, ``summary()``).  Seed prefixes appear whenever more
+    than one seed ran (or ``label_seeds`` forces it).
+    """
+    show_seed = len(seeds) > 1 if label_seeds is None else label_seeds
+    ok = True
+    for seed, report in zip(seeds, reports):
+        prefix = f"seed {seed}: " if show_seed else ""
+        summary = report.summary()
+        if summary.startswith(f"seed {seed}:"):
+            prefix = ""
+        print(prefix + summary)
+        for failure in report.failures:
+            print("FAILURE:", failure)
+        ok = ok and report.ok
+    return ok

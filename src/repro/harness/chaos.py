@@ -19,7 +19,7 @@ from dataclasses import dataclass, field
 from repro.analysis.history import HistoryRecorder
 from repro.analysis.invariants import definition1_consistent
 from repro.analysis.linearizability import check_snapshot_history
-from repro.config import ChannelConfig, ClusterConfig
+from repro.config import scenario_config
 from repro.core.cluster import SnapshotCluster
 from repro.fault import TransientFaultInjector
 
@@ -28,20 +28,25 @@ __all__ = ["ChaosCampaign", "ChaosReport", "run_chaos_campaigns"]
 
 def run_chaos_campaigns(
     seeds: list[int],
-    events: int = 150,
+    budget: int | None = None,
     algorithm: str = "ss-always",
     jobs: int = 1,
+    events: int | None = None,
 ) -> list["ChaosReport"]:
     """Run one campaign per seed, optionally across worker processes.
 
     Campaigns are fully seeded, so each is an independent cell of the
     parallel runner; reports come back in seed order regardless of which
-    worker finished first.
+    worker finished first.  ``budget`` is the number of campaign events
+    (default 150) — the name every campaign entry point shares;
+    ``events`` remains as a compatible alias.
     """
     from repro.harness.parallel import chaos_cells, run_cells
 
+    if budget is None:
+        budget = 150 if events is None else events
     return run_cells(
-        chaos_cells(seeds, events=events, algorithm=algorithm), jobs=jobs
+        chaos_cells(seeds, events=budget, algorithm=algorithm), jobs=jobs
     )
 
 
@@ -90,14 +95,7 @@ class ChaosCampaign:
         self.rng = random.Random(seed)
         self.cluster = SnapshotCluster(
             algorithm,
-            ClusterConfig(
-                n=n,
-                seed=seed,
-                delta=delta,
-                channel=ChannelConfig(
-                    loss_probability=loss, duplication_probability=loss / 2
-                ),
-            ),
+            scenario_config(n=n, seed=seed, delta=delta, loss=loss),
         )
         self.injector = TransientFaultInjector(self.cluster, seed=seed)
         self.report = ChaosReport()

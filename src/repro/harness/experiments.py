@@ -126,28 +126,37 @@ def run_experiments(
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point: run and print the selected (or all) experiments.
 
-    Accepts ``--jobs N`` (parallel cells) and the observability flags
+    Accepts ``--jobs N`` (parallel cells), ``--seeds K`` / ``--seed-start
+    S`` (re-run each selected experiment at K consecutive seeds — every
+    runner is a pure function of its seed), and the observability flags
     ``--trace-out FILE`` / ``--jsonl-out FILE`` / ``--stats`` (capture
     forces serial execution).  Experiment ids are case-insensitive
     (``E01`` and ``e01`` both work).
     """
+    from repro.harness.campaign import extract_campaign_flags
     from repro.obs.cli import clamp_jobs_for_capture, extract_obs_flags, observe_cli
 
     argv = list(sys.argv[1:] if argv is None else argv)
     obs_flags, argv = extract_obs_flags(argv)
     jobs, argv = extract_jobs(argv)
+    options, argv = extract_campaign_flags(argv, default_budget=1)
     selected = [eid.lower() for eid in argv] or sorted(EXPERIMENTS)
     unknown = [eid for eid in selected if eid not in EXPERIMENTS]
     if unknown:
         print(f"unknown experiment ids: {unknown}", file=sys.stderr)
         print(f"available: {sorted(EXPERIMENTS)}", file=sys.stderr)
         return 2
+    sweep = options.seeds if len(options.seeds) > 1 else None
     jobs = clamp_jobs_for_capture(obs_flags, jobs)
     with observe_cli(obs_flags):
-        for experiment_id, rows in zip(
-            selected, run_experiments(selected, jobs=jobs)
-        ):
-            print_table(rows, title=EXPERIMENTS[experiment_id][0])
+        cells = experiment_cells(selected, seeds=sweep)
+        results = run_cells(cells, jobs=jobs)
+        for cell, rows in zip(cells, results):
+            title = EXPERIMENTS[cell.name][0]
+            kwargs = dict(cell.kwargs)
+            if "seed" in kwargs:
+                title = f"{title} [seed {kwargs['seed']}]"
+            print_table(rows, title=title)
     return 0
 
 

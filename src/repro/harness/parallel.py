@@ -30,6 +30,8 @@ __all__ = [
     "experiment_cells",
     "ablation_cells",
     "chaos_cells",
+    "fuzz_cells",
+    "verify_cells",
     "extract_jobs",
 ]
 
@@ -38,10 +40,10 @@ __all__ = [
 class Cell:
     """One independent unit of work: a registered runner plus its kwargs.
 
-    ``kind`` selects the registry (``"experiment"``, ``"ablation"``, or
-    ``"chaos"``), ``name`` the entry within it, and ``kwargs`` is a sorted
-    tuple of ``(key, value)`` pairs — a hashable, picklable spelling of the
-    keyword arguments.
+    ``kind`` selects the registry (``"experiment"``, ``"ablation"``,
+    ``"chaos"``, ``"fuzz"``, or ``"verify"``), ``name`` the entry within
+    it, and ``kwargs`` is a sorted tuple of ``(key, value)`` pairs — a
+    hashable, picklable spelling of the keyword arguments.
     """
 
     kind: str
@@ -68,9 +70,12 @@ def experiment_cells(
     ]
 
 
-def ablation_cells(names: Iterable[str]) -> list[Cell]:
-    """Cells for ablation study names."""
-    return [Cell("ablation", name) for name in names]
+def ablation_cells(
+    names: Iterable[str], seeds: int | None = None
+) -> list[Cell]:
+    """Cells for ablation study names, optionally widening the seed sweep."""
+    kwargs = _make_kwargs({"seeds": seeds} if seeds is not None else None)
+    return [Cell("ablation", name, kwargs) for name in names]
 
 
 def chaos_cells(
@@ -79,6 +84,26 @@ def chaos_cells(
     """Cells for one chaos campaign per seed."""
     return [
         Cell("chaos", algorithm, _make_kwargs({"seed": seed, "events": events}))
+        for seed in seeds
+    ]
+
+
+def fuzz_cells(
+    seeds: Iterable[int], algorithm: str = "ss-always", budget: int = 40
+) -> list[Cell]:
+    """Cells probing one generated fuzz spec per seed."""
+    return [
+        Cell("fuzz", algorithm, _make_kwargs({"seed": seed, "budget": budget}))
+        for seed in seeds
+    ]
+
+
+def verify_cells(
+    seeds: Iterable[int], algorithm: str = "ss-always", budget: int = 200
+) -> list[Cell]:
+    """Cells for one seeded random-walk exploration per seed."""
+    return [
+        Cell("verify", algorithm, _make_kwargs({"seed": seed, "budget": budget}))
         for seed in seeds
     ]
 
@@ -103,6 +128,18 @@ def _run_cell(indexed: tuple[int, Cell]) -> tuple[int, Any]:
         events = kwargs.pop("events", 150)
         campaign = ChaosCampaign(algorithm=cell.name, **kwargs)
         return index, campaign.run(events=events)
+    if cell.kind == "fuzz":
+        from repro.fuzz.runner import probe_seed
+
+        return index, probe_seed(
+            kwargs["seed"], algorithm=cell.name, budget=kwargs["budget"]
+        )
+    if cell.kind == "verify":
+        from repro.verify.explorer import explore_standard_scenario
+
+        return index, explore_standard_scenario(
+            cell.name, seed=kwargs["seed"], budget=kwargs["budget"]
+        )
     raise ValueError(f"unknown cell kind {cell.kind!r}")
 
 

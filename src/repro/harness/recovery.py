@@ -7,7 +7,7 @@ from repro.analysis.invariants import (
     ssn_consistent,
     ts_consistent,
 )
-from repro.config import ClusterConfig
+from repro.config import scenario_config
 from repro.core.cluster import SnapshotCluster
 from repro.errors import ResetInProgressError
 from repro.fault import TransientFaultInjector
@@ -98,7 +98,7 @@ def e07_recovery_nonblocking(n_values=(4, 8, 12), seed=0):
         for name, corrupt in _CORRUPTIONS.items():
             cycles, healed = _recovery_cell(
                 "ss-nonblocking",
-                ClusterConfig(n=n, seed=seed),
+                scenario_config(n=n, seed=seed),
                 corrupt,
                 lambda c: ts_consistent(c).ok and ssn_consistent(c).ok,
             )
@@ -124,7 +124,7 @@ def e08_recovery_always(n_values=(4, 8, 12), seed=0, delta=2):
         for name, corrupt in corruptions.items():
             cycles, healed = _recovery_cell(
                 "ss-always",
-                ClusterConfig(n=n, seed=seed, delta=delta),
+                scenario_config(n=n, seed=seed, delta=delta),
                 corrupt,
                 lambda c: definition1_consistent(c).ok,
             )
@@ -145,7 +145,7 @@ def e14_bounded_reset(max_int=10, rounds=25, n=5, seed=0):
     """
     cluster = SnapshotCluster(
         "bounded-ss-nonblocking",
-        ClusterConfig(n=n, seed=seed, max_int=max_int),
+        scenario_config(n=n, seed=seed, max_int=max_int),
     )
     aborted = 0
     completed = 0

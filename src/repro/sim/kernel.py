@@ -390,8 +390,19 @@ class Kernel:
         #: SCRIPTED mode: the decision to take at the k-th same-instant
         #: choice point (index into the candidate list; 0 beyond the end).
         self.decision_script: list[int] = []
-        #: SCRIPTED mode: per choice point, (choice_taken, n_candidates).
+        #: Per choice point, (choice_taken, n_candidates).  Written by
+        #: SCRIPTED runs and by RANDOM runs with :attr:`capture_decisions`.
         self.decision_log: list[tuple[int, int]] = []
+        #: RANDOM mode only: when set, every same-instant tie is logged to
+        #: :attr:`decision_log` as the index the random priorities chose
+        #: *within the FIFO (insertion-order) candidate list* — exactly the
+        #: encoding SCRIPTED mode consumes.  A failing random run can then
+        #: be replayed as an explicit decision script (the fuzz shrinker's
+        #: schedule-pinning step).  Capturing never changes what the run
+        #: does: the chosen event is still the heap minimum and no extra
+        #: RNG draws happen; it only forgoes the same-instant batch
+        #: dispatch fast path.
+        self.capture_decisions = False
 
     # -- clock & scheduling --------------------------------------------------
 
@@ -607,13 +618,14 @@ class Kernel:
         # disabling observability costs nothing on the hot loop.  A kernel
         # observed mid-run (reconfiguration under an ambient capture
         # session) starts counting at its next run() call.  SCRIPTED mode
-        # always uses this loop: it never batches — same-instant groups
-        # are its choice points — so there is nothing to count.
-        if self.obs is not None and not self._scripted:
+        # — and RANDOM mode with decision capture — always uses this loop:
+        # it never batches, because same-instant groups are its choice
+        # points, so there is nothing to count.
+        grouped = self._scripted or (self._random_tie and self.capture_decisions)
+        if self.obs is not None and not grouped:
             self._run_counting(until_time, max_events, until)
             return
         heap = self._heap
-        scripted = self._scripted
         heappop = heapq.heappop
         processed = 0
         try:
@@ -624,7 +636,7 @@ class Kernel:
                 if until_time is not None and when > until_time:
                     self._now = until_time
                     return
-                if scripted:
+                if grouped:
                     entry = self._pop_next()
                 else:
                     entry = heappop(heap)
@@ -637,7 +649,7 @@ class Kernel:
                 # without re-testing ``until_time`` (``when`` already passed
                 # it).  The ``until`` check stays — stopping promptly once
                 # the target future completes is part of the run() contract.
-                if not scripted:
+                if not grouped:
                     while heap and heap[0][0] == when:
                         if until is not None and until._state != _PENDING:
                             return
@@ -698,30 +710,42 @@ class Kernel:
             self._events_processed += processed
 
     def _pop_next(self) -> tuple[float, float, int, Callable[..., None], tuple]:
-        """Pop the next event; in SCRIPTED mode, branch over ties.
+        """Pop the next event, logging same-instant tie decisions.
 
-        When several events share the minimal timestamp, the scripted
+        When several events share the minimal timestamp, the SCRIPTED
         scheduler consults :attr:`decision_script` (defaulting to 0 past
         its end) and records ``(choice, n_candidates)`` in
         :attr:`decision_log` — the model checker's branching evidence.
+
+        A RANDOM kernel with :attr:`capture_decisions` takes the same
+        grouped path but makes no choice of its own: the heap minimum
+        (lowest random priority) wins exactly as it would without capture,
+        and what gets logged is that winner's index within the candidates
+        sorted by insertion order — the canonical order a SCRIPTED replay
+        of the log will see, since scripted runs draw no priorities.
         """
         first = heapq.heappop(self._heap)
-        if self._tie_break != TieBreak.SCRIPTED:
-            return first
         candidates = [first]
         while self._heap and self._heap[0][0] == first[0]:
             candidates.append(heapq.heappop(self._heap))
         if len(candidates) == 1:
             return first
-        position = len(self.decision_log)
-        choice = (
-            self.decision_script[position]
-            if position < len(self.decision_script)
-            else 0
-        )
-        choice = max(0, min(choice, len(candidates) - 1))
-        self.decision_log.append((choice, len(candidates)))
-        chosen = candidates.pop(choice)
+        if self._scripted:
+            position = len(self.decision_log)
+            choice = (
+                self.decision_script[position]
+                if position < len(self.decision_script)
+                else 0
+            )
+            choice = max(0, min(choice, len(candidates) - 1))
+            self.decision_log.append((choice, len(candidates)))
+            chosen = candidates.pop(choice)
+        else:
+            fifo_rank = sorted(
+                range(len(candidates)), key=lambda i: candidates[i][2]
+            ).index(0)
+            self.decision_log.append((fifo_rank, len(candidates)))
+            chosen = candidates.pop(0)
         for entry in candidates:
             heapq.heappush(self._heap, entry)
         return chosen

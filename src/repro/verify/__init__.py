@@ -1,10 +1,13 @@
 """Stateless model checking of the snapshot algorithms."""
 
 from repro.verify.explorer import (
+    STANDARD_SCENARIO,
     ExplorationResult,
     Violation,
     explore,
     explore_snapshot_scenario,
+    explore_standard_scenario,
+    run_verify_campaigns,
 )
 
 __all__ = [
@@ -12,4 +15,7 @@ __all__ = [
     "Violation",
     "explore",
     "explore_snapshot_scenario",
+    "explore_standard_scenario",
+    "run_verify_campaigns",
+    "STANDARD_SCENARIO",
 ]

@@ -29,11 +29,28 @@ from dataclasses import dataclass, field
 from typing import Callable
 
 from repro.analysis.linearizability import check_snapshot_history
-from repro.config import ChannelConfig, ClusterConfig
+from repro.config import scenario_config
 from repro.core.cluster import SnapshotCluster
 from repro.sim.kernel import TieBreak
 
-__all__ = ["ExplorationResult", "Violation", "explore", "explore_snapshot_scenario"]
+__all__ = [
+    "ExplorationResult",
+    "Violation",
+    "explore",
+    "explore_snapshot_scenario",
+    "explore_standard_scenario",
+    "run_verify_campaigns",
+    "STANDARD_SCENARIO",
+]
+
+#: The default concurrent write/write/snapshot scenario model-checked by
+#: ``python -m repro verify``: staggered invocations keep same-instant
+#: delivery groups small while still racing all three operations.
+STANDARD_SCENARIO = (
+    ("write", 0, "v1", 0.0),
+    ("write", 1, "v1", 0.1),
+    ("snapshot", 2, None, 0.2),
+)
 
 
 @dataclass(frozen=True, slots=True)
@@ -57,6 +74,13 @@ class ExplorationResult:
     def ok(self) -> bool:
         """Whether every explored schedule satisfied the property."""
         return not self.violations
+
+    @property
+    def failures(self) -> list[str]:
+        """Violations as strings — the common campaign-report protocol."""
+        return [
+            f"schedule {list(v.script)}: {v.details}" for v in self.violations
+        ]
 
     def summary(self) -> str:
         """Human-readable outcome."""
@@ -146,6 +170,7 @@ def explore_snapshot_scenario(
     check_values: bool = True,
     strategy: str = "dfs",
     start_loops: bool = True,
+    seed: int = 0,
 ) -> ExplorationResult:
     """Model-check a concurrent operation scenario for linearizability.
 
@@ -162,15 +187,19 @@ def explore_snapshot_scenario(
         are still enumerated.
     n, delta:
         Cluster shape.
+    seed:
+        Seed for the ``"random-walk"`` strategy's choice draws (``"dfs"``
+        is deterministic and ignores it).
 
     Every explored schedule's history must pass the specialized
     linearizability checker; the result carries any counterexample
     script.
     """
-    channel = ChannelConfig(min_delay=1.0, max_delay=1.0)
 
     def run_one(script: list[int]):
-        config = ClusterConfig(n=n, seed=0, delta=delta, channel=channel)
+        # Fixed delays on purpose: coincident timestamps are what create
+        # the choice points the explorer branches on.
+        config = scenario_config(n=n, seed=0, delta=delta, fixed_delay=1.0)
         # Disabling the do-forever loops (for algorithms that work
         # without them, i.e. the non-self-stabilizing ones) removes five
         # permanently re-arming timers from every tie group and shrinks
@@ -208,5 +237,49 @@ def explore_snapshot_scenario(
         return cluster.kernel.decision_log, report.ok, report.summary()
 
     return explore(
-        run_one, max_runs=max_runs, max_depth=max_depth, strategy=strategy
+        run_one,
+        max_runs=max_runs,
+        max_depth=max_depth,
+        strategy=strategy,
+        seed=seed,
+    )
+
+
+def explore_standard_scenario(
+    algorithm: str, seed: int = 0, budget: int = 200
+) -> ExplorationResult:
+    """One seeded random-walk exploration of :data:`STANDARD_SCENARIO`.
+
+    The parallel runner's ``"verify"`` cell body: each seed walks a
+    different sample of the schedule tree, so a campaign over many seeds
+    covers far more interleavings than one walk with a bigger budget.
+    """
+    return explore_snapshot_scenario(
+        algorithm,
+        list(STANDARD_SCENARIO),
+        n=3,
+        delta=0,
+        max_runs=budget,
+        max_depth=20,
+        strategy="random-walk",
+        seed=seed,
+    )
+
+
+def run_verify_campaigns(
+    seeds: list[int],
+    jobs: int = 1,
+    algorithm: str = "ss-always",
+    budget: int = 200,
+) -> list[ExplorationResult]:
+    """Run one standard-scenario exploration per seed, optionally parallel.
+
+    The unified campaign entry point (same ``(seeds, jobs, algorithm,
+    budget)`` shape as the chaos and fuzz campaigns); results come back
+    in seed order regardless of worker completion order.
+    """
+    from repro.harness.parallel import run_cells, verify_cells
+
+    return run_cells(
+        verify_cells(seeds, algorithm=algorithm, budget=budget), jobs=jobs
     )

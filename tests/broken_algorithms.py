@@ -1,0 +1,44 @@
+"""Deliberately buggy algorithms shared across test modules.
+
+Kept out of the ``test_*`` namespace so pytest never collects this file:
+under importlib import mode pytest gives each test file its own module
+object, so defining (and registering) an algorithm inside a test module
+that other tests also ``import`` plainly would execute the registration
+twice with two distinct classes.  A plain helper module is imported
+exactly once through ``sys.path`` (see ``conftest.py``).
+"""
+
+from repro.core.cluster import register_algorithm
+from repro.core.dgfr_nonblocking import DgfrNonBlocking
+
+
+class BrokenFirstAckOnly(DgfrNonBlocking):
+    """Deliberately wrong: the snapshot merges only the FIRST ack instead
+    of a full majority — a quorum-intersection bug.  Which ack arrives
+    first is a pure scheduling choice, so only some interleavings return
+    a stale (non-linearizable) view; finding one is the model checker's
+    (and the fuzzer's) job."""
+
+    async def _query_round(self) -> None:
+        from repro.core.dgfr_nonblocking import (
+            SnapshotAckMessage,
+            SnapshotMessage,
+        )
+        from repro.net.quorum import AckCollector, broadcast_until
+
+        def matches(sender: int, msg) -> bool:
+            return msg.ssn == self.ssn and sender != self.node_id
+
+        with AckCollector(
+            self, SnapshotAckMessage.KIND, 1, match=matches
+        ) as collector:
+            await broadcast_until(
+                self,
+                lambda: SnapshotMessage(reg=self.reg.copy(), ssn=self.ssn),
+                collector,
+            )
+            replies = collector.reply_messages()
+        self.merge(msg.reg for msg in replies[:1])
+
+
+register_algorithm("broken-first-ack", BrokenFirstAckOnly)

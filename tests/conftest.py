@@ -1,0 +1,14 @@
+"""Shared pytest setup: make sibling test modules importable.
+
+Some test modules import helpers from others (e.g. the fuzz e2e test
+reuses ``test_verify``'s deliberately broken quorum algorithm); putting
+this directory on ``sys.path`` keeps those imports working under every
+pytest invocation style.
+"""
+
+import sys
+from pathlib import Path
+
+_TESTS_DIR = str(Path(__file__).resolve().parent)
+if _TESTS_DIR not in sys.path:
+    sys.path.insert(0, _TESTS_DIR)

@@ -45,6 +45,37 @@ class TestIsolation:
 
 
 class TestFlapping:
+    def test_flap_blocks_cross_group_channels_and_heal_restores(self):
+        """Direct connectivity check: each flap blocks exactly the
+        cross-group channels, and the paired heal unblocks every one."""
+        cluster = make(seed=9)
+        groups = ({0, 1, 2}, {3, 4})
+        flapping_partition(cluster, groups, period=5.0, flaps=2)
+
+        def blocked_pairs():
+            return {
+                (a, b)
+                for a in range(5)
+                for b in range(5)
+                if a != b and cluster.network.channel(a, b).blocked
+            }
+
+        cross = {
+            (a, b)
+            for a in range(5)
+            for b in range(5)
+            if a != b and ({a} <= groups[0]) != ({b} <= groups[0])
+        }
+        assert blocked_pairs() == set()  # first flap starts at t=period
+        cluster.run_for(6.0)  # inside flap 1 (t in [5, 10))
+        assert blocked_pairs() == cross
+        cluster.run_for(5.0)  # past the heal at t=10
+        assert blocked_pairs() == set()
+        cluster.run_for(5.0)  # inside flap 2 (t in [15, 20))
+        assert blocked_pairs() == cross
+        cluster.run_for(5.0)  # past the final heal at t=20
+        assert blocked_pairs() == set()
+
     def test_operations_survive_flapping(self):
         cluster = make(seed=3)
         flapping_partition(
@@ -109,3 +140,53 @@ class TestPartitionSchedule:
         result = cluster.run_until(run(), max_events=None)
         assert result.values[0] == "with-4-down"
         assert [e.action for e in crashes.applied] == ["crash", "resume"]
+
+    def test_partition_schedule_composes_with_crash_schedule(self):
+        """A partition overlapping a crash: the majority side must stay
+        live through both, and the history must stay linearizable after
+        everything heals."""
+        cluster = make(seed=6)
+        partitions = PartitionSchedule(
+            cluster,
+            [
+                (10.0, ({3, 4}, {0, 1, 2})),
+                (40.0, ()),  # heal
+            ],
+        )
+        partitions.install()
+        crashes = CrashSchedule(
+            cluster,
+            [
+                CrashEvent(at=15.0, node_id=2, action="crash"),
+                CrashEvent(at=30.0, node_id=2, action="resume"),
+            ],
+        )
+        crashes.install()
+
+        async def run():
+            await cluster.write(0, "before")
+            await cluster.kernel.sleep(20.0)
+            # t=20: nodes {3,4} partitioned away AND node 2 crashed — the
+            # connected component {0,1} is below a majority, so nothing
+            # completes until node 2 resumes at t=30.
+            write_task = cluster.spawn(cluster.write(0, "squeezed"))
+            await cluster.kernel.sleep(5.0)
+            assert not write_task.done()
+            await write_task
+            assert cluster.kernel.now >= 30.0
+            await cluster.kernel.sleep(30.0)  # past the heal at t=40
+            return await cluster.snapshot(4)
+
+        result = cluster.run_until(run(), max_events=None)
+        assert result.values[0] == "squeezed"
+        assert partitions.applied == [10.0, 40.0]
+        assert [e.action for e in crashes.applied] == ["crash", "resume"]
+        report = check_snapshot_history(cluster.history.records(), 5)
+        assert report.ok, report.summary()
+        # Connectivity is fully restored after the heal.
+        assert not any(
+            cluster.network.channel(a, b).blocked
+            for a in range(5)
+            for b in range(5)
+            if a != b
+        )

@@ -135,3 +135,112 @@ class TestVerifyCommand:
 
     def test_verify_single_algorithm(self, capsys):
         assert main(["verify", "dgfr-nonblocking"]) == 0
+
+    def test_verify_positional_algorithm_warns(self, capsys):
+        assert main(["verify", "dgfr-nonblocking", "--budget", "50"]) == 0
+        captured = capsys.readouterr()
+        assert "deprecated" in captured.err
+        assert "deprecated" not in captured.out
+
+    def test_verify_unified_flags(self, capsys):
+        assert main(
+            [
+                "verify",
+                "--algorithm",
+                "dgfr-nonblocking",
+                "--seeds",
+                "2",
+                "--budget",
+                "40",
+                "--jobs",
+                "2",
+            ]
+        ) == 0
+        captured = capsys.readouterr()
+        out = captured.out
+        assert "[dfs        ]" in out
+        assert "[walk s=0" in out
+        assert "[walk s=1" in out
+        assert captured.err == ""
+
+
+class TestCampaignFlagUnification:
+    """Chaos, verify, and fuzz share one flag/report vocabulary."""
+
+    def test_chaos_unified_flags(self, capsys):
+        assert main(
+            ["chaos", "--budget", "30", "--seeds", "2", "--jobs", "2"]
+        ) == 0
+        captured = capsys.readouterr()
+        assert "seed 0:" in captured.out
+        assert "seed 1:" in captured.out
+        assert captured.err == ""
+
+    def test_chaos_positional_spelling_warns_but_works(self, capsys):
+        assert main(["chaos", "30", "1"]) == 0
+        captured = capsys.readouterr()
+        assert "deprecated" in captured.err
+        assert "30 events" in captured.out
+
+    def test_chaos_events_flag_is_deprecated_alias_of_budget(self, capsys):
+        assert main(["chaos", "--events", "30"]) == 0
+        captured = capsys.readouterr()
+        assert "--events is deprecated; use --budget" in captured.err
+        assert "30 events" in captured.out
+
+    def test_algo_flag_is_deprecated_alias_of_algorithm(self, capsys):
+        assert main(
+            ["chaos", "--budget", "30", "--algo", "ss-nonblocking"]
+        ) == 0
+        assert "--algo is deprecated" in capsys.readouterr().err
+
+    def test_seed_start_offsets_the_seed_range(self, capsys):
+        assert main(
+            ["chaos", "--budget", "30", "--seeds", "2", "--seed-start", "5"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "seed 5:" in out
+        assert "seed 6:" in out
+
+
+class TestFuzzCommand:
+    def test_fuzz_clean_algorithm_passes(self, capsys):
+        assert main(["fuzz", "--seeds", "2", "--budget", "15"]) == 0
+        out = capsys.readouterr().out
+        assert "seed 0: 15 events: OK" in out
+        assert "seed 1: 15 events: OK" in out
+
+    def test_fuzz_finds_shrinks_and_replay_reproduces(self, capsys, tmp_path):
+        import broken_algorithms  # noqa: F401  (registers broken-first-ack)
+
+        assert main(
+            [
+                "fuzz",
+                "--algorithm",
+                "broken-first-ack",
+                "--seed-start",
+                "10",
+                "--seeds",
+                "1",
+                "--budget",
+                "40",
+                "--out",
+                str(tmp_path),
+            ]
+        ) == 1
+        out = capsys.readouterr().out
+        assert "FAILURES" in out
+        assert "shrunk 40 ->" in out
+        counterexamples = sorted(tmp_path.glob("counterexample-*.json"))
+        assert len(counterexamples) == 1
+
+        assert main(["replay", str(counterexamples[0])]) == 0
+        replay_out = capsys.readouterr().out
+        assert "reproduced bit-identically" in replay_out
+        assert "FAILURE:" in replay_out
+
+    def test_replay_rejects_missing_argument(self):
+        import pytest
+
+        with pytest.raises(SystemExit, match="usage"):
+            main(["replay"])

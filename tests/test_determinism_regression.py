@@ -130,3 +130,42 @@ def test_jobs4_output_equals_jobs1_output(capsys):
     parallel = capsys.readouterr().out
     assert serial == parallel
     assert "E1" in serial and "E7" in serial
+
+
+def test_counterexample_replay_is_bit_identical_even_under_tracing(
+    capsys, tmp_path
+):
+    """A fuzz counterexample round-trips: spec JSON is canonical, every
+    replay reproduces the recorded history fingerprint exactly, and a
+    ``--trace-out`` capture neither perturbs the replay nor varies
+    between replays (two captures are byte-identical)."""
+    import json
+
+    import broken_algorithms  # noqa: F401  (registers broken-first-ack)
+
+    from repro.__main__ import main as repro_main
+    from repro.fuzz import ScenarioSpec, generate_spec, run_spec, shrink_spec
+
+    spec = generate_spec(10, algorithm="broken-first-ack", events=40)
+    shrunk = shrink_spec(spec)
+    # Canonical serialization: spec -> JSON -> spec -> JSON is a fixpoint.
+    assert ScenarioSpec.from_json(shrunk.spec.to_json()) == shrunk.spec
+
+    from repro.fuzz import write_counterexample
+
+    ce = tmp_path / "ce.json"
+    write_counterexample(ce, shrunk.spec, shrunk.outcome)
+    traces = []
+    for index in range(2):
+        trace_path = tmp_path / f"trace-{index}.json"
+        assert repro_main(
+            ["replay", str(ce), "--trace-out", str(trace_path)]
+        ) == 0
+        capsys.readouterr()
+        traces.append(trace_path.read_bytes())
+    assert traces[0] == traces[1]
+    # And the traced replay equals the untraced one.
+    untraced = run_spec(shrunk.spec)
+    assert untraced.fingerprint() == shrunk.outcome.fingerprint()
+    payload = json.loads(traces[0].decode())
+    assert payload["traceEvents"], "trace capture saw the replayed cluster"

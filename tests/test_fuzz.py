@@ -1,0 +1,270 @@
+"""Tests for the fuzz subsystem: specs, executor, shrinker, campaigns.
+
+The end-to-end guarantee under test: a deliberately broken algorithm is
+*found* by a fuzz campaign, the failing spec is *shrunk* to a small
+pinned counterexample, and the counterexample file *replays* the exact
+violation bit-identically — twice.
+"""
+
+import json
+from dataclasses import replace
+
+import pytest
+
+from repro.config import ConfigurationError, scenario_config
+from repro.fuzz import (
+    ScenarioEvent,
+    ScenarioSpec,
+    generate_spec,
+    load_counterexample,
+    replay_counterexample,
+    run_fuzz_campaign,
+    run_spec,
+    shrink_spec,
+    write_counterexample,
+)
+
+# Registers the "broken-first-ack" algorithm (a quorum-intersection bug:
+# snapshots merge only their first ack) as a fuzz target.
+from broken_algorithms import BrokenFirstAckOnly  # noqa: F401
+
+#: The generated seed (under the default generator parameters with
+#: ``events=40``) whose spec exposes the broken-first-ack bug — found by
+#: the campaign in the e2e test below, pinned here so the shrink tests
+#: don't have to search for it.
+BUG_SEED = 10
+
+
+class TestScenarioSpec:
+    def test_event_round_trips_through_dict(self):
+        event = ScenarioEvent(
+            kind="partition", group=(0, 2), mode="", gap=0.25
+        )
+        assert ScenarioEvent.from_dict(event.to_dict()) == event
+
+    def test_unknown_event_kind_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown event kind"):
+            ScenarioEvent(kind="meteor-strike")
+
+    def test_spec_round_trips_through_json(self):
+        spec = generate_spec(7, events=30)
+        assert ScenarioSpec.from_json(spec.to_json()) == spec
+
+    def test_json_form_is_canonical(self):
+        spec = generate_spec(7, events=10)
+        assert spec.to_json() == ScenarioSpec.from_json(spec.to_json()).to_json()
+
+    def test_save_load_round_trip(self, tmp_path):
+        spec = generate_spec(3, events=12)
+        path = tmp_path / "spec.json"
+        spec.save(path)
+        assert ScenarioSpec.load(path) == spec
+
+    def test_generation_is_deterministic(self):
+        assert generate_spec(42) == generate_spec(42)
+        assert generate_spec(42) != generate_spec(43)
+
+    def test_generated_events_are_well_formed(self):
+        for seed in range(8):
+            spec = generate_spec(seed, events=30)
+            assert 3 <= spec.n <= 5
+            assert len(spec.events) == 30
+            for event in spec.events:
+                if event.kind in ("write", "snapshot", "crash", "resume"):
+                    assert 0 <= event.node < spec.n
+                if event.kind == "partition":
+                    assert event.group
+                    assert len(event.group) <= (spec.n - 1) // 2
+                    assert all(0 <= i < spec.n for i in event.group)
+
+    def test_with_events_unpins_script(self):
+        spec = replace(generate_spec(1, events=5), decision_script=(1, 0))
+        trimmed = spec.with_events(spec.events[:2])
+        assert trimmed.decision_script is None
+        assert len(trimmed.events) == 2
+
+    def test_config_uses_spec_dimensions(self):
+        spec = generate_spec(5)
+        config = spec.config()
+        assert config.n == spec.n
+        assert config.seed == spec.seed
+        assert config.delta == spec.delta
+        assert config.channel.min_delay == spec.min_delay
+        assert config.channel.loss_probability == spec.loss
+
+
+class TestScenarioConfigFactory:
+    def test_defaults_match_cluster_config(self):
+        config = scenario_config()
+        assert config.n == 5
+        assert config.delta == 0.0
+        assert config.channel.loss_probability == 0.0
+        assert config.channel.duplication_probability == 0.0
+
+    def test_fixed_delay_pins_both_bounds(self):
+        config = scenario_config(fixed_delay=1.0)
+        assert config.channel.min_delay == config.channel.max_delay == 1.0
+
+    def test_fixed_delay_conflicts_with_range(self):
+        with pytest.raises(ConfigurationError, match="not both"):
+            scenario_config(fixed_delay=1.0, min_delay=0.5)
+
+    def test_duplication_defaults_to_half_loss(self):
+        config = scenario_config(loss=0.1)
+        assert config.channel.duplication_probability == pytest.approx(0.05)
+
+    def test_overrides_pass_through(self):
+        config = scenario_config(n=3, max_int=64, quorum_size=2)
+        assert config.max_int == 64
+        assert config.quorum_size == 2
+
+
+class TestExecutor:
+    def test_clean_spec_passes(self):
+        outcome = run_spec(generate_spec(0, events=20))
+        assert outcome.ok, outcome.failures
+        assert outcome.applied + outcome.skipped == 20
+        assert outcome.checks >= 2  # final history + final invariants
+
+    def test_runs_are_deterministic(self):
+        spec = generate_spec(5, events=25)
+        first = run_spec(spec)
+        second = run_spec(spec)
+        assert first.fingerprint() == second.fingerprint()
+        assert first.failures == second.failures
+
+    def test_capture_does_not_perturb_the_run(self):
+        spec = generate_spec(9, events=25)
+        plain = run_spec(spec)
+        captured = run_spec(spec, capture_decisions=True)
+        assert plain.fingerprint() == captured.fingerprint()
+        assert captured.decision_log  # ties were recorded
+        assert not plain.decision_log  # …but only under capture
+
+    def test_pinned_script_replays_identically(self):
+        spec = generate_spec(9, events=25)
+        captured = run_spec(spec, capture_decisions=True)
+        pinned = replace(
+            spec,
+            decision_script=tuple(c for c, _n in captured.decision_log),
+        )
+        scripted = run_spec(pinned)
+        assert scripted.fingerprint() == captured.fingerprint()
+
+    def test_corruption_skipped_for_non_stabilizing_algorithms(self):
+        events = (
+            ScenarioEvent(kind="write", node=0, value="w0"),
+            ScenarioEvent(kind="corrupt", mode="ts"),
+            ScenarioEvent(kind="snapshot", node=1),
+        )
+        spec = ScenarioSpec(
+            algorithm="dgfr-nonblocking", n=3, events=events
+        )
+        outcome = run_spec(spec)
+        assert outcome.ok, outcome.failures
+        assert outcome.skipped == 1
+
+    def test_corruption_recovery_checked_for_stabilizing_algorithms(self):
+        events = (
+            ScenarioEvent(kind="write", node=0, value="w0"),
+            ScenarioEvent(kind="corrupt", mode="registers"),
+            ScenarioEvent(kind="write", node=1, value="w1"),
+            ScenarioEvent(kind="snapshot", node=2),
+        )
+        spec = ScenarioSpec(algorithm="ss-always", n=3, delta=0.0, events=events)
+        outcome = run_spec(spec)
+        assert outcome.ok, outcome.failures
+        assert outcome.checks >= 4  # pre-corruption + post-recovery + finals
+
+    def test_crash_guard_never_kills_majority(self):
+        events = tuple(
+            ScenarioEvent(kind="crash", node=node) for node in range(4)
+        ) + (ScenarioEvent(kind="write", node=0, value="w"),)
+        outcome = run_spec(ScenarioSpec(algorithm="ss-always", n=4, events=events))
+        assert outcome.ok, outcome.failures
+        assert outcome.skipped >= 3  # only one crash fits n=4
+
+
+class TestShrinker:
+    def test_shrink_requires_a_failing_spec(self):
+        with pytest.raises(ValueError, match="needs a failing spec"):
+            shrink_spec(generate_spec(0, events=10))
+
+    def test_shrinks_bug_to_small_pinned_counterexample(self):
+        spec = generate_spec(BUG_SEED, algorithm="broken-first-ack", events=40)
+        assert not run_spec(spec).ok  # the seed really exposes the bug
+        result = shrink_spec(spec)
+        assert result.original_events == 40
+        # The acceptance bar: the counterexample keeps at most 25% of the
+        # original event program.
+        assert result.final_events <= 10
+        # The schedule was pinned to an explicit decision script and the
+        # minimized spec still fails.
+        assert result.spec.decision_script is not None
+        outcome = run_spec(result.spec)
+        assert not outcome.ok
+        assert outcome.fingerprint() == result.outcome.fingerprint()
+
+
+class TestCampaignAndReplay:
+    def test_campaign_finds_shrinks_and_replays_the_bug(self, tmp_path):
+        seeds = list(range(BUG_SEED + 1))
+        reports = run_fuzz_campaign(
+            seeds,
+            algorithm="broken-first-ack",
+            budget=40,
+            out_dir=tmp_path,
+        )
+        failing = [report for report in reports if not report.ok]
+        assert failing, "fuzz campaign failed to find the injected bug"
+        report = failing[-1]
+        assert report.seed == BUG_SEED
+        assert report.shrunk_events is not None
+        assert report.shrunk_events <= report.events // 4
+        assert report.counterexample is not None
+
+        # The counterexample file replays the violation bit-identically —
+        # twice.
+        first = replay_counterexample(report.counterexample)
+        second = replay_counterexample(report.counterexample)
+        assert first.ok and second.ok
+        assert first.outcome.fingerprint() == second.outcome.fingerprint()
+        assert first.outcome.history == second.outcome.history
+
+    def test_parallel_probe_matches_serial(self):
+        seeds = [0, 1, 2, 3]
+        serial = run_fuzz_campaign(seeds, jobs=1, budget=15)
+        parallel = run_fuzz_campaign(seeds, jobs=4, budget=15)
+        assert [r.summary() for r in serial] == [
+            r.summary() for r in parallel
+        ]
+
+    def test_counterexample_format_is_versioned_json(self, tmp_path):
+        spec = generate_spec(BUG_SEED, algorithm="broken-first-ack", events=40)
+        outcome = run_spec(spec)
+        path = tmp_path / "ce.json"
+        write_counterexample(path, spec, outcome)
+        payload = json.loads(path.read_text())
+        assert payload["format"] == "repro-fuzz-counterexample"
+        assert payload["version"] == 1
+        loaded, _ = load_counterexample(path)
+        assert loaded == spec
+
+    def test_load_rejects_foreign_files(self, tmp_path):
+        path = tmp_path / "other.json"
+        path.write_text(json.dumps({"format": "something-else"}))
+        with pytest.raises(ValueError, match="not a repro-fuzz-counterexample"):
+            load_counterexample(path)
+
+    def test_replay_detects_divergence(self, tmp_path):
+        spec = generate_spec(BUG_SEED, algorithm="broken-first-ack", events=40)
+        outcome = run_spec(spec)
+        path = tmp_path / "ce.json"
+        write_counterexample(path, spec, outcome)
+        payload = json.loads(path.read_text())
+        payload["fingerprint"]["sim_time"] += 1.0
+        path.write_text(json.dumps(payload))
+        result = replay_counterexample(path)
+        assert result.reproduced
+        assert not result.fingerprint_matches
+        assert not result.ok

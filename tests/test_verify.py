@@ -4,8 +4,7 @@ import pytest
 
 from repro.config import ChannelConfig, ClusterConfig
 from repro.core.base import SnapshotResult
-from repro.core.cluster import SnapshotCluster, register_algorithm
-from repro.core.dgfr_nonblocking import DgfrNonBlocking
+from repro.core.cluster import SnapshotCluster
 from repro.sim.kernel import Kernel, TieBreak
 from repro.verify import explore, explore_snapshot_scenario
 
@@ -103,36 +102,7 @@ class TestExplore:
         assert "['b', 'a']" in result.violations[0].details
 
 
-class BrokenFirstAckOnly(DgfrNonBlocking):
-    """Deliberately wrong: the snapshot merges only the FIRST ack instead
-    of a full majority — a quorum-intersection bug.  Which ack arrives
-    first is a pure scheduling choice, so only some interleavings return
-    a stale (non-linearizable) view; finding one is the model checker's
-    job."""
-
-    async def _query_round(self) -> None:
-        from repro.core.dgfr_nonblocking import (
-            SnapshotAckMessage,
-            SnapshotMessage,
-        )
-        from repro.net.quorum import AckCollector, broadcast_until
-
-        def matches(sender: int, msg) -> bool:
-            return msg.ssn == self.ssn and sender != self.node_id
-
-        with AckCollector(
-            self, SnapshotAckMessage.KIND, 1, match=matches
-        ) as collector:
-            await broadcast_until(
-                self,
-                lambda: SnapshotMessage(reg=self.reg.copy(), ssn=self.ssn),
-                collector,
-            )
-            replies = collector.reply_messages()
-        self.merge(msg.reg for msg in replies[:1])
-
-
-register_algorithm("broken-first-ack", BrokenFirstAckOnly)
+from broken_algorithms import BrokenFirstAckOnly  # noqa: E402, F401
 
 
 def _partitioned_run_one(algorithm):
