@@ -31,6 +31,10 @@ from repro.core import (
     TimestampedValue,
 )
 from repro.core.cluster import register_algorithm
+
+# After repro.core: the backend package reaches back through the wiring
+# layers (analysis, net), which must be fully initialized first.
+from repro.backend.base import backend_names, create_backend
 from repro.errors import ReproError
 from repro.stabilization import (
     BoundedSelfStabilizingAlwaysTerminating,
@@ -61,4 +65,6 @@ __all__ = [
     "TimestampedValue",
     "UNBOUNDED_DELTA",
     "__version__",
+    "backend_names",
+    "create_backend",
 ]

@@ -3,9 +3,10 @@
 Commands
 --------
 ``experiments [ids…]``
-    Run the reproduction experiments (all of E1–E15 by default) and
+    Run the reproduction experiments (all of E1–E16 by default) and
     print their tables.  ``--seeds K`` re-runs each selected experiment
-    at K consecutive seeds.
+    at K consecutive seeds.  ``--backend {sim,asyncio,udp}`` runs the
+    backend-aware experiments (E16) on a chosen runtime.
 ``figures [names…]``
     Render the paper's Figures 1–3 as ASCII space-time diagrams
     (all by default; names: fig1-upper, fig1-lower, fig2, fig3-upper,
@@ -17,11 +18,18 @@ Commands
 ``algorithms``
     List the registered snapshot-object algorithms.
 
-Campaign commands — ``verify``, ``chaos``, and ``fuzz`` share one flag
-vocabulary (``--seeds K``, ``--seed-start S``, ``--algorithm NAME``,
-``--budget N``, ``--jobs N``) and one report format (a summary line per
-seed plus a ``FAILURE:`` line per violation; exit status 1 when any
-seed failed):
+Campaign commands — ``verify``, ``chaos``, ``fuzz``, and ``latency``
+share one flag vocabulary (``--seeds K``, ``--seed-start S``,
+``--algorithm NAME``, ``--budget N``, ``--jobs N``, ``--backend
+{sim,asyncio,udp}``) and one report format (a summary line per seed
+plus a ``FAILURE:`` line per violation; exit status 1 when any seed
+failed).  ``--backend`` selects the runtime every campaign cluster runs
+on: the deterministic simulator (default), a wall-clock asyncio event
+loop, or real UDP sockets on loopback (see ``docs/runtimes.md``).
+Sim-only capabilities degrade with a clear message — schedule
+exploration and fuzz shrinking stay on ``sim``; asking for a sim-only
+capability outright (e.g. ``--jobs 2`` on a live backend) raises a
+``ConfigurationError`` naming it:
 
 ``verify``
     Model-check the standard concurrent write/snapshot scenario: one
@@ -43,8 +51,17 @@ seed failed):
 ``replay FILE``
     Re-execute a counterexample file written by ``fuzz`` and verify it
     reproduces the recorded violation bit-identically (exit 0 exactly
-    when it does).
+    when it does).  ``--backend NAME`` overrides where the spec re-runs
+    (live replays check violation reproduction, not fingerprints).
+``latency``
+    Measure median per-operation write/snapshot latency and messages
+    per operation.  With ``--backend udp`` the same probe runs over
+    real sockets, which is how EXPERIMENTS.md's sim-vs-UDP comparison
+    is produced.
 
+``backends``
+    Print the backend capability matrix (which features each of
+    ``sim``/``asyncio``/``udp`` provides).
 ``demo``
     Run a tiny end-to-end demo (write/snapshot/corrupt/recover).
 
@@ -135,7 +152,11 @@ def _cmd_algorithms(_args: list[str]) -> int:
 
 
 def _cmd_verify(args: list[str]) -> int:
-    from repro.harness.campaign import extract_campaign_flags, warn_deprecated
+    from repro.harness.campaign import (
+        extract_backend,
+        extract_campaign_flags,
+        warn_deprecated,
+    )
     from repro.harness.parallel import extract_jobs
     from repro.obs.cli import (
         clamp_jobs_for_capture,
@@ -150,6 +171,7 @@ def _cmd_verify(args: list[str]) -> int:
 
     obs_flags, args = extract_obs_flags(args)
     jobs, args = extract_jobs(args)
+    backend, args = extract_backend(args, default="sim")
     options, rest = extract_campaign_flags(args, default_budget=200)
     if rest:
         warn_deprecated(
@@ -160,33 +182,42 @@ def _cmd_verify(args: list[str]) -> int:
         algorithms = [options.algorithm]
     else:
         algorithms = ["ss-nonblocking", "ss-always"]
+    if backend != "sim":
+        print(
+            f"note: schedule-exploring DFS pass is sim-only; on "
+            f"{backend!r} each seed drives a live concurrent workload "
+            f"and checks its history for linearizability",
+            file=sys.stderr,
+        )
     jobs = clamp_jobs_for_capture(obs_flags, jobs)
     ok = True
     with observe_cli(obs_flags):
         for algorithm in algorithms:
-            dfs = explore_snapshot_scenario(
-                algorithm,
-                list(STANDARD_SCENARIO),
-                n=3,
-                delta=0,
-                max_runs=options.budget,
-                max_depth=20,
-                strategy="dfs",
-            )
-            print(f"{algorithm:20s} [dfs        ] {dfs.summary()}")
-            ok = ok and dfs.ok
+            if backend == "sim":
+                dfs = explore_snapshot_scenario(
+                    algorithm,
+                    list(STANDARD_SCENARIO),
+                    n=3,
+                    delta=0,
+                    max_runs=options.budget,
+                    max_depth=20,
+                    strategy="dfs",
+                )
+                print(f"{algorithm:20s} [dfs        ] {dfs.summary()}")
+                ok = ok and dfs.ok
             results = run_verify_campaigns(
                 options.seeds,
                 jobs=jobs,
                 algorithm=algorithm,
                 budget=options.budget,
+                backend=backend,
             )
             for seed, result in zip(options.seeds, results):
                 label = (
-                    "random-walk"
-                    if len(options.seeds) == 1
-                    else f"walk s={seed}"
+                    "random-walk" if backend == "sim" else "live"
                 )
+                if len(options.seeds) > 1:
+                    label = f"{'walk' if backend == 'sim' else 'live'} s={seed}"
                 print(f"{algorithm:20s} [{label:11s}] {result.summary()}")
                 for failure in result.failures:
                     print("FAILURE:", failure)
@@ -197,6 +228,7 @@ def _cmd_verify(args: list[str]) -> int:
 def _cmd_chaos(args: list[str]) -> int:
     from repro.harness.campaign import (
         CampaignOptions,
+        extract_backend,
         extract_campaign_flags,
         print_reports,
         warn_deprecated,
@@ -211,6 +243,7 @@ def _cmd_chaos(args: list[str]) -> int:
 
     obs_flags, args = extract_obs_flags(args)
     jobs, args = extract_jobs(args)
+    backend, args = extract_backend(args, default="sim")
     options, rest = extract_campaign_flags(
         args, default_budget=150, budget_alias="--events"
     )
@@ -233,6 +266,7 @@ def _cmd_chaos(args: list[str]) -> int:
             budget=options.budget,
             algorithm=algorithm,
             jobs=jobs,
+            backend=backend,
         )
         ok = print_reports(options.seeds, reports)
     return 0 if ok else 1
@@ -240,7 +274,11 @@ def _cmd_chaos(args: list[str]) -> int:
 
 def _cmd_fuzz(args: list[str]) -> int:
     from repro.fuzz import run_fuzz_campaign
-    from repro.harness.campaign import extract_campaign_flags, print_reports
+    from repro.harness.campaign import (
+        extract_backend,
+        extract_campaign_flags,
+        print_reports,
+    )
     from repro.harness.parallel import extract_jobs
     from repro.obs.cli import (
         clamp_jobs_for_capture,
@@ -250,6 +288,7 @@ def _cmd_fuzz(args: list[str]) -> int:
 
     obs_flags, args = extract_obs_flags(args)
     jobs, args = extract_jobs(args)
+    backend, args = extract_backend(args, default="sim")
     options, rest = extract_campaign_flags(args, default_budget=40)
     out_dir: str | None = None
     shrink = True
@@ -278,6 +317,7 @@ def _cmd_fuzz(args: list[str]) -> int:
             budget=options.budget,
             out_dir=out_dir,
             shrink=shrink,
+            backend=backend,
         )
         ok = print_reports(options.seeds, reports)
     return 0 if ok else 1
@@ -285,17 +325,80 @@ def _cmd_fuzz(args: list[str]) -> int:
 
 def _cmd_replay(args: list[str]) -> int:
     from repro.fuzz import replay_counterexample
+    from repro.harness.campaign import extract_backend
     from repro.obs.cli import extract_obs_flags, observe_cli
 
     obs_flags, args = extract_obs_flags(args)
+    backend, args = extract_backend(args)
     if len(args) != 1:
-        raise SystemExit("usage: python -m repro replay <counterexample.json>")
+        raise SystemExit(
+            "usage: python -m repro replay [--backend NAME] "
+            "<counterexample.json>"
+        )
     with observe_cli(obs_flags):
-        result = replay_counterexample(args[0])
+        result = replay_counterexample(args[0], backend=backend)
         print(result.summary())
         for failure in result.outcome.failures:
             print("FAILURE:", failure)
     return 0 if result.ok else 1
+
+
+def _cmd_latency(args: list[str]) -> int:
+    from repro.harness.campaign import (
+        extract_backend,
+        extract_campaign_flags,
+        print_reports,
+    )
+    from repro.harness.latency import run_latency_campaigns
+    from repro.harness.parallel import extract_jobs
+    from repro.obs.cli import (
+        clamp_jobs_for_capture,
+        extract_obs_flags,
+        observe_cli,
+    )
+
+    obs_flags, args = extract_obs_flags(args)
+    jobs, args = extract_jobs(args)
+    backend, args = extract_backend(args, default="sim")
+    options, rest = extract_campaign_flags(args, default_budget=16)
+    if rest:
+        raise SystemExit(f"latency: unexpected arguments {rest}")
+    algorithm = options.algorithm or "ss-nonblocking"
+    jobs = clamp_jobs_for_capture(obs_flags, jobs)
+    with observe_cli(obs_flags):
+        reports = run_latency_campaigns(
+            options.seeds,
+            jobs=jobs,
+            algorithm=algorithm,
+            budget=options.budget,
+            backend=backend,
+        )
+        ok = print_reports(options.seeds, reports)
+    return 0 if ok else 1
+
+
+def _cmd_backends(_args: list[str]) -> int:
+    from repro.backend import (
+        CAPABILITY_NOTES,
+        backend_capabilities,
+        backend_names,
+    )
+
+    names = backend_names()
+    width = max(len(c) for c in CAPABILITY_NOTES)
+    header = "capability".ljust(width) + "".join(
+        f"  {name:>7s}" for name in names
+    )
+    print(header)
+    print("-" * len(header))
+    flags = {name: backend_capabilities(name).describe() for name in names}
+    for capability in CAPABILITY_NOTES:
+        row = capability.ljust(width)
+        for name in names:
+            mark = "yes" if flags[name][capability] else "-"
+            row += f"  {mark:>7s}"
+        print(row + f"  ({CAPABILITY_NOTES[capability]})")
+    return 0
 
 
 def _cmd_demo(_args: list[str]) -> int:
@@ -326,6 +429,8 @@ _COMMANDS = {
     "chaos": _cmd_chaos,
     "fuzz": _cmd_fuzz,
     "replay": _cmd_replay,
+    "latency": _cmd_latency,
+    "backends": _cmd_backends,
     "demo": _cmd_demo,
 }
 

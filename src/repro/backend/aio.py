@@ -1,0 +1,66 @@
+"""The ``asyncio`` backend: live event loop, modeled channels.
+
+:class:`AsyncioBackend` runs the same algorithm objects over a real
+:mod:`asyncio` event loop (wall-clock timers, one simulated time unit =
+``time_scale`` seconds) while keeping the *modeled* channel fabric
+(:class:`~repro.net.network.Network`), so partitions, channel fault
+probabilities, and in-flight inspection all still work — the halfway
+point between the deterministic simulator and real sockets.
+
+``repro.runtime.cluster.AsyncioSnapshotCluster`` is a thin alias of this
+class.  Construct *inside* a running event loop (algorithm handlers
+schedule callbacks at construction).
+"""
+
+from __future__ import annotations
+
+from repro.analysis.metrics import MetricsCollector
+from repro.backend.base import BACKENDS, Capabilities, ClusterBackend
+from repro.config import ClusterConfig
+from repro.net.network import Network
+from repro.runtime.asyncio_kernel import AsyncioKernel
+
+__all__ = ["AsyncioBackend"]
+
+
+class AsyncioBackend(ClusterBackend):
+    """A snapshot-object deployment driven by the asyncio event loop.
+
+    Timers and do-forever loops run in (scaled) wall-clock time, so runs
+    are *not* deterministic; schedule pinning and ``--jobs`` fan-out are
+    sim-only.  Everything else — fault injection, partitions, cycle
+    tracking, observability — works as on the simulator.
+    """
+
+    name = "asyncio"
+    capabilities = Capabilities(
+        backend="asyncio",
+        simulated_time=False,
+        deterministic=False,
+        schedule_pinning=False,
+        in_flight_inspection=True,
+        partitions=True,
+        channel_faults=True,
+        cycle_tracking=True,
+        process_fanout=False,
+        real_sockets=False,
+    )
+
+    def __init__(
+        self,
+        algorithm="ss-nonblocking",
+        config: ClusterConfig | None = None,
+        time_scale: float = 0.01,
+    ) -> None:
+        self.algorithm_name, algorithm_cls = self._resolve_algorithm(algorithm)
+        self.config = config if config is not None else ClusterConfig()
+        self.time_scale = time_scale
+        self.kernel = AsyncioKernel(
+            seed=self.config.seed, time_scale=time_scale
+        )
+        self.metrics = MetricsCollector()
+        self.network = Network(self.kernel, self.config, self.metrics)
+        self._wire_core(algorithm_cls)
+
+
+BACKENDS["asyncio"] = AsyncioBackend

@@ -1,0 +1,430 @@
+"""The cluster-backend contract: one deployment surface, three runtimes.
+
+The paper's algorithms assume nothing beyond asynchronous fail-prone
+message passing, so a deployment of one snapshot object is always the
+same wiring — an algorithm instance per node, a network fabric, a
+metrics collector, an operation-history recorder, a cycle tracker, and
+an observability hook — regardless of whether the substrate is the
+deterministic simulator, a live asyncio event loop, or real UDP
+datagrams.  :class:`ClusterBackend` holds that shared wiring core once;
+the three runtimes (:class:`~repro.backend.sim.SimBackend`,
+:class:`~repro.backend.aio.AsyncioBackend`,
+:class:`~repro.backend.udp.UdpBackend`) only differ in how they build
+their kernel and transport and in the :class:`Capabilities` they
+advertise.
+
+Harnesses program against the contract::
+
+    create()    finish any asynchronous setup (idempotent)
+    start()     launch the do-forever loops
+    write()/snapshot()   invoke operations, recorded in .history
+    inject()    a TransientFaultInjector bound to this deployment
+    partition()/heal()   connectivity control (real or modeled)
+    .metrics / .history / .obs / .kernel / .network / .tracker
+    close()     idempotent async teardown, safe after a failed create()
+
+and consult :attr:`ClusterBackend.capabilities` before using a feature
+that only some substrates provide (schedule pinning, in-flight packet
+inspection, process fan-out).  Requesting an unsupported capability
+raises :class:`~repro.errors.ConfigurationError` naming the capability,
+so every harness degrades (or refuses) the same way.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass, fields
+from typing import Any, Awaitable, Callable, TYPE_CHECKING
+
+from repro.analysis.cycles import CycleTracker
+from repro.analysis.history import SNAPSHOT, WRITE, HistoryRecorder
+from repro.analysis.metrics import MetricsCollector
+from repro.config import ClusterConfig
+from repro.errors import ConfigurationError
+from repro.obs.observe import current_session
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.base import SnapshotAlgorithm, SnapshotResult
+    from repro.fault import TransientFaultInjector
+
+__all__ = [
+    "Capabilities",
+    "ClusterBackend",
+    "BACKENDS",
+    "backend_class",
+    "backend_capabilities",
+    "backend_names",
+    "require_backend_capability",
+    "create_backend",
+    "run_on_backend",
+]
+
+#: Human-readable blurb per capability field, used in error messages and
+#: the ``python -m repro backends`` matrix.
+CAPABILITY_NOTES: dict[str, str] = {
+    "simulated_time": "deterministic virtual clock (run_until/max_events)",
+    "deterministic": "same seed reproduces the same execution bit-for-bit",
+    "schedule_pinning": "SCRIPTED tie-breaks / decision capture and replay",
+    "in_flight_inspection": "inspect or corrupt in-flight packets",
+    "partitions": "partition()/heal() connectivity control",
+    "channel_faults": "loss/duplication/reorder fault injection",
+    "cycle_tracking": "asynchronous-cycle tracker (settle_cycles)",
+    "process_fanout": "parallel worker fan-out (--jobs N)",
+    "real_sockets": "messages cross real OS sockets",
+}
+
+
+@dataclass(frozen=True, slots=True)
+class Capabilities:
+    """What one backend substrate can and cannot do.
+
+    Harnesses branch on these flags instead of on backend names, so a
+    fourth runtime only has to describe itself honestly to inherit every
+    harness.
+    """
+
+    backend: str
+    simulated_time: bool
+    deterministic: bool
+    schedule_pinning: bool
+    in_flight_inspection: bool
+    partitions: bool
+    channel_faults: bool
+    cycle_tracking: bool
+    process_fanout: bool
+    real_sockets: bool
+
+    def describe(self) -> dict[str, bool]:
+        """The capability flags as a plain ``{name: bool}`` dict."""
+        return {
+            f.name: getattr(self, f.name)
+            for f in fields(self)
+            if f.name != "backend"
+        }
+
+    def require(self, capability: str, feature: str | None = None) -> None:
+        """Raise :class:`ConfigurationError` unless ``capability`` holds."""
+        if capability not in CAPABILITY_NOTES:
+            raise ConfigurationError(f"unknown capability {capability!r}")
+        if not getattr(self, capability):
+            wanted = feature or CAPABILITY_NOTES[capability]
+            raise ConfigurationError(
+                f"{wanted} requires capability {capability!r}, which the "
+                f"{self.backend!r} backend does not provide"
+            )
+
+
+#: Backend-name registry, populated by the implementation modules
+#: (``repro.backend.sim`` / ``.aio`` / ``.udp``) at import time.
+BACKENDS: dict[str, type["ClusterBackend"]] = {}
+
+
+def _ensure_registry() -> None:
+    if not BACKENDS:  # pragma: no cover - import side effect ordering
+        import repro.backend  # noqa: F401  (registers the three backends)
+
+
+def backend_names() -> list[str]:
+    """The registered backend names, sorted."""
+    _ensure_registry()
+    return sorted(BACKENDS)
+
+
+def backend_class(name: str) -> type["ClusterBackend"]:
+    """Look a backend class up by name (``ConfigurationError`` if unknown)."""
+    _ensure_registry()
+    try:
+        return BACKENDS[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown backend {name!r}; choose from {sorted(BACKENDS)}"
+        ) from None
+
+
+def backend_capabilities(name: str) -> Capabilities:
+    """The capabilities descriptor of a backend, by name."""
+    return backend_class(name).capabilities
+
+
+def require_backend_capability(
+    name: str, capability: str, feature: str | None = None
+) -> None:
+    """Name-based form of :meth:`Capabilities.require` for CLI plumbing."""
+    backend_capabilities(name).require(capability, feature)
+
+
+class ClusterBackend:
+    """Shared wiring core of every deployment of one snapshot object.
+
+    Subclasses provide a kernel and a network fabric; everything else —
+    algorithm resolution, process construction, metrics, history,
+    cycle tracking, ambient observability attachment, operation
+    recording, fault hooks, and the idempotent close — lives here once
+    (it used to be copied across three divergent cluster wrappers).
+    """
+
+    #: Registry name; subclasses override.
+    name = "abstract"
+    capabilities: Capabilities
+
+    # Attributes that must exist even after a failed/partial create(),
+    # so close() is always safe.
+    processes: list = []
+    tracker: CycleTracker | None = None
+    network = None
+    kernel = None
+    obs = None
+
+    # -- wiring -----------------------------------------------------------
+
+    @staticmethod
+    def _resolve_algorithm(algorithm) -> tuple[str, type]:
+        """Registry-name or class → ``(display_name, algorithm_cls)``."""
+        from repro.core.cluster import ALGORITHMS
+
+        if isinstance(algorithm, str):
+            try:
+                return algorithm, ALGORITHMS[algorithm]
+            except KeyError:
+                raise ConfigurationError(
+                    f"unknown algorithm {algorithm!r}; "
+                    f"choose from {sorted(ALGORITHMS)}"
+                ) from None
+        return algorithm.__name__, algorithm
+
+    def _wire_core(self, algorithm_cls: type) -> None:
+        """Build processes, tracker, history; attach any ambient session.
+
+        Call with ``self.kernel``, ``self.network``, ``self.metrics``,
+        and ``self.config`` already in place.  Does not start the
+        do-forever loops.
+        """
+        self.processes = [
+            algorithm_cls(node_id, self.kernel, self.network, self.config)
+            for node_id in range(self.config.n)
+        ]
+        self.tracker = (
+            CycleTracker(self.kernel, self.processes)
+            if self.capabilities.cycle_tracking
+            else None
+        )
+        self.history = HistoryRecorder()
+        #: Observability hook (:class:`repro.obs.observe.ClusterObs` or
+        #: ``None``).  When an ambient session is installed
+        #: (``with repro.obs.session(): …``), every backend attaches
+        #: itself on wiring — that is how the CLI's ``--trace-out``
+        #: observes clusters built inside harness runners, on every
+        #: substrate.
+        self.obs = None
+        self._started = False
+        self._closed = False
+        ambient = current_session()
+        if ambient is not None:
+            ambient.attach(self)
+
+    async def create(self) -> "ClusterBackend":
+        """Finish any asynchronous setup (socket binding, …); idempotent.
+
+        Backends whose wiring is synchronous complete it in ``__init__``
+        and return immediately here.
+        """
+        return self
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def start(self) -> None:
+        """Start every node's do-forever loop."""
+        if getattr(self, "_started", False):
+            return
+        for process in self.processes:
+            process.start()
+        self._started = True
+
+    def stop(self) -> None:
+        """Stop every node's do-forever loop."""
+        for process in self.processes:
+            process.stop()
+        self._started = False
+
+    async def close(self) -> None:
+        """Tear the deployment down; idempotent, safe after failed create.
+
+        Stops the loops and releases any transport resources.  Calling
+        twice (or on a backend whose :meth:`create` never completed) is a
+        no-op — the lifecycle asymmetry between the old wrappers (sync
+        ``UdpNetwork.close`` vs async ``UdpSnapshotCluster.close``) is
+        resolved here: the *contract* close is async everywhere.
+        """
+        if getattr(self, "_closed", False):
+            return
+        self._closed = True
+        self.stop()
+        self._shutdown_transport()
+
+    def _shutdown_transport(self) -> None:
+        """Release transport resources (sockets); default no-op."""
+
+    # -- topology ----------------------------------------------------------
+
+    def node(self, node_id: int) -> "SnapshotAlgorithm":
+        """The algorithm instance running at ``node_id``."""
+        return self.processes[node_id]
+
+    def alive_nodes(self) -> list[int]:
+        """Ids of currently non-crashed nodes."""
+        return [p.node_id for p in self.processes if not p.crashed]
+
+    def for_each_process(self, action: Callable[[Any], None]) -> None:
+        """Apply an action to every process (fault injection hooks)."""
+        for process in self.processes:
+            action(process)
+
+    # -- operations --------------------------------------------------------
+
+    async def write(self, node_id: int, value: Any) -> int:
+        """Invoke ``write(value)`` at a node, recording it in the history."""
+        op_id = self.history.invoke(node_id, WRITE, value, now=self.kernel.now)
+        obs = self.obs
+        span = obs.begin_op(node_id, WRITE, op_id) if obs is not None else None
+        try:
+            ts = await self.processes[node_id].write(value)
+        except BaseException:
+            self.history.abort(op_id, now=self.kernel.now)
+            if span is not None:
+                obs.end_op(span, status="aborted")
+            raise
+        self.history.respond(op_id, result=ts, now=self.kernel.now)
+        if span is not None:
+            obs.end_op(span)
+        return ts
+
+    async def snapshot(self, node_id: int) -> "SnapshotResult":
+        """Invoke ``snapshot()`` at a node, recording it in the history."""
+        op_id = self.history.invoke(node_id, SNAPSHOT, now=self.kernel.now)
+        obs = self.obs
+        span = (
+            obs.begin_op(node_id, SNAPSHOT, op_id) if obs is not None else None
+        )
+        try:
+            result = await self.processes[node_id].snapshot()
+        except BaseException:
+            self.history.abort(op_id, now=self.kernel.now)
+            if span is not None:
+                obs.end_op(span, status="aborted")
+            raise
+        self.history.respond(op_id, result=result, now=self.kernel.now)
+        if span is not None:
+            obs.end_op(span)
+        return result
+
+    async def settle_cycles(self, cycles: int) -> None:
+        """Let the cluster run for a number of asynchronous cycles."""
+        self.capabilities.require("cycle_tracking", "settle_cycles()")
+        await self.tracker.wait_cycles(cycles)
+
+    # -- fault controls ----------------------------------------------------
+
+    def crash(self, node_id: int) -> None:
+        """Crash a node (stops taking steps; messages to it are lost)."""
+        self.processes[node_id].crash()
+
+    def resume(self, node_id: int, restart: bool = False) -> None:
+        """Resume a crashed node (optionally with a detectable restart)."""
+        self.processes[node_id].resume(restart=restart)
+
+    def inject(self, seed: int = 0) -> "TransientFaultInjector":
+        """A transient-fault injector bound to this deployment.
+
+        Node-state corruption works on every backend; channel-content
+        corruption silently affects zero packets where
+        ``in_flight_inspection`` is unsupported (real sockets hold the
+        packets, not us).
+        """
+        from repro.fault import TransientFaultInjector
+
+        return TransientFaultInjector(self, seed=seed)
+
+    def partition(self, *groups: set) -> None:
+        """Block connectivity between node groups (modeled or real)."""
+        self.capabilities.require("partitions", "partition()")
+        self.network.partition(*groups)
+
+    def heal(self) -> None:
+        """Remove all partitions."""
+        self.network.heal()
+
+    # -- diagnostics -------------------------------------------------------
+
+    def quiescent_registers(self) -> list[tuple[int, ...]]:
+        """Every node's register vector clock (diagnostics)."""
+        return [p.reg.vector_clock() for p in self.processes]
+
+    def __repr__(self) -> str:
+        return (
+            f"<{type(self).__name__} {getattr(self, 'algorithm_name', '?')} "
+            f"n={self.config.n if getattr(self, 'config', None) else '?'} "
+            f"backend={self.name}>"
+        )
+
+
+async def create_backend(
+    name: str,
+    algorithm="ss-nonblocking",
+    config: ClusterConfig | None = None,
+    *,
+    time_scale: float = 0.002,
+    start: bool = True,
+) -> ClusterBackend:
+    """Build, :meth:`~ClusterBackend.create`, and start a backend by name.
+
+    Must run inside an event loop for the live backends (``asyncio``,
+    ``udp``); the ``sim`` backend ignores ``time_scale``.
+    """
+    cls = backend_class(name)
+    if cls.capabilities.simulated_time:
+        backend = cls(algorithm, config, start=False)
+    else:
+        backend = cls(algorithm, config, time_scale=time_scale)
+    await backend.create()
+    if start:
+        backend.start()
+    return backend
+
+
+def run_on_backend(
+    name: str,
+    algorithm,
+    config: ClusterConfig | None,
+    body: Callable[[ClusterBackend], Awaitable[Any]],
+    *,
+    time_scale: float = 0.002,
+    max_events: int | None = None,
+) -> Any:
+    """Run ``async body(cluster)`` to completion on the named backend.
+
+    The one driver every cross-backend harness shares: it owns the full
+    lifecycle (create → start → body → close) and hides the substrate
+    difference — the simulator drives its virtual clock via
+    ``run_until_complete`` (honouring ``max_events``), the live backends
+    run under ``asyncio.run``.  Returns whatever ``body`` returns.
+    """
+    cls = backend_class(name)
+    if cls.capabilities.simulated_time:
+        cluster = cls(algorithm, config)
+        try:
+            return cluster.kernel.run_until_complete(
+                body(cluster), max_events=max_events
+            )
+        finally:
+            cluster.stop()
+
+    async def main() -> Any:
+        cluster = await create_backend(
+            name, algorithm, config, time_scale=time_scale
+        )
+        try:
+            return await body(cluster)
+        finally:
+            await cluster.close()
+
+    return asyncio.run(main())

@@ -1,0 +1,128 @@
+"""The ``udp`` backend: real localhost datagrams with modeled faults.
+
+:class:`UdpBackend` deploys the algorithms over
+:class:`~repro.runtime.udp.UdpNetwork` — one real UDP socket per node —
+with the :class:`~repro.runtime.udp.DatagramFaultGate` applying the
+cluster's :class:`~repro.config.ChannelConfig` loss/duplication/delay
+probabilities and partition schedules to live packets.  Socket binding
+is asynchronous, so wiring completes in :meth:`UdpBackend.create` rather
+than ``__init__``::
+
+    backend = await create_backend("udp", "ss-always", config)
+    await backend.write(0, b"over-the-wire")
+    await backend.close()
+
+``UdpSnapshotCluster`` is the legacy facade kept for compatibility.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+from repro.analysis.metrics import MetricsCollector
+from repro.backend.base import BACKENDS, Capabilities, ClusterBackend
+from repro.config import ClusterConfig
+from repro.errors import ConfigurationError
+from repro.runtime.asyncio_kernel import AsyncioKernel
+from repro.runtime.udp import UdpNetwork
+
+__all__ = ["UdpBackend", "UdpSnapshotCluster"]
+
+
+class UdpBackend(ClusterBackend):
+    """A snapshot-object deployment over localhost UDP.
+
+    The constructor only records parameters (and validates the algorithm
+    name); :meth:`create` binds the sockets and wires the cluster.
+    :meth:`close` is idempotent and safe even when :meth:`create` failed
+    half-way.
+    """
+
+    name = "udp"
+    capabilities = Capabilities(
+        backend="udp",
+        simulated_time=False,
+        deterministic=False,
+        schedule_pinning=False,
+        in_flight_inspection=False,
+        partitions=True,
+        channel_faults=True,
+        cycle_tracking=True,
+        process_fanout=False,
+        real_sockets=True,
+    )
+
+    def __init__(
+        self,
+        algorithm="ss-nonblocking",
+        config: ClusterConfig | None = None,
+        time_scale: float = 0.01,
+    ) -> None:
+        self.algorithm_name, self._algorithm_cls = self._resolve_algorithm(
+            algorithm
+        )
+        self.config = config if config is not None else ClusterConfig()
+        self.time_scale = time_scale
+        self.metrics = MetricsCollector()
+        self.processes = []
+        self.kernel = None
+        self.network = None
+        self._created = False
+        self._started = False
+        self._closed = False
+
+    async def create(self) -> "UdpBackend":
+        """Bind sockets and build the processes; idempotent."""
+        if self._created:
+            return self
+        self.kernel = AsyncioKernel(
+            seed=self.config.seed, time_scale=self.time_scale
+        )
+        self.network = UdpNetwork(self.kernel, self.config, self.metrics)
+        await self.network.open()
+        self._wire_core(self._algorithm_cls)
+        self._created = True
+        return self
+
+    def _shutdown_transport(self) -> None:
+        if self.network is not None:
+            self.network.close()
+
+    async def close(self) -> None:
+        """Stop the loops and close the sockets; idempotent."""
+        if getattr(self, "_closed", False):
+            return
+        await super().close()
+        await asyncio.sleep(0)  # let do-forever cancellations land
+
+
+BACKENDS["udp"] = UdpBackend
+
+
+class UdpSnapshotCluster(UdpBackend):
+    """Deprecated facade over :class:`UdpBackend`.
+
+    .. deprecated::
+        Kept as a thin alias for existing scripts; new code should use
+        ``await repro.backend.create_backend("udp", …)`` (or
+        :class:`UdpBackend` directly).  The historical construction
+        pattern is preserved: ``await UdpSnapshotCluster.create(...)``
+        builds *and starts* the cluster, and direct construction raises.
+    """
+
+    def __init__(self) -> None:
+        raise ConfigurationError("use 'await UdpSnapshotCluster.create(...)'")
+
+    @classmethod
+    async def create(  # type: ignore[override]
+        cls,
+        algorithm="ss-nonblocking",
+        config: ClusterConfig | None = None,
+        time_scale: float = 0.01,
+    ) -> "UdpSnapshotCluster":
+        """Bind sockets, build the processes, start the do-forever loops."""
+        self = object.__new__(cls)
+        UdpBackend.__init__(self, algorithm, config, time_scale=time_scale)
+        await UdpBackend.create(self)
+        self.start()
+        return self

@@ -9,33 +9,29 @@ experiment needs.  Most callers use the synchronous helpers::
     cluster.write_sync(0, b"hello")
     result = cluster.snapshot_sync(1)
 
-Coroutine variants (:meth:`write`, :meth:`snapshot`) compose with the
+Coroutine variants (:meth:`~repro.backend.base.ClusterBackend.write`,
+:meth:`~repro.backend.base.ClusterBackend.snapshot`) compose with the
 kernel directly for concurrent workloads.
+
+This module also owns the algorithm registry (:data:`ALGORITHMS`,
+:func:`register_algorithm`) that every backend resolves names through.
 """
 
 from __future__ import annotations
 
-from typing import Any, Awaitable, Callable
-
-from repro.analysis.cycles import CycleTracker
-from repro.analysis.history import SNAPSHOT, WRITE, HistoryRecorder
-from repro.analysis.metrics import MetricsCollector
-from repro.config import ClusterConfig
-from repro.core.base import SnapshotAlgorithm, SnapshotResult
+from repro.backend.sim import SimBackend
 from repro.core.dgfr_always import DgfrAlwaysTerminating
 from repro.core.dgfr_nonblocking import DgfrNonBlocking
 from repro.core.ss_always import SelfStabilizingAlwaysTerminating
 from repro.core.ss_nonblocking import SelfStabilizingNonBlocking
 from repro.errors import ConfigurationError
-from repro.net.network import Network
-from repro.obs.observe import current_session
-from repro.sim.kernel import Kernel, SimTask, TieBreak
 
 __all__ = ["SnapshotCluster", "ALGORITHMS", "register_algorithm"]
 
-#: Registry of algorithm names accepted by :class:`SnapshotCluster`.
-#: Extended lazily by optional subsystems (stacked baseline, bounded
-#: variants) via :func:`register_algorithm`.
+#: Registry of algorithm names accepted by :class:`SnapshotCluster` and
+#: every :class:`~repro.backend.base.ClusterBackend`.  Extended lazily by
+#: optional subsystems (stacked baseline, bounded variants) via
+#: :func:`register_algorithm`.
 ALGORITHMS: dict[str, type] = {
     "dgfr-nonblocking": DgfrNonBlocking,
     "ss-nonblocking": SelfStabilizingNonBlocking,
@@ -54,196 +50,15 @@ def register_algorithm(name: str, algorithm_cls: type) -> None:
     ALGORITHMS[name] = algorithm_cls
 
 
-class SnapshotCluster:
+class SnapshotCluster(SimBackend):
     """A complete simulated deployment of one snapshot-object algorithm.
 
-    Parameters
-    ----------
-    algorithm:
-        A key of :data:`ALGORITHMS` or an algorithm class.
-    config:
-        Cluster parameters (defaults to ``ClusterConfig()``).
-    start:
-        Whether to start every node's do-forever loop immediately.
-    tie_break:
-        Event-ordering policy for the kernel (``"random"`` models an
-        adversarial asynchronous scheduler).
+    .. deprecated::
+        ``SnapshotCluster`` is now a thin alias of
+        :class:`repro.backend.sim.SimBackend` — the ``sim`` implementation
+        of the cross-runtime :class:`~repro.backend.base.ClusterBackend`
+        contract.  Existing code keeps working unchanged; new
+        backend-agnostic code should go through
+        :func:`repro.backend.create_backend` /
+        :func:`repro.backend.run_on_backend`.
     """
-
-    def __init__(
-        self,
-        algorithm: str | type[SnapshotAlgorithm] = "ss-nonblocking",
-        config: ClusterConfig | None = None,
-        start: bool = True,
-        tie_break: str = TieBreak.RANDOM,
-        kernel: Kernel | None = None,
-    ) -> None:
-        if isinstance(algorithm, str):
-            try:
-                algorithm_cls = ALGORITHMS[algorithm]
-            except KeyError:
-                raise ConfigurationError(
-                    f"unknown algorithm {algorithm!r}; "
-                    f"choose from {sorted(ALGORITHMS)}"
-                ) from None
-        else:
-            algorithm_cls = algorithm
-        self.algorithm_name = (
-            algorithm if isinstance(algorithm, str) else algorithm_cls.__name__
-        )
-        self.config = config if config is not None else ClusterConfig()
-        # An externally supplied kernel lets several clusters share one
-        # simulated timeline (used by reconfiguration: the old and new
-        # configurations coexist during the handoff).
-        self.kernel = (
-            kernel
-            if kernel is not None
-            else Kernel(seed=self.config.seed, tie_break=tie_break)
-        )
-        self.metrics = MetricsCollector()
-        self.network = Network(self.kernel, self.config, self.metrics)
-        self.processes: list[SnapshotAlgorithm] = [
-            algorithm_cls(node_id, self.kernel, self.network, self.config)
-            for node_id in range(self.config.n)
-        ]
-        self.tracker = CycleTracker(self.kernel, self.processes)
-        self.history = HistoryRecorder()
-        #: Observability hook (:class:`repro.obs.observe.ClusterObs` or
-        #: ``None``), set by :meth:`Observability.attach
-        #: <repro.obs.observe.Observability.attach>`.  When an ambient
-        #: session is installed (``with repro.obs.session(): …``), every
-        #: cluster attaches itself on construction — that is how the CLI's
-        #: ``--trace-out`` observes clusters built inside experiment
-        #: runners.
-        self.obs = None
-        ambient = current_session()
-        if ambient is not None:
-            ambient.attach(self)
-        self._started = False
-        if start:
-            self.start()
-
-    # -- lifecycle -----------------------------------------------------------
-
-    def start(self) -> None:
-        """Start every node's do-forever loop."""
-        if self._started:
-            return
-        for process in self.processes:
-            process.start()
-        self._started = True
-
-    def stop(self) -> None:
-        """Stop every node's do-forever loop."""
-        for process in self.processes:
-            process.stop()
-        self._started = False
-
-    def node(self, node_id: int) -> SnapshotAlgorithm:
-        """The algorithm instance running at ``node_id``."""
-        return self.processes[node_id]
-
-    # -- operations (coroutines) ------------------------------------------------
-
-    async def write(self, node_id: int, value: Any) -> int:
-        """Invoke ``write(value)`` at a node, recording it in the history."""
-        op_id = self.history.invoke(node_id, WRITE, value, now=self.kernel.now)
-        obs = self.obs
-        span = obs.begin_op(node_id, WRITE, op_id) if obs is not None else None
-        try:
-            ts = await self.processes[node_id].write(value)
-        except BaseException:
-            self.history.abort(op_id, now=self.kernel.now)
-            if span is not None:
-                obs.end_op(span, status="aborted")
-            raise
-        self.history.respond(op_id, result=ts, now=self.kernel.now)
-        if span is not None:
-            obs.end_op(span)
-        return ts
-
-    async def snapshot(self, node_id: int) -> SnapshotResult:
-        """Invoke ``snapshot()`` at a node, recording it in the history."""
-        op_id = self.history.invoke(node_id, SNAPSHOT, now=self.kernel.now)
-        obs = self.obs
-        span = (
-            obs.begin_op(node_id, SNAPSHOT, op_id) if obs is not None else None
-        )
-        try:
-            result = await self.processes[node_id].snapshot()
-        except BaseException:
-            self.history.abort(op_id, now=self.kernel.now)
-            if span is not None:
-                obs.end_op(span, status="aborted")
-            raise
-        self.history.respond(op_id, result=result, now=self.kernel.now)
-        if span is not None:
-            obs.end_op(span)
-        return result
-
-    # -- synchronous convenience ---------------------------------------------------
-
-    def write_sync(
-        self, node_id: int, value: Any, max_events: int | None = 2_000_000
-    ) -> int:
-        """Run the kernel until a single write completes."""
-        return self.kernel.run_until_complete(
-            self.write(node_id, value), max_events=max_events
-        )
-
-    def snapshot_sync(
-        self, node_id: int, max_events: int | None = 2_000_000
-    ) -> SnapshotResult:
-        """Run the kernel until a single snapshot completes."""
-        return self.kernel.run_until_complete(
-            self.snapshot(node_id), max_events=max_events
-        )
-
-    def run_until(
-        self, awaitable: Awaitable[Any], max_events: int | None = 5_000_000
-    ) -> Any:
-        """Drive the kernel until an arbitrary awaitable completes."""
-        return self.kernel.run_until_complete(awaitable, max_events=max_events)
-
-    def run_for(self, duration: float) -> None:
-        """Advance simulated time by ``duration`` (background traffic runs)."""
-        self.kernel.run(until_time=self.kernel.now + duration)
-
-    def spawn(self, coro, name: str = "") -> SimTask:
-        """Start a background task on the cluster's kernel."""
-        return self.kernel.create_task(coro, name=name)
-
-    async def settle_cycles(self, cycles: int) -> None:
-        """Let the cluster run for a number of asynchronous cycles."""
-        await self.tracker.wait_cycles(cycles)
-
-    # -- fault controls ---------------------------------------------------------------
-
-    def crash(self, node_id: int) -> None:
-        """Crash a node (stops taking steps; messages to it are lost)."""
-        self.processes[node_id].crash()
-
-    def resume(self, node_id: int, restart: bool = False) -> None:
-        """Resume a crashed node (optionally with a detectable restart)."""
-        self.processes[node_id].resume(restart=restart)
-
-    def alive_nodes(self) -> list[int]:
-        """Ids of currently non-crashed nodes."""
-        return [p.node_id for p in self.processes if not p.crashed]
-
-    # -- observability ------------------------------------------------------------------
-
-    def quiescent_registers(self) -> list[tuple[int, ...]]:
-        """Every node's register vector clock (diagnostics)."""
-        return [p.reg.vector_clock() for p in self.processes]
-
-    def for_each_process(self, action: Callable[[SnapshotAlgorithm], None]) -> None:
-        """Apply an action to every process (fault injection hooks)."""
-        for process in self.processes:
-            action(process)
-
-    def __repr__(self) -> str:
-        return (
-            f"<SnapshotCluster {self.algorithm_name} n={self.config.n} "
-            f"t={self.kernel.now:.1f}>"
-        )

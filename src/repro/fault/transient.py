@@ -5,20 +5,26 @@ The paper's fault model lets a transient fault drive the system into an
 register buffers, the pending-task table, and the contents of every
 communication channel may all hold garbage (only the code stays intact).
 
-:class:`TransientFaultInjector` reproduces that model against a running
-:class:`~repro.core.cluster.SnapshotCluster`.  All randomness is drawn
-from a dedicated seeded RNG so corrupted runs are reproducible.
+:class:`TransientFaultInjector` reproduces that model against any
+running :class:`~repro.backend.base.ClusterBackend` (sim, asyncio, or
+UDP) — it only touches process state and whatever ``network.channels()``
+exposes, so on backends without inspectable channels (real UDP) channel
+scrambling degrades to a no-op while node-state corruption still
+applies.  All randomness is drawn from a dedicated seeded RNG so
+corrupted runs are reproducible.
 """
 
 from __future__ import annotations
 
 import random
 from dataclasses import replace as dataclass_replace
-from typing import Iterable
+from typing import TYPE_CHECKING, Iterable
 
-from repro.core.cluster import SnapshotCluster
 from repro.core.register import TimestampedValue
 from repro.net.message import Message
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.backend.base import ClusterBackend
 
 __all__ = ["TransientFaultInjector"]
 
@@ -29,7 +35,7 @@ _WILD_INDEX = 1_000_000
 class TransientFaultInjector:
     """Scrambles node state and channel contents of a cluster."""
 
-    def __init__(self, cluster: SnapshotCluster, seed: int = 0) -> None:
+    def __init__(self, cluster: "ClusterBackend", seed: int = 0) -> None:
         self._cluster = cluster
         self._rng = random.Random(seed)
 

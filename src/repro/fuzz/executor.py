@@ -114,20 +114,34 @@ def _is_self_stabilizing(algorithm: str) -> bool:
 
 
 class _SpecRun:
-    """Mutable state of one execution (one instance per :func:`run_spec`)."""
+    """Mutable state of one execution (one instance per :func:`run_spec`).
 
-    def __init__(self, spec: ScenarioSpec, capture_decisions: bool) -> None:
+    The driver body (:meth:`drive`) is backend-agnostic — it speaks only
+    the :class:`~repro.backend.base.ClusterBackend` contract — so the
+    same spec program runs on the simulator or, via a pre-built
+    ``cluster``, on a live asyncio/UDP deployment.
+    """
+
+    def __init__(
+        self,
+        spec: ScenarioSpec,
+        capture_decisions: bool,
+        cluster=None,
+    ) -> None:
         self.spec = spec
-        scripted = spec.decision_script is not None
-        self.cluster = SnapshotCluster(
-            spec.algorithm,
-            spec.config(),
-            tie_break=TieBreak.SCRIPTED if scripted else TieBreak.RANDOM,
-        )
-        if scripted:
-            self.cluster.kernel.decision_script = list(spec.decision_script)
-        elif capture_decisions:
-            self.cluster.kernel.capture_decisions = True
+        if cluster is not None:
+            self.cluster = cluster
+        else:
+            scripted = spec.decision_script is not None
+            self.cluster = SnapshotCluster(
+                spec.algorithm,
+                spec.config(),
+                tie_break=TieBreak.SCRIPTED if scripted else TieBreak.RANDOM,
+            )
+            if scripted:
+                self.cluster.kernel.decision_script = list(spec.decision_script)
+            elif capture_decisions:
+                self.cluster.kernel.capture_decisions = True
         self.injector = TransientFaultInjector(self.cluster, seed=spec.seed)
         self.failures: list[str] = []
         self.applied = 0
@@ -298,12 +312,71 @@ class _SpecRun:
         self._check_invariants("final")
 
 
+#: Wall-clock guard (seconds) for one whole spec executed on a live
+#: backend — generous, so tripping it is itself a liveness failure.
+_LIVE_WALL_TIMEOUT = 60.0
+
+
+def _outcome_from(run: _SpecRun) -> SpecOutcome:
+    failures = tuple(run.failures)
+    kernel = run.cluster.kernel
+    return SpecOutcome(
+        ok=not failures,
+        failures=failures,
+        applied=run.applied,
+        skipped=run.skipped,
+        checks=run.checks,
+        sim_time=kernel.now,
+        # Live kernels have no event counter or decision log — the loop
+        # schedules itself — so those fingerprint fields stay empty.
+        events_processed=getattr(kernel, "events_processed", 0),
+        history=_history_fingerprint(run.cluster.history),
+        decision_log=tuple(getattr(kernel, "decision_log", ())),
+    )
+
+
+def _run_spec_live(
+    spec: ScenarioSpec, backend: str, time_scale: float
+) -> SpecOutcome:
+    """Execute one spec against a live backend (wall-clock, own loop)."""
+    import asyncio
+
+    from repro.backend import backend_capabilities, create_backend
+
+    capabilities = backend_capabilities(backend)  # validates the name
+    if spec.decision_script is not None:
+        capabilities.require(
+            "schedule_pinning", "replaying a pinned decision_script"
+        )
+
+    async def main() -> _SpecRun:
+        cluster = await create_backend(
+            backend, spec.algorithm, spec.config(), time_scale=time_scale
+        )
+        try:
+            run = _SpecRun(spec, capture_decisions=False, cluster=cluster)
+            try:
+                await asyncio.wait_for(run.drive(), timeout=_LIVE_WALL_TIMEOUT)
+            except TimeoutError:
+                run.failures.append(
+                    f"liveness: spec did not complete within "
+                    f"{_LIVE_WALL_TIMEOUT}s wall-clock on {backend}"
+                )
+            return run
+        finally:
+            await cluster.close()
+
+    return _outcome_from(asyncio.run(main()))
+
+
 def run_spec(
     spec: ScenarioSpec,
     capture_decisions: bool = False,
     max_events: int = 5_000_000,
+    backend: str = "sim",
+    time_scale: float = 0.002,
 ) -> SpecOutcome:
-    """Execute one spec and return its deterministic outcome.
+    """Execute one spec and return its outcome (deterministic on ``sim``).
 
     ``capture_decisions`` records every same-instant tie decision of a
     ``RANDOM``-mode run in the kernel's decision log without changing the
@@ -311,21 +384,19 @@ def run_spec(
     ``decision_script``.  ``max_events`` bounds the kernel event count; a
     run that exhausts it (or deadlocks) is reported as a liveness
     failure, not an exception.
+
+    With ``backend`` set to ``"asyncio"`` or ``"udp"`` the same event
+    program and checks run against a live cluster under a wall-clock
+    guard; outcomes are then *not* reproducible run-to-run (the substrate
+    schedules itself), and a spec carrying a pinned ``decision_script``
+    raises :class:`~repro.errors.ConfigurationError` naming the
+    ``schedule_pinning`` capability.
     """
+    if backend != "sim":
+        return _run_spec_live(spec, backend, time_scale)
     run = _SpecRun(spec, capture_decisions)
     try:
         run.cluster.run_until(run.drive(), max_events=max_events)
     except (TimeoutError, DeadlockError, SimulationError) as exc:
         run.failures.append(f"liveness: {type(exc).__name__}: {exc}")
-    failures = tuple(run.failures)
-    return SpecOutcome(
-        ok=not failures,
-        failures=failures,
-        applied=run.applied,
-        skipped=run.skipped,
-        checks=run.checks,
-        sim_time=run.cluster.kernel.now,
-        events_processed=run.cluster.kernel.events_processed,
-        history=_history_fingerprint(run.cluster.history),
-        decision_log=tuple(run.cluster.kernel.decision_log),
-    )
+    return _outcome_from(run)

@@ -13,6 +13,7 @@ and, when ``out_dir`` is given, writes each one as a JSON file that
 from __future__ import annotations
 
 import json
+import sys
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Iterable, Sequence
@@ -73,6 +74,7 @@ class ReplayResult:
     outcome: SpecOutcome
     reproduced: bool
     fingerprint_matches: bool
+    fingerprint_checked: bool = True
 
     @property
     def ok(self) -> bool:
@@ -82,6 +84,12 @@ class ReplayResult:
     def summary(self) -> str:
         """One-line outcome."""
         if self.ok:
+            if not self.fingerprint_checked:
+                return (
+                    f"violation reproduced on a live backend "
+                    f"({len(self.outcome.failures)} failures; bit-identical "
+                    f"fingerprint comparison requires the sim backend)"
+                )
             return (
                 f"violation reproduced bit-identically "
                 f"({len(self.outcome.failures)} failures, "
@@ -100,8 +108,14 @@ def write_counterexample(
     spec: ScenarioSpec,
     outcome: SpecOutcome,
     shrink_info: dict | None = None,
+    backend: str = "sim",
 ) -> None:
-    """Write a failing spec plus its evidence as a counterexample file."""
+    """Write a failing spec plus its evidence as a counterexample file.
+
+    Counterexamples found on a live backend record that backend; replay
+    then re-runs them there by default (checking violation reproduction
+    only — the run fingerprint is a sim-determinism artifact).
+    """
     payload = {
         "format": COUNTEREXAMPLE_FORMAT,
         "version": COUNTEREXAMPLE_VERSION,
@@ -109,6 +123,8 @@ def write_counterexample(
         "failures": list(outcome.failures),
         "fingerprint": outcome.fingerprint(),
     }
+    if backend != "sim":
+        payload["backend"] = backend
     if shrink_info:
         payload["shrink"] = shrink_info
     text = json.dumps(payload, sort_keys=True, indent=2) + "\n"
@@ -126,18 +142,36 @@ def load_counterexample(path: str | Path) -> tuple[ScenarioSpec, dict]:
     return ScenarioSpec.from_dict(payload["spec"]), payload
 
 
-def replay_counterexample(path: str | Path) -> ReplayResult:
-    """Re-execute a counterexample and compare against its recording."""
+def replay_counterexample(
+    path: str | Path, backend: str | None = None
+) -> ReplayResult:
+    """Re-execute a counterexample and compare against its recording.
+
+    ``backend`` overrides where the spec re-runs (default: the backend
+    recorded in the file, or ``sim``).  On the sim backend the replay
+    must match the recorded fingerprint bit-for-bit; on a live backend
+    only violation reproduction is checked — wall-clock runs have no
+    deterministic fingerprint — and a pinned ``decision_script`` raises
+    :class:`~repro.errors.ConfigurationError` (``schedule_pinning`` is
+    sim-only).
+    """
     spec, payload = load_counterexample(path)
-    outcome = run_spec(spec)
+    backend = backend if backend is not None else payload.get("backend", "sim")
+    outcome = run_spec(spec, backend=backend)
     reproduced = (not outcome.ok) and list(outcome.failures) == payload[
         "failures"
     ]
-    fingerprint_matches = outcome.fingerprint() == payload["fingerprint"]
+    fingerprint_checked = backend == "sim"
+    fingerprint_matches = (
+        outcome.fingerprint() == payload["fingerprint"]
+        if fingerprint_checked
+        else True
+    )
     return ReplayResult(
         outcome=outcome,
         reproduced=reproduced,
         fingerprint_matches=fingerprint_matches,
+        fingerprint_checked=fingerprint_checked,
     )
 
 
@@ -157,20 +191,51 @@ def run_fuzz_campaign(
     out_dir: str | Path | None = None,
     shrink: bool = True,
     max_shrink_runs: int = 500,
+    backend: str = "sim",
+    time_scale: float = 0.002,
 ) -> list[FuzzReport]:
     """Fuzz one generated spec per seed; shrink and record every failure.
 
-    Probing fans out across ``jobs`` worker processes; shrinking runs in
-    the parent (it is a sequential search, and failures are rare).  With
-    ``out_dir`` set, each failing seed leaves a
-    ``counterexample-<algorithm>-<seed>.json`` file there.
+    On the ``sim`` backend, probing fans out across ``jobs`` worker
+    processes; shrinking runs in the parent (it is a sequential search,
+    and failures are rare).  With ``out_dir`` set, each failing seed
+    leaves a ``counterexample-<algorithm>-<seed>.json`` file there.
+
+    On a live backend (``asyncio``/``udp``) the same generated specs run
+    against wall-clock clusters — serially (worker fan-out is a sim
+    capability; ``jobs`` > 1 raises ``ConfigurationError``) and without
+    shrinking (the shrinker's schedule pinning needs the deterministic
+    simulator; failures are recorded unshrunk, with the backend noted in
+    the counterexample file).
     """
     from repro.harness.parallel import fuzz_cells, run_cells
 
     seeds = list(seeds)
-    outcomes: Sequence[SpecOutcome] = run_cells(
-        fuzz_cells(seeds, algorithm=algorithm, budget=budget), jobs=jobs
-    )
+    if backend != "sim":
+        from repro.backend import backend_capabilities
+
+        capabilities = backend_capabilities(backend)  # validates the name
+        if jobs > 1:
+            capabilities.require("process_fanout", f"--jobs {jobs}")
+        if shrink:
+            print(
+                "note: shrinking requires the deterministic 'sim' backend "
+                f"(schedule pinning); recording {backend} failures unshrunk",
+                file=sys.stderr,
+            )
+            shrink = False
+        outcomes: Sequence[SpecOutcome] = [
+            run_spec(
+                generate_spec(seed, algorithm=algorithm, events=budget),
+                backend=backend,
+                time_scale=time_scale,
+            )
+            for seed in seeds
+        ]
+    else:
+        outcomes = run_cells(
+            fuzz_cells(seeds, algorithm=algorithm, budget=budget), jobs=jobs
+        )
     reports: list[FuzzReport] = []
     for seed, outcome in zip(seeds, outcomes):
         if outcome.ok:
@@ -204,7 +269,7 @@ def run_fuzz_campaign(
             directory.mkdir(parents=True, exist_ok=True)
             target = directory / f"counterexample-{algorithm}-{seed}.json"
             write_counterexample(
-                target, final_spec, final_outcome, shrink_info
+                target, final_spec, final_outcome, shrink_info, backend=backend
             )
             counterexample = str(target)
         reports.append(

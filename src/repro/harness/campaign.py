@@ -24,10 +24,46 @@ from typing import Any, Sequence
 
 __all__ = [
     "CampaignOptions",
+    "extract_backend",
     "extract_campaign_flags",
     "print_reports",
     "warn_deprecated",
 ]
+
+
+def extract_backend(
+    argv: list[str], default: str | None = None
+) -> tuple[str | None, list[str]]:
+    """Split ``--backend NAME`` out of an argv list.
+
+    Returns ``(backend, remaining_args)`` where ``backend`` is the
+    validated backend name (``sim``/``asyncio``/``udp``) or ``default``
+    when the flag is absent.  An unknown name exits with the available
+    choices, so every ``python -m repro`` command rejects typos the same
+    way.
+    """
+    backend = default
+    rest: list[str] = []
+    it = iter(argv)
+    for arg in it:
+        if arg == "--backend":
+            value = next(it, None)
+            if value is None:
+                raise SystemExit("--backend requires a value")
+            backend = value
+        elif arg.startswith("--backend="):
+            backend = arg.split("=", 1)[1]
+        else:
+            rest.append(arg)
+    if backend is not None:
+        from repro.backend import backend_names
+
+        names = backend_names()
+        if backend not in names:
+            raise SystemExit(
+                f"unknown backend {backend!r}; choose from {', '.join(names)}"
+            )
+    return backend, rest
 
 
 def warn_deprecated(old: str, new: str) -> None:

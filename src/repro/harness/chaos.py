@@ -13,6 +13,7 @@ events.  ``python -m repro chaos`` runs one.
 
 from __future__ import annotations
 
+import asyncio
 import random
 from dataclasses import dataclass, field
 
@@ -32,19 +33,40 @@ def run_chaos_campaigns(
     algorithm: str = "ss-always",
     jobs: int = 1,
     events: int | None = None,
+    backend: str = "sim",
+    time_scale: float = 0.002,
 ) -> list["ChaosReport"]:
     """Run one campaign per seed, optionally across worker processes.
 
-    Campaigns are fully seeded, so each is an independent cell of the
-    parallel runner; reports come back in seed order regardless of which
-    worker finished first.  ``budget`` is the number of campaign events
-    (default 150) — the name every campaign entry point shares;
-    ``events`` remains as a compatible alias.
+    On the ``sim`` backend, campaigns are fully seeded, so each is an
+    independent cell of the parallel runner; reports come back in seed
+    order regardless of which worker finished first.  Live backends
+    (``asyncio``, ``udp``) run the same event storms against wall-clock
+    clusters — serially, since worker fan-out is a sim capability
+    (``--jobs`` > 1 raises :class:`~repro.errors.ConfigurationError`).
+    ``budget`` is the number of campaign events (default 150) — the name
+    every campaign entry point shares; ``events`` remains as a
+    compatible alias.
     """
     from repro.harness.parallel import chaos_cells, run_cells
 
     if budget is None:
         budget = 150 if events is None else events
+    if backend != "sim":
+        from repro.backend import backend_capabilities
+
+        capabilities = backend_capabilities(backend)  # validates the name
+        if jobs > 1:
+            capabilities.require("process_fanout", f"--jobs {jobs}")
+        return [
+            ChaosCampaign(
+                algorithm=algorithm,
+                seed=seed,
+                backend=backend,
+                time_scale=time_scale,
+            ).run(events=budget)
+            for seed in seeds
+        ]
     return run_cells(
         chaos_cells(seeds, events=budget, algorithm=algorithm), jobs=jobs
     )
@@ -82,7 +104,15 @@ class ChaosReport:
 
 
 class ChaosCampaign:
-    """A seeded random fault/operation storm against one cluster."""
+    """A seeded random fault/operation storm against one cluster.
+
+    The event storm itself is backend-agnostic — it drives the cluster
+    through the :class:`~repro.backend.base.ClusterBackend` contract
+    (``kernel.wait_for``/``sleep``, ``tracker``, ``network.partition``,
+    the fault injector) — so the same campaign runs on the simulator or
+    against live asyncio/UDP clusters (``backend=`` selects; live runs
+    build the cluster inside :meth:`run`'s event loop).
+    """
 
     def __init__(
         self,
@@ -91,13 +121,23 @@ class ChaosCampaign:
         seed: int = 0,
         delta: float = 2,
         loss: float = 0.1,
+        backend: str = "sim",
+        time_scale: float = 0.002,
     ) -> None:
         self.rng = random.Random(seed)
-        self.cluster = SnapshotCluster(
-            algorithm,
-            scenario_config(n=n, seed=seed, delta=delta, loss=loss),
-        )
-        self.injector = TransientFaultInjector(self.cluster, seed=seed)
+        self.algorithm = algorithm
+        self.seed = seed
+        self.backend = backend
+        self.time_scale = time_scale
+        self._config = scenario_config(n=n, seed=seed, delta=delta, loss=loss)
+        if backend == "sim":
+            self.cluster = SnapshotCluster(algorithm, self._config)
+            self.injector = TransientFaultInjector(self.cluster, seed=seed)
+        else:
+            # Live clusters must be built inside a running event loop;
+            # run() owns that lifecycle.
+            self.cluster = None
+            self.injector = None
         self.report = ChaosReport()
         self._write_counter = 0
 
@@ -252,7 +292,25 @@ class ChaosCampaign:
         await self.cluster.tracker.wait_cycles(4)
         self._check("final")
 
+    async def _run_live(self, events: int) -> ChaosReport:
+        from repro.backend import create_backend
+
+        self.cluster = await create_backend(
+            self.backend,
+            self.algorithm,
+            self._config,
+            time_scale=self.time_scale,
+        )
+        self.injector = self.cluster.inject(seed=self.seed)
+        try:
+            await self._run(events)
+        finally:
+            await self.cluster.close()
+        return self.report
+
     def run(self, events: int = 150) -> ChaosReport:
         """Execute the campaign; returns the report."""
-        self.cluster.run_until(self._run(events), max_events=None)
-        return self.report
+        if self.backend == "sim":
+            self.cluster.run_until(self._run(events), max_events=None)
+            return self.report
+        return asyncio.run(self._run_live(events))

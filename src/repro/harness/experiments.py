@@ -1,6 +1,6 @@
 """Experiment registry and command-line runner.
 
-``python -m repro.harness.experiments`` runs every experiment (E1–E15)
+``python -m repro.harness.experiments`` runs every experiment (E1–E16)
 and prints its table; ``python -m repro.harness.experiments e07 e09``
 runs a subset, and ``--jobs N`` fans the selected experiments out across
 ``N`` worker processes (the printed output is byte-identical to a serial
@@ -30,6 +30,7 @@ from repro.harness.latency import (
     e10_delta_tradeoff,
     e11_writes_between_blocks,
     e12_nonblocking_starvation,
+    e16_backend_parity,
 )
 from repro.harness.recovery import (
     e07_recovery_nonblocking,
@@ -38,7 +39,13 @@ from repro.harness.recovery import (
 )
 from repro.harness.report import print_table
 
-__all__ = ["EXPERIMENTS", "run_experiment", "run_experiments", "main"]
+__all__ = [
+    "BACKEND_AWARE",
+    "EXPERIMENTS",
+    "run_experiment",
+    "run_experiments",
+    "main",
+]
 
 #: Experiment id → (title, runner).
 EXPERIMENTS: dict[str, tuple[str, Callable[[], list[dict]]]] = {
@@ -102,7 +109,16 @@ EXPERIMENTS: dict[str, tuple[str, Callable[[], list[dict]]]] = {
         "E15 / Contribution 1 — message sizes: O(n*nu) ops vs O(nu) gossip",
         e15_message_sizes,
     ),
+    "e16": (
+        "E16 / deployment — backend parity: msgs/op on sim vs asyncio vs UDP",
+        e16_backend_parity,
+    ),
 }
+
+#: Experiments that accept a ``backend`` kwarg; ``--backend`` restricts
+#: the selection to these (the rest measure simulator-only quantities
+#: like cycle counts and deterministic schedules).
+BACKEND_AWARE = frozenset({"e16"})
 
 
 def run_experiment(experiment_id: str) -> list[dict]:
@@ -128,17 +144,20 @@ def main(argv: list[str] | None = None) -> int:
 
     Accepts ``--jobs N`` (parallel cells), ``--seeds K`` / ``--seed-start
     S`` (re-run each selected experiment at K consecutive seeds — every
-    runner is a pure function of its seed), and the observability flags
+    runner is a pure function of its seed), ``--backend
+    {sim,asyncio,udp}`` (restricts to the backend-aware experiments,
+    default :data:`BACKEND_AWARE`), and the observability flags
     ``--trace-out FILE`` / ``--jsonl-out FILE`` / ``--stats`` (capture
     forces serial execution).  Experiment ids are case-insensitive
     (``E01`` and ``e01`` both work).
     """
-    from repro.harness.campaign import extract_campaign_flags
+    from repro.harness.campaign import extract_backend, extract_campaign_flags
     from repro.obs.cli import clamp_jobs_for_capture, extract_obs_flags, observe_cli
 
     argv = list(sys.argv[1:] if argv is None else argv)
     obs_flags, argv = extract_obs_flags(argv)
     jobs, argv = extract_jobs(argv)
+    backend, argv = extract_backend(argv)
     options, argv = extract_campaign_flags(argv, default_budget=1)
     selected = [eid.lower() for eid in argv] or sorted(EXPERIMENTS)
     unknown = [eid for eid in selected if eid not in EXPERIMENTS]
@@ -146,10 +165,29 @@ def main(argv: list[str] | None = None) -> int:
         print(f"unknown experiment ids: {unknown}", file=sys.stderr)
         print(f"available: {sorted(EXPERIMENTS)}", file=sys.stderr)
         return 2
+    common = None
+    if backend is not None:
+        if not argv:
+            selected = sorted(BACKEND_AWARE)
+        sim_only = [eid for eid in selected if eid not in BACKEND_AWARE]
+        if sim_only:
+            print(
+                f"--backend applies only to {sorted(BACKEND_AWARE)}; "
+                f"{sim_only} measure simulator-only quantities",
+                file=sys.stderr,
+            )
+            return 2
+        if backend != "sim" and jobs > 1:
+            from repro.backend import backend_capabilities
+
+            backend_capabilities(backend).require(
+                "process_fanout", f"--jobs {jobs}"
+            )
+        common = {"backend": backend}
     sweep = options.seeds if len(options.seeds) > 1 else None
     jobs = clamp_jobs_for_capture(obs_flags, jobs)
     with observe_cli(obs_flags):
-        cells = experiment_cells(selected, seeds=sweep)
+        cells = experiment_cells(selected, seeds=sweep, common=common)
         results = run_cells(cells, jobs=jobs)
         for cell, rows in zip(cells, results):
             title = EXPERIMENTS[cell.name][0]

@@ -1,6 +1,14 @@
-"""Latency / trade-off experiments: E9–E12 (the δ knob, Theorem 3)."""
+"""Latency / trade-off experiments: E9–E12 (the δ knob, Theorem 3).
+
+Also home of the cross-backend latency probe behind ``python -m repro
+latency`` and the E16 backend-parity experiment: the same per-operation
+cost measurement run on the simulator, the asyncio runtime, and real UDP
+sockets.
+"""
 
 from __future__ import annotations
+
+from dataclasses import dataclass, field
 
 from repro.config import ChannelConfig, ClusterConfig, UNBOUNDED_DELTA
 from repro.core.cluster import SnapshotCluster
@@ -11,6 +19,10 @@ __all__ = [
     "e10_delta_tradeoff",
     "e11_writes_between_blocks",
     "e12_nonblocking_starvation",
+    "e16_backend_parity",
+    "LatencyReport",
+    "backend_latency_probe",
+    "run_latency_campaigns",
 ]
 
 #: Tight delay bounds make write pressure steady across runs.
@@ -199,3 +211,168 @@ def e12_nonblocking_starvation(timeout=300.0, n=5, seed=1):
             }
         )
     return rows
+
+
+# -- cross-backend latency (the `python -m repro latency` command) -----------
+
+#: Message kinds attributed to the write path / snapshot path when
+#: computing per-operation message counts (gossip is background traffic).
+_WRITE_KINDS = ("WRITE", "WRITEack")
+_SNAPSHOT_KINDS = ("SNAPSHOT", "SNAPSHOTack", "SNAP", "END", "SAVE", "SAVEack")
+
+
+def _median(samples):
+    ordered = sorted(samples)
+    return ordered[len(ordered) // 2] if ordered else 0.0
+
+
+def backend_latency_probe(
+    backend: str = "sim",
+    algorithm: str = "ss-nonblocking",
+    n: int = 4,
+    ops: int = 16,
+    seed: int = 0,
+    time_scale: float = 0.002,
+) -> dict:
+    """One write/snapshot latency + message-count measurement on a backend.
+
+    Runs ``ops`` sequential write/snapshot pairs (rotating the invoking
+    node) on the named backend and reports median per-operation latency
+    in simulated time units — the live kernels express their wall clock
+    in the same units (``seconds / time_scale``), so the sim, asyncio,
+    and UDP rows of ``python -m repro latency`` are directly comparable —
+    plus per-operation message counts from a metrics window, which is how
+    EXPERIMENTS.md's sim-vs-UDP message-cost comparison is produced.
+    """
+    from repro.backend import run_on_backend
+    from repro.config import scenario_config
+
+    config = scenario_config(n=n, seed=seed, delta=2)
+
+    async def body(cluster):
+        kernel = cluster.kernel
+        write_latency: list[float] = []
+        snapshot_latency: list[float] = []
+        with cluster.metrics.window() as window:
+            for k in range(ops):
+                t0 = kernel.now
+                await cluster.write(k % n, f"lat-{seed}-{k}")
+                write_latency.append(kernel.now - t0)
+                t0 = kernel.now
+                await cluster.snapshot((k + 1) % n)
+                snapshot_latency.append(kernel.now - t0)
+        stats = window.stats
+        return {
+            "backend": backend,
+            "algorithm": algorithm,
+            "n": n,
+            "ops": ops,
+            "write_p50": round(_median(write_latency), 2),
+            "snapshot_p50": round(_median(snapshot_latency), 2),
+            "write_msgs_per_op": round(stats.messages(*_WRITE_KINDS) / ops, 2),
+            "snapshot_msgs_per_op": round(
+                stats.messages(*_SNAPSHOT_KINDS) / ops, 2
+            ),
+            "unit": "sim time units",
+        }
+
+    return run_on_backend(
+        backend,
+        algorithm,
+        config,
+        body,
+        time_scale=time_scale,
+        max_events=None,
+    )
+
+
+@dataclass(slots=True)
+class LatencyReport:
+    """Outcome of one seed's cross-backend latency probe."""
+
+    seed: int
+    backend: str
+    row: dict
+    failures: list = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """Latency probes fail only by raising; a report means success."""
+        return not self.failures
+
+    def summary(self) -> str:
+        """One-line outcome."""
+        row = self.row
+        return (
+            f"{row['ops']} op pairs on {self.backend} ({row['algorithm']}, "
+            f"n={row['n']}): write p50 {row['write_p50']}u "
+            f"({row['write_msgs_per_op']} msgs/op), snapshot p50 "
+            f"{row['snapshot_p50']}u ({row['snapshot_msgs_per_op']} msgs/op)"
+        )
+
+
+def run_latency_campaigns(
+    seeds: list,
+    jobs: int = 1,
+    algorithm: str = "ss-nonblocking",
+    budget: int = 16,
+    backend: str = "sim",
+    n: int = 4,
+    time_scale: float = 0.002,
+) -> list:
+    """One latency probe per seed — the unified campaign entry point.
+
+    ``budget`` is write/snapshot pairs per probe.  Probes are cheap and
+    latency measurements are noise-sensitive, so they always run
+    serially; ``--jobs`` > 1 on a live backend raises the capability
+    error every harness shares.
+    """
+    if jobs > 1 and backend != "sim":
+        from repro.backend import backend_capabilities
+
+        backend_capabilities(backend).require(
+            "process_fanout", f"--jobs {jobs}"
+        )
+    return [
+        LatencyReport(
+            seed=seed,
+            backend=backend,
+            row=backend_latency_probe(
+                backend=backend,
+                algorithm=algorithm,
+                n=n,
+                ops=budget,
+                seed=seed,
+                time_scale=time_scale,
+            ),
+        )
+        for seed in seeds
+    ]
+
+
+def e16_backend_parity(backend=None, n=4, ops=8, seed=0):
+    """E16 / deployment — backend parity: same costs on sim, asyncio, UDP.
+
+    Runs the cross-backend latency probe on each substrate and tabulates
+    per-operation message counts side by side: the algorithms' message
+    complexity is substrate-independent (the paper's model assumes only
+    asynchronous fail-prone message passing), so the sim and UDP rows
+    must agree on messages per operation while latency reflects each
+    substrate's clock.
+    """
+    if backend is None:
+        backends = ("sim", "asyncio", "udp")
+    elif backend == "sim":
+        backends = ("sim",)
+    else:
+        backends = ("sim", backend)
+    return [
+        backend_latency_probe(
+            backend=name,
+            algorithm="dgfr-nonblocking",
+            n=n,
+            ops=ops,
+            seed=seed,
+        )
+        for name in backends
+    ]

@@ -58,13 +58,20 @@ def _make_kwargs(kwargs: dict[str, Any] | None) -> tuple[tuple[str, Any], ...]:
 
 
 def experiment_cells(
-    ids: Iterable[str], seeds: Iterable[int] | None = None
+    ids: Iterable[str],
+    seeds: Iterable[int] | None = None,
+    common: dict[str, Any] | None = None,
 ) -> list[Cell]:
-    """Cells for experiment ids, optionally crossed with explicit seeds."""
+    """Cells for experiment ids, optionally crossed with explicit seeds.
+
+    ``common`` kwargs (e.g. ``backend`` for the backend-aware
+    experiments) are merged into every cell.
+    """
+    base = dict(common or {})
     if seeds is None:
-        return [Cell("experiment", eid) for eid in ids]
+        return [Cell("experiment", eid, _make_kwargs(base)) for eid in ids]
     return [
-        Cell("experiment", eid, _make_kwargs({"seed": seed}))
+        Cell("experiment", eid, _make_kwargs({**base, "seed": seed}))
         for eid in ids
         for seed in seeds
     ]

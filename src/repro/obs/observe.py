@@ -217,9 +217,20 @@ class ClusterObs:
         kernel = cluster.kernel
         if id(kernel) not in seen_kernels:
             seen_kernels.add(id(kernel))
-            _add(totals, "kernel.events_dispatched", kernel.events_processed)
-            _add(totals, "kernel.queue_depth", len(kernel._heap))
-            _add(totals, "kernel.timer_pool_size", len(kernel._timer_pool))
+            # Live kernels (asyncio/udp backends) have no event counter,
+            # dispatch heap, or timer pool — the loop owns those — so the
+            # sim-only gauges contribute zero there.
+            _add(
+                totals,
+                "kernel.events_dispatched",
+                getattr(kernel, "events_processed", 0),
+            )
+            _add(totals, "kernel.queue_depth", len(getattr(kernel, "_heap", ())))
+            _add(
+                totals,
+                "kernel.timer_pool_size",
+                len(getattr(kernel, "_timer_pool", ())),
+            )
             stats = kernel.obs
             if stats is not None:
                 _add(totals, "kernel.batches", stats.batches)

@@ -1,14 +1,32 @@
-"""Asyncio runtime: the same algorithms over a live event loop."""
+"""Live runtimes: the same algorithms over an event loop or real UDP.
+
+The legacy cluster facades (``AsyncioSnapshotCluster``,
+``UdpSnapshotCluster``) are now thin aliases over the backend package
+and resolve lazily here — the backend implementations import this
+package's kernel/transport modules, so eager imports would cycle.
+"""
 
 from repro.runtime.asyncio_kernel import AsyncioEvent, AsyncioGate, AsyncioKernel
-from repro.runtime.cluster import AsyncioSnapshotCluster
-from repro.runtime.udp import UdpNetwork, UdpSnapshotCluster
+from repro.runtime.udp import DatagramFaultGate, UdpNetwork
 
 __all__ = [
     "AsyncioEvent",
     "AsyncioGate",
     "AsyncioKernel",
     "AsyncioSnapshotCluster",
+    "DatagramFaultGate",
     "UdpNetwork",
     "UdpSnapshotCluster",
 ]
+
+
+def __getattr__(name: str):
+    if name == "AsyncioSnapshotCluster":
+        from repro.runtime.cluster import AsyncioSnapshotCluster
+
+        return AsyncioSnapshotCluster
+    if name == "UdpSnapshotCluster":
+        from repro.backend.udp import UdpSnapshotCluster
+
+        return UdpSnapshotCluster
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

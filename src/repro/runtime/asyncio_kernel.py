@@ -16,6 +16,7 @@ from __future__ import annotations
 
 import asyncio
 import random
+import time
 from typing import Any, Awaitable, Callable, Coroutine, Iterable
 
 __all__ = ["AsyncioKernel", "AsyncioEvent", "AsyncioGate"]
@@ -75,17 +76,37 @@ class AsyncioKernel:
     def __init__(self, seed: int = 0, time_scale: float = 0.01) -> None:
         self.rng = random.Random(seed)
         self.time_scale = time_scale
+        #: Observability hook (:class:`repro.obs.observe.KernelStats` or
+        #: ``None``), set by the obs layer when a session attaches a
+        #: cluster running on this kernel.  The asyncio loop has no
+        #: batching/timer-pool fast paths, so the stats stay at zero, but
+        #: the attribute existing is what lets ``--trace-out``/``--stats``
+        #: work on live runs.
+        self.obs = None
 
     # -- clock & scheduling -------------------------------------------------------
 
     @property
     def _loop(self) -> asyncio.AbstractEventLoop:
-        return asyncio.get_event_loop()
+        try:
+            return asyncio.get_running_loop()
+        except RuntimeError:
+            return asyncio.get_event_loop()
 
     @property
     def now(self) -> float:
-        """Loop time expressed in simulated units."""
-        return self._loop.time() / self.time_scale
+        """Loop time expressed in simulated units.
+
+        Outside a running loop (e.g. an observability exporter reading
+        final span times after ``asyncio.run`` returned) this falls back
+        to ``time.monotonic()``, which is the clock ``loop.time()`` is
+        built on.
+        """
+        try:
+            loop = asyncio.get_running_loop()
+        except RuntimeError:
+            return time.monotonic() / self.time_scale
+        return loop.time() / self.time_scale
 
     def call_soon(self, callback: Callable[..., None], *args: Any) -> None:
         """Schedule a callback on the running loop."""

@@ -1,6 +1,6 @@
 """Asyncio deployment of a snapshot-object cluster.
 
-:class:`AsyncioSnapshotCluster` wires the *same* algorithm classes,
+:class:`AsyncioSnapshotCluster` runs the *same* algorithm classes,
 network fabric, metrics, and history recorder as the simulated
 :class:`~repro.core.cluster.SnapshotCluster`, but on a live asyncio event
 loop: message delays, retransmission timers, and the do-forever loops all
@@ -21,98 +21,25 @@ Usage::
 
 from __future__ import annotations
 
-from typing import Any
-
-from repro.analysis.history import SNAPSHOT, WRITE, HistoryRecorder
-from repro.analysis.metrics import MetricsCollector
-from repro.config import ClusterConfig
-from repro.core.cluster import ALGORITHMS
-from repro.errors import ConfigurationError
-from repro.net.network import Network
-from repro.runtime.asyncio_kernel import AsyncioKernel
+from repro.backend.aio import AsyncioBackend
 
 __all__ = ["AsyncioSnapshotCluster"]
 
 
-class AsyncioSnapshotCluster:
+class AsyncioSnapshotCluster(AsyncioBackend):
     """A snapshot-object deployment driven by the asyncio event loop.
 
+    .. deprecated::
+        ``AsyncioSnapshotCluster`` is now a thin alias of
+        :class:`repro.backend.aio.AsyncioBackend` — the ``asyncio``
+        implementation of the cross-runtime
+        :class:`~repro.backend.base.ClusterBackend` contract.  Existing
+        code keeps working unchanged (and gains the cycle tracker, fault
+        hooks, and observability attachment the sim cluster always had);
+        new backend-agnostic code should go through
+        :func:`repro.backend.create_backend`.
+
     Construct *inside* a running event loop (algorithm handlers schedule
-    callbacks at construction).  Call :meth:`start` to launch the
-    do-forever loops and :meth:`stop` before discarding the cluster.
+    callbacks at construction).  Call ``start()`` to launch the
+    do-forever loops and ``stop()`` before discarding the cluster.
     """
-
-    def __init__(
-        self,
-        algorithm: str | type = "ss-nonblocking",
-        config: ClusterConfig | None = None,
-        time_scale: float = 0.01,
-    ) -> None:
-        if isinstance(algorithm, str):
-            try:
-                algorithm_cls = ALGORITHMS[algorithm]
-            except KeyError:
-                raise ConfigurationError(
-                    f"unknown algorithm {algorithm!r}; "
-                    f"choose from {sorted(ALGORITHMS)}"
-                ) from None
-        else:
-            algorithm_cls = algorithm
-        self.config = config if config is not None else ClusterConfig()
-        self.kernel = AsyncioKernel(seed=self.config.seed, time_scale=time_scale)
-        self.metrics = MetricsCollector()
-        self.network = Network(self.kernel, self.config, self.metrics)
-        self.processes = [
-            algorithm_cls(node_id, self.kernel, self.network, self.config)
-            for node_id in range(self.config.n)
-        ]
-        self.history = HistoryRecorder()
-        self._started = False
-
-    def start(self) -> None:
-        """Launch every node's do-forever loop on the event loop."""
-        if self._started:
-            return
-        for process in self.processes:
-            process.start()
-        self._started = True
-
-    def stop(self) -> None:
-        """Cancel the do-forever loops."""
-        for process in self.processes:
-            process.stop()
-        self._started = False
-
-    def node(self, node_id: int):
-        """The algorithm instance at ``node_id``."""
-        return self.processes[node_id]
-
-    async def write(self, node_id: int, value: Any) -> int:
-        """Invoke a write and record it in the history."""
-        op_id = self.history.invoke(node_id, WRITE, value, now=self.kernel.now)
-        try:
-            ts = await self.processes[node_id].write(value)
-        except BaseException:
-            self.history.abort(op_id, now=self.kernel.now)
-            raise
-        self.history.respond(op_id, result=ts, now=self.kernel.now)
-        return ts
-
-    async def snapshot(self, node_id: int):
-        """Invoke a snapshot and record it in the history."""
-        op_id = self.history.invoke(node_id, SNAPSHOT, now=self.kernel.now)
-        try:
-            result = await self.processes[node_id].snapshot()
-        except BaseException:
-            self.history.abort(op_id, now=self.kernel.now)
-            raise
-        self.history.respond(op_id, result=result, now=self.kernel.now)
-        return result
-
-    def crash(self, node_id: int) -> None:
-        """Crash a node."""
-        self.processes[node_id].crash()
-
-    def resume(self, node_id: int, restart: bool = False) -> None:
-        """Resume a crashed node."""
-        self.processes[node_id].resume(restart=restart)

@@ -9,30 +9,35 @@ model already covers as loss).  The quorum service's retransmission
 makes the algorithms indifferent to datagram loss, exactly as the
 paper's communication-fairness assumption intends.
 
-Usage::
+Localhost UDP is *too* reliable to exercise the fault model on its own,
+so every outgoing datagram passes through a :class:`DatagramFaultGate` —
+a shim between codec and socket that applies the cluster's
+:class:`~repro.config.ChannelConfig` loss/duplication/delay (hence
+reorder) probabilities and any partition schedule to live packets,
+mirroring the simulated channel's behaviour (and its RNG draw order) on
+real sockets.  Chaos and fuzz campaigns thereby speak the same scenario
+vocabulary over the wire.
 
-    cluster = await UdpSnapshotCluster.create("ss-always", ClusterConfig(n=5))
-    await cluster.write(0, b"over-the-wire")
-    print((await cluster.snapshot(1)).values)
-    await cluster.close()
+The cluster facade lives in :class:`repro.backend.udp.UdpBackend`
+(``UdpSnapshotCluster`` remains importable from :mod:`repro.runtime` as
+a thin alias); this module holds the transport only.
 """
 
 from __future__ import annotations
 
 import asyncio
+import random
 import struct
-from typing import Any
+from typing import Any, Callable
 
-from repro.analysis.history import SNAPSHOT, WRITE, HistoryRecorder
 from repro.analysis.metrics import MetricsCollector
-from repro.config import ClusterConfig
-from repro.core.cluster import ALGORITHMS
-from repro.errors import ConfigurationError, NetworkError
+from repro.config import ChannelConfig, ClusterConfig
+from repro.errors import NetworkError
 from repro.net.codec import CodecError, decode_message, encode_message
 from repro.net.message import Message
 from repro.runtime.asyncio_kernel import AsyncioKernel
 
-__all__ = ["UdpNetwork", "UdpSnapshotCluster"]
+__all__ = ["DatagramFaultGate", "UdpNetwork"]
 
 
 class _NodeProtocol(asyncio.DatagramProtocol):
@@ -49,12 +54,123 @@ class _NodeProtocol(asyncio.DatagramProtocol):
         pass
 
 
+class DatagramFaultGate:
+    """Applies the channel fault model to live datagrams before the socket.
+
+    The simulated :class:`~repro.net.channel.Channel` draws loss, delay,
+    and duplication from a seeded RNG; this gate makes the same draws in
+    the same order for every outgoing datagram — a *blocked* (partitioned)
+    packet draws nothing; otherwise loss uniform, then (if the packet
+    survives and fits under the per-pair capacity bound) delay uniform,
+    then duplication uniform, then the duplicate's delay uniform.  Held
+    packets are released onto the socket after their delay, so reordering
+    emerges from delay variance exactly as in the model.
+
+    Partitions are group-membership based like
+    :meth:`~repro.net.network.Network.partition`, and are enforced both
+    when a packet is submitted and again when a delayed packet is
+    released (mirroring the channel's drop of in-flight packets crossing
+    a partition).
+    """
+
+    def __init__(
+        self,
+        kernel: AsyncioKernel,
+        rng: random.Random,
+        config: ChannelConfig,
+        transmit: Callable[[int, int, bytes], None],
+        metrics: MetricsCollector | None = None,
+    ) -> None:
+        self._kernel = kernel
+        self._rng = rng
+        self._transmit = transmit
+        self._metrics = metrics
+        self._loss_p = config.loss_probability
+        self._dup_p = config.duplication_probability
+        self._capacity = config.capacity
+        self._min_delay = config.min_delay
+        self._max_delay = config.max_delay
+        #: Packets currently held for delayed release, per directed pair.
+        self._held: dict[tuple[int, int], int] = {}
+        self._membership: dict[int, int] = {}
+
+    # -- partition schedule ------------------------------------------------
+
+    def blocked(self, src: int, dst: int) -> bool:
+        """Whether the current partition blocks the ``src → dst`` path."""
+        side_src = self._membership.get(src)
+        side_dst = self._membership.get(dst)
+        return (
+            side_src is not None
+            and side_dst is not None
+            and side_src != side_dst
+        )
+
+    def partition(self, *groups: set) -> None:
+        """Block every path crossing between the given node groups."""
+        membership: dict[int, int] = {}
+        for index, group in enumerate(groups):
+            for node_id in group:
+                membership[node_id] = index
+        self._membership = membership
+
+    def heal(self) -> None:
+        """Remove all partitions."""
+        self._membership = {}
+
+    # -- the fault model ---------------------------------------------------
+
+    @property
+    def held_total(self) -> int:
+        """Datagrams currently held for delayed release."""
+        return sum(self._held.values())
+
+    def submit(self, src: int, dst: int, payload: bytes) -> None:
+        """Pass one outgoing datagram through the fault model."""
+        if self.blocked(src, dst):
+            return
+        rng = self._rng
+        if rng.random() < self._loss_p:
+            if self._metrics is not None:
+                self._metrics.record_loss()
+            return
+        self._hold(src, dst, payload)
+        if rng.random() < self._dup_p:
+            if self._metrics is not None:
+                self._metrics.record_duplication()
+            self._hold(src, dst, payload)
+
+    def _hold(self, src: int, dst: int, payload: bytes) -> None:
+        key = (src, dst)
+        if self._held.get(key, 0) >= self._capacity:
+            if self._metrics is not None:
+                self._metrics.record_capacity_drop()
+            return
+        self._held[key] = self._held.get(key, 0) + 1
+        delay = self._rng.uniform(self._min_delay, self._max_delay)
+        self._kernel.call_later(delay, self._release, src, dst, payload)
+
+    def _release(self, src: int, dst: int, payload: bytes) -> None:
+        key = (src, dst)
+        held = self._held.get(key, 0)
+        if held:
+            self._held[key] = held - 1
+        if self.blocked(src, dst):
+            return
+        self._transmit(src, dst, payload)
+
+
 class UdpNetwork:
     """A network fabric whose channels are real localhost UDP sockets.
 
     Presents the same interface the :class:`~repro.net.node.Process`
-    class uses (``attach``/``send``/``metrics``); channel-model features
-    of the simulator (partitions, in-flight inspection) do not apply.
+    class uses (``attach``/``send``/``metrics``), plus the adversary and
+    observability hooks of the simulated fabric: ``partition``/``heal``
+    (enforced by the :class:`DatagramFaultGate`), ``trace_listeners``,
+    and ``in_flight_total``.  In-flight *inspection* does not apply —
+    once a datagram is on the wire the OS owns it — so :meth:`channels`
+    returns an empty list and channel-content fault injection degrades
+    to a no-op.
     """
 
     def __init__(
@@ -66,10 +182,23 @@ class UdpNetwork:
         self.kernel = kernel
         self.config = config
         self.metrics = metrics if metrics is not None else MetricsCollector()
+        #: Observability hooks: callables invoked as
+        #: ``listener(event, time, src, dst, kind)`` where event is
+        #: ``"send"`` or ``"deliver"``.  Used by the trace recorder.
+        self.trace_listeners: list = []
         self._processes: dict[int, Any] = {}
         self._transports: dict[int, asyncio.DatagramTransport] = {}
         self._addresses: dict[int, tuple[str, int]] = {}
         self._open = False
+        # Seeded like the simulated fabric (one draw from the kernel RNG),
+        # though live runs are nondeterministic regardless.
+        self._gate = DatagramFaultGate(
+            kernel,
+            random.Random(kernel.rng.getrandbits(64)),
+            config.channel,
+            self._transmit,
+            self.metrics,
+        )
 
     async def open(self) -> None:
         """Bind one localhost UDP socket per node."""
@@ -84,12 +213,14 @@ class UdpNetwork:
         self._open = True
 
     def close(self) -> None:
-        """Close every socket."""
+        """Close every socket; idempotent (delayed releases become no-ops)."""
         for transport in self._transports.values():
             transport.close()
+        self._transports.clear()
+        self._addresses.clear()
         self._open = False
 
-    # -- fabric interface ---------------------------------------------------------
+    # -- fabric interface --------------------------------------------------
 
     def attach(self, process: Any) -> None:
         """Register a process for delivery."""
@@ -105,16 +236,32 @@ class UdpNetwork:
         if not self._open:
             raise NetworkError("UdpNetwork.open() has not completed")
         if self.metrics._enabled:
-            self.metrics.record_send(src, dst, message.kind, message.wire_size())
+            self.metrics.record_send(src, dst, message.KIND, message.wire_size())
+        if self.trace_listeners:
+            now = self.kernel.now
+            kind = message.KIND
+            for listener in self.trace_listeners:
+                listener("send", now, src, dst, kind)
         # encode_message caches on the instance: a broadcast encodes once
         # and reuses the bytes for every destination datagram.
         payload = struct.pack(">I", src) + encode_message(message)
-        self._transports[src].sendto(payload, self._addresses[dst])
+        self._gate.submit(src, dst, payload)
+
+    def _transmit(self, src: int, dst: int, payload: bytes) -> None:
+        """Put one gate-approved datagram on the wire."""
+        if not self._open:
+            return
+        transport = self._transports.get(src)
+        if transport is None or transport.is_closing():
+            return
+        transport.sendto(payload, self._addresses[dst])
 
     def _on_datagram(self, dst: int, data: bytes) -> None:
         if len(data) < 4:
             return  # runt datagram: lost
         src = struct.unpack(">I", data[:4])[0]
+        if self._gate.blocked(src, dst):
+            return  # arrived across a partition: dropped, as in the model
         try:
             message = decode_message(data[4:])
         except CodecError:
@@ -123,89 +270,34 @@ class UdpNetwork:
 
     def _deliver(self, src: int, dst: int, message: Message) -> None:
         process = self._processes.get(dst)
-        if process is not None:
-            process.deliver(src, message)
+        if process is None:
+            return
+        if self.trace_listeners and src != dst:
+            for listener in self.trace_listeners:
+                listener("deliver", self.kernel.now, src, dst, message.KIND)
+        process.deliver(src, message)
 
+    # -- adversary controls ------------------------------------------------
 
-class UdpSnapshotCluster:
-    """A snapshot-object deployment over localhost UDP.
+    def partition(self, *groups: set) -> None:
+        """Block datagrams crossing between the given node groups."""
+        self._gate.partition(*groups)
 
-    Construct with :meth:`create` (socket binding is asynchronous);
-    always :meth:`close` before discarding.
-    """
+    def heal(self) -> None:
+        """Remove all partitions."""
+        self._gate.heal()
 
-    def __init__(self) -> None:
-        raise ConfigurationError("use 'await UdpSnapshotCluster.create(...)'")
+    # -- introspection -----------------------------------------------------
 
-    @classmethod
-    async def create(
-        cls,
-        algorithm: str | type = "ss-nonblocking",
-        config: ClusterConfig | None = None,
-        time_scale: float = 0.01,
-    ) -> "UdpSnapshotCluster":
-        """Bind sockets, build the processes, start the do-forever loops."""
-        if isinstance(algorithm, str):
-            try:
-                algorithm_cls = ALGORITHMS[algorithm]
-            except KeyError:
-                raise ConfigurationError(
-                    f"unknown algorithm {algorithm!r}"
-                ) from None
-        else:
-            algorithm_cls = algorithm
-        self = object.__new__(cls)
-        self.config = config if config is not None else ClusterConfig()
-        self.kernel = AsyncioKernel(seed=self.config.seed, time_scale=time_scale)
-        self.metrics = MetricsCollector()
-        self.network = UdpNetwork(self.kernel, self.config, self.metrics)
-        await self.network.open()
-        self.processes = [
-            algorithm_cls(node_id, self.kernel, self.network, self.config)
-            for node_id in range(self.config.n)
-        ]
-        self.history = HistoryRecorder()
-        for process in self.processes:
-            process.start()
-        return self
+    def channels(self) -> list:
+        """No inspectable channels: the OS owns in-flight datagrams.
 
-    async def close(self) -> None:
-        """Stop the loops and close the sockets."""
-        for process in self.processes:
-            process.stop()
-        self.network.close()
-        await asyncio.sleep(0)  # let cancellations land
+        Returning an empty list makes channel-content fault injection
+        (:meth:`~repro.fault.transient.TransientFaultInjector
+        .scramble_channels`) a correct no-op on this backend.
+        """
+        return []
 
-    def node(self, node_id: int):
-        """The algorithm instance at ``node_id``."""
-        return self.processes[node_id]
-
-    async def write(self, node_id: int, value: Any) -> int:
-        """Invoke a write and record it in the history."""
-        op_id = self.history.invoke(node_id, WRITE, value, now=self.kernel.now)
-        try:
-            ts = await self.processes[node_id].write(value)
-        except BaseException:
-            self.history.abort(op_id, now=self.kernel.now)
-            raise
-        self.history.respond(op_id, result=ts, now=self.kernel.now)
-        return ts
-
-    async def snapshot(self, node_id: int):
-        """Invoke a snapshot and record it in the history."""
-        op_id = self.history.invoke(node_id, SNAPSHOT, now=self.kernel.now)
-        try:
-            result = await self.processes[node_id].snapshot()
-        except BaseException:
-            self.history.abort(op_id, now=self.kernel.now)
-            raise
-        self.history.respond(op_id, result=result, now=self.kernel.now)
-        return result
-
-    def crash(self, node_id: int) -> None:
-        """Crash a node (its socket stays bound; deliveries are dropped)."""
-        self.processes[node_id].crash()
-
-    def resume(self, node_id: int, restart: bool = False) -> None:
-        """Resume a crashed node."""
-        self.processes[node_id].resume(restart=restart)
+    def in_flight_total(self) -> int:
+        """Datagrams currently held in the fault gate's delay stage."""
+        return self._gate.held_total

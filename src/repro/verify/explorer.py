@@ -271,13 +271,28 @@ def run_verify_campaigns(
     jobs: int = 1,
     algorithm: str = "ss-always",
     budget: int = 200,
-) -> list[ExplorationResult]:
-    """Run one standard-scenario exploration per seed, optionally parallel.
+    backend: str = "sim",
+):
+    """Run one verification campaign per seed, optionally parallel.
 
     The unified campaign entry point (same ``(seeds, jobs, algorithm,
     budget)`` shape as the chaos and fuzz campaigns); results come back
     in seed order regardless of worker completion order.
+
+    On the ``sim`` backend each seed is a random-walk exploration of
+    :data:`STANDARD_SCENARIO`'s schedule tree.  On a live backend
+    (``asyncio``/``udp``) schedule exploration does not apply — the
+    substrate schedules itself — so each seed drives a concurrent
+    workload against a live cluster and checks the produced history for
+    linearizability (see :mod:`repro.verify.live`); the reports follow
+    the same ``ok``/``failures``/``summary()`` protocol.
     """
+    if backend != "sim":
+        from repro.verify.live import run_live_verify_campaigns
+
+        return run_live_verify_campaigns(
+            seeds, backend, jobs=jobs, algorithm=algorithm, budget=budget
+        )
     from repro.harness.parallel import run_cells, verify_cells
 
     return run_cells(

@@ -1,0 +1,155 @@
+"""Live-backend verification: linearizability checking over real runtimes.
+
+Schedule *exploration* (DFS / seeded random walks over kernel tie-break
+decisions) is a ``schedule_pinning`` capability of the simulator; a live
+event loop schedules itself.  What a live backend *can* verify is the
+paper's correctness claim on executions the real substrate actually
+produces: drive a seeded concurrent write/snapshot workload against a
+live cluster and check the recorded operation history for
+linearizability — the same oracle the sim explorer applies per schedule,
+now applied to wall-clock interleavings over modeled (``asyncio``) or
+real (``udp``) channels.
+
+:func:`run_live_verify_campaigns` honours the unified campaign protocol
+(``seeds``/``algorithm``/``budget`` in, per-seed reports with
+``ok``/``failures``/``summary()`` out), so ``python -m repro verify
+--backend udp`` reads exactly like the sim run.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import random
+from dataclasses import dataclass, field
+
+from repro.analysis.linearizability import check_snapshot_history
+from repro.config import scenario_config
+
+__all__ = ["LiveVerifyReport", "verify_live_seed", "run_live_verify_campaigns"]
+
+#: Wall-clock guard (seconds) for one operation batch — far above any
+#: healthy completion time, so tripping it is itself a liveness failure.
+_BATCH_WALL_TIMEOUT = 30.0
+
+
+@dataclass(slots=True)
+class LiveVerifyReport:
+    """Outcome of one seed's live verification workload."""
+
+    seed: int
+    backend: str
+    algorithm: str
+    operations: int = 0
+    writes: int = 0
+    snapshots: int = 0
+    checks: int = 0
+    failures: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """Whether every check passed."""
+        return not self.failures
+
+    def summary(self) -> str:
+        """One-line outcome."""
+        verdict = "OK" if self.ok else f"{len(self.failures)} FAILURES"
+        return (
+            f"{self.operations} live ops ({self.writes}w/{self.snapshots}s) "
+            f"on {self.backend}, {self.checks} checks: {verdict}"
+        )
+
+
+def verify_live_seed(
+    seed: int,
+    backend: str = "asyncio",
+    algorithm: str = "ss-nonblocking",
+    budget: int = 60,
+    n: int = 4,
+    time_scale: float = 0.002,
+) -> LiveVerifyReport:
+    """Run one seeded concurrent workload on a live backend and check it.
+
+    Each round issues 2–4 concurrent operations on distinct nodes (a mix
+    of writes with unique values and snapshots) until ``budget``
+    operations have been invoked, then checks the full history for
+    linearizability.
+    """
+    from repro.backend import create_backend
+
+    report = LiveVerifyReport(seed=seed, backend=backend, algorithm=algorithm)
+    rng = random.Random(seed)
+
+    async def main() -> None:
+        cluster = await create_backend(
+            backend,
+            algorithm,
+            scenario_config(n=n, seed=seed, delta=2),
+            time_scale=time_scale,
+        )
+        try:
+            value = 0
+            issued = 0
+            while issued < budget:
+                batch = min(budget - issued, rng.randint(2, min(4, n)))
+                operations = []
+                for node in rng.sample(range(n), batch):
+                    if rng.random() < 0.6:
+                        value += 1
+                        operations.append(
+                            cluster.write(node, f"live-{seed}-{value}")
+                        )
+                        report.writes += 1
+                    else:
+                        operations.append(cluster.snapshot(node))
+                        report.snapshots += 1
+                try:
+                    await asyncio.wait_for(
+                        asyncio.gather(*operations),
+                        timeout=_BATCH_WALL_TIMEOUT,
+                    )
+                except TimeoutError:
+                    report.failures.append(
+                        f"liveness: operation batch at {issued} did not "
+                        f"complete within {_BATCH_WALL_TIMEOUT}s wall-clock"
+                    )
+                    break
+                issued += batch
+            report.operations = issued
+            report.checks += 1
+            check = check_snapshot_history(
+                cluster.history.records(), cluster.config.n
+            )
+            if not check.ok:
+                report.failures.append(f"linearizability: {check.summary()}")
+        finally:
+            await cluster.close()
+
+    asyncio.run(main())
+    return report
+
+
+def run_live_verify_campaigns(
+    seeds: list[int],
+    backend: str,
+    jobs: int = 1,
+    algorithm: str = "ss-always",
+    budget: int = 60,
+    time_scale: float = 0.002,
+) -> list[LiveVerifyReport]:
+    """One live verification workload per seed (serial: live runs own
+    the process's event loop, and worker fan-out is a sim capability)."""
+    from repro.backend import backend_capabilities
+
+    capabilities = backend_capabilities(backend)  # validates the name
+    if jobs > 1:
+        capabilities.require("process_fanout", f"--jobs {jobs}")
+    return [
+        verify_live_seed(
+            seed,
+            backend=backend,
+            algorithm=algorithm,
+            budget=budget,
+            time_scale=time_scale,
+        )
+        for seed in seeds
+    ]

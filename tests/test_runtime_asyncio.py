@@ -8,6 +8,8 @@ from repro import ClusterConfig
 from repro.analysis.linearizability import check_snapshot_history
 from repro.runtime import AsyncioSnapshotCluster
 
+pytestmark = pytest.mark.runtime
+
 
 def run(coro):
     return asyncio.run(coro)

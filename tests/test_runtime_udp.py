@@ -9,6 +9,8 @@ from repro.analysis.linearizability import check_snapshot_history
 from repro.errors import ConfigurationError
 from repro.runtime import UdpSnapshotCluster
 
+pytestmark = pytest.mark.runtime
+
 
 def run(coro):
     return asyncio.run(coro)
