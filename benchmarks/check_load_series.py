@@ -1,0 +1,107 @@
+"""CI gate: BENCH_PR5.json must carry a well-formed, linearizable sweep.
+
+Usage: ``python benchmarks/check_load_series.py [path]`` (defaults to
+the repository-root ``BENCH_PR5.json``).  Exits non-zero if the file is
+missing, malformed, lacks a sweep with a located knee, or records a
+non-linearizable rung.
+"""
+
+import json
+import sys
+from pathlib import Path
+
+POINT_KEYS = (
+    "backend", "algorithm", "n", "mode", "offered_rate", "submitted",
+    "completed", "errors", "elapsed", "throughput", "p50", "p99",
+    "linearizable",
+)
+
+
+def _check_point(label, point, problems):
+    if not isinstance(point, dict):
+        problems.append(f"{label}: point is not an object")
+        return
+    for key in POINT_KEYS:
+        if key not in point:
+            problems.append(f"{label}: point missing {key!r}")
+    if point.get("linearizable") is not True:
+        problems.append(f"{label}: rung at offered_rate="
+                        f"{point.get('offered_rate')} not linearizable")
+    if point.get("errors"):
+        problems.append(f"{label}: rung at offered_rate="
+                        f"{point.get('offered_rate')} had operation errors")
+    throughput = point.get("throughput")
+    if not isinstance(throughput, (int, float)) or throughput <= 0:
+        problems.append(f"{label}: non-positive throughput")
+    p50, p99 = point.get("p50"), point.get("p99")
+    if isinstance(p50, (int, float)) and isinstance(p99, (int, float)):
+        if p99 < p50:
+            problems.append(f"{label}: p99 < p50 ({p99} < {p50})")
+
+
+def _check_sweep(label, sweep, problems):
+    if not isinstance(sweep, dict):
+        problems.append(f"{label}: sweep is not an object")
+        return
+    points = sweep.get("points")
+    if not isinstance(points, list) or not points:
+        problems.append(f"{label}: missing or empty 'points'")
+        return
+    for index, point in enumerate(points):
+        _check_point(f"{label} point {index}", point, problems)
+    knee = sweep.get("knee_rate")
+    if not isinstance(knee, (int, float)) or knee <= 0:
+        problems.append(f"{label}: no knee located (knee_rate={knee!r}) — "
+                        "the offered-rate ladder never kept up; widen it")
+    saturated = sweep.get("saturated_throughput")
+    if not isinstance(saturated, (int, float)) or saturated <= 0:
+        problems.append(f"{label}: non-positive saturated_throughput")
+    offers = [p.get("offered_rate") for p in points if isinstance(p, dict)]
+    if offers != sorted(offers):
+        problems.append(f"{label}: points not sorted by offered_rate")
+
+
+def check(path):
+    try:
+        payload = json.loads(Path(path).read_text())
+    except FileNotFoundError:
+        return [f"{path}: not found"]
+    except json.JSONDecodeError as exc:
+        return [f"{path}: invalid JSON ({exc})"]
+    problems = []
+    if payload.get("pr") != 5:
+        problems.append(f"{path}: expected 'pr': 5")
+    for section in ("description", "host"):
+        if not payload.get(section):
+            problems.append(f"{path}: missing {section!r} section")
+    sweeps = payload.get("sweeps")
+    if not isinstance(sweeps, list) or not sweeps:
+        problems.append(f"{path}: missing or empty 'sweeps'")
+        return problems
+    for index, sweep in enumerate(sweeps):
+        backend = sweep.get("backend", index) if isinstance(sweep, dict) else index
+        _check_sweep(f"{path} sweep[{backend}]", sweep, problems)
+    headline = payload.get("headline")
+    if not isinstance(headline, dict):
+        problems.append(f"{path}: missing 'headline' section")
+    return problems
+
+
+def main(argv):
+    default = Path(__file__).resolve().parent.parent / "BENCH_PR5.json"
+    path = argv[1] if len(argv) > 1 else str(default)
+    problems = check(path)
+    if problems:
+        for problem in problems:
+            print(problem, file=sys.stderr)
+        return 1
+    payload = json.loads(Path(path).read_text())
+    sweeps = payload["sweeps"]
+    rungs = sum(len(s["points"]) for s in sweeps)
+    print(f"{path}: ok ({len(sweeps)} sweep(s), {rungs} rungs, "
+          f"knee at {sweeps[0]['knee_rate']} op/u)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv))

@@ -14,16 +14,16 @@ import time
 
 from repro import ClusterConfig
 from repro.analysis.linearizability import check_snapshot_history
-from repro.runtime import AsyncioSnapshotCluster
+from repro.backend import create_backend
 
 N = 5
 
 
 async def main() -> None:
-    cluster = AsyncioSnapshotCluster(
-        "ss-always", ClusterConfig(n=N, delta=2, seed=1), time_scale=0.005
+    cluster = await create_backend(
+        "asyncio", "ss-always", ClusterConfig(n=N, delta=2, seed=1),
+        time_scale=0.005,
     )
-    cluster.start()
     wall_start = time.perf_counter()
     try:
         # Concurrent writers on four nodes.
@@ -54,7 +54,7 @@ async def main() -> None:
             f"({stats.total_bytes} bytes)"
         )
     finally:
-        cluster.stop()
+        await cluster.close()
 
 
 if __name__ == "__main__":

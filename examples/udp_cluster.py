@@ -13,14 +13,15 @@ import time
 
 from repro import ClusterConfig
 from repro.analysis.linearizability import check_snapshot_history
-from repro.runtime import UdpSnapshotCluster
+from repro.backend import create_backend
 
 N = 5
 
 
 async def main() -> None:
-    cluster = await UdpSnapshotCluster.create(
-        "ss-always", ClusterConfig(n=N, delta=2, seed=9), time_scale=0.005
+    cluster = await create_backend(
+        "udp", "ss-always", ClusterConfig(n=N, delta=2, seed=9),
+        time_scale=0.005,
     )
     wall_start = time.perf_counter()
     try:

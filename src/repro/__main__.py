@@ -3,10 +3,10 @@
 Commands
 --------
 ``experiments [ids…]``
-    Run the reproduction experiments (all of E1–E16 by default) and
+    Run the reproduction experiments (all of E1–E18 by default) and
     print their tables.  ``--seeds K`` re-runs each selected experiment
     at K consecutive seeds.  ``--backend {sim,asyncio,udp}`` runs the
-    backend-aware experiments (E16) on a chosen runtime.
+    backend-aware experiments (E16–E18) on a chosen runtime.
 ``figures [names…]``
     Render the paper's Figures 1–3 as ASCII space-time diagrams
     (all by default; names: fig1-upper, fig1-lower, fig2, fig3-upper,
@@ -58,6 +58,19 @@ capability outright (e.g. ``--jobs 2`` on a live backend) raises a
     per operation.  With ``--backend udp`` the same probe runs over
     real sockets, which is how EXPERIMENTS.md's sim-vs-UDP comparison
     is produced.
+``load``
+    Saturation load generation (see ``docs/benchmarking.md``): drive
+    concurrent multi-writer/multi-scanner clients against a deployment
+    and report throughput, p50/p95/p99 latency, and a linearizability
+    verdict per seed.  ``--clients N`` / ``--depth K`` size the
+    closed-loop client pool and its pipeline depth; ``--rate R``
+    switches to open-loop arrivals at R ops per time unit; ``--mix W:S``
+    sets the writers:scanners ratio and ``--skew X`` concentrates
+    traffic on low node ids; ``--n N`` sizes the cluster and
+    ``--budget`` is the submission window in simulated time units.
+    ``--sweep`` ladders the offered rate to locate the saturation knee
+    and writes the result to ``BENCH_PR5.json`` (``--out FILE``
+    overrides).
 
 ``backends``
     Print the backend capability matrix (which features each of
@@ -377,6 +390,110 @@ def _cmd_latency(args: list[str]) -> int:
     return 0 if ok else 1
 
 
+def _cmd_load(args: list[str]) -> int:
+    from repro.harness.campaign import (
+        extract_backend,
+        extract_campaign_flags,
+        print_reports,
+    )
+    from repro.harness.parallel import extract_jobs
+    from repro.load import (
+        LoadSpec,
+        parse_mix,
+        run_load_campaigns,
+        sweep_rates,
+        write_bench,
+    )
+    from repro.obs.cli import (
+        clamp_jobs_for_capture,
+        extract_obs_flags,
+        observe_cli,
+    )
+
+    obs_flags, args = extract_obs_flags(args)
+    jobs, args = extract_jobs(args)
+    backend, args = extract_backend(args, default="sim")
+    # --duration is load's natural spelling of the shared --budget knob
+    # (the submission window in simulated time units); both are accepted.
+    args = [
+        "--budget" + arg.removeprefix("--duration") if
+        arg == "--duration" or arg.startswith("--duration=") else arg
+        for arg in args
+    ]
+    options, rest = extract_campaign_flags(args, default_budget=60)
+    clients, depth, n = 8, 4, 4
+    rate: float | None = None
+    write_fraction, skew = 0.8, 0.0
+    sweep = False
+    out: str | None = None
+    it = iter(rest)
+    leftover: list[str] = []
+    for arg in it:
+        if arg == "--sweep":
+            sweep = True
+        elif arg in ("--clients", "--depth", "--rate", "--mix", "--skew",
+                     "--n", "--out"):
+            value = next(it, None)
+            if value is None:
+                raise SystemExit(f"{arg} requires a value")
+            if arg == "--clients":
+                clients = int(value)
+            elif arg == "--depth":
+                depth = int(value)
+            elif arg == "--rate":
+                rate = float(value)
+            elif arg == "--mix":
+                write_fraction = parse_mix(value)
+            elif arg == "--skew":
+                skew = float(value)
+            elif arg == "--n":
+                n = int(value)
+            else:
+                out = value
+        else:
+            leftover.append(arg)
+    if leftover:
+        raise SystemExit(f"load: unexpected arguments {leftover}")
+    algorithm = options.algorithm or "ss-nonblocking"
+    jobs = clamp_jobs_for_capture(obs_flags, jobs)
+    with observe_cli(obs_flags):
+        if sweep:
+            result = sweep_rates(
+                backend=backend,
+                algorithm=algorithm,
+                n=n,
+                duration=float(options.budget),
+                write_fraction=write_fraction,
+                skew=skew,
+                seed=options.seeds[0],
+            )
+            print(result.summary())
+            for failure in result.failures:
+                print("FAILURE:", failure)
+            path = write_bench(out or "BENCH_PR5.json", [result])
+            print(f"wrote {path}")
+            return 0 if result.ok else 1
+        spec = LoadSpec(
+            mode="open" if rate is not None else "closed",
+            clients=clients,
+            depth=depth,
+            rate=rate,
+            write_fraction=write_fraction,
+            skew=skew,
+        )
+        reports = run_load_campaigns(
+            options.seeds,
+            jobs=jobs,
+            algorithm=algorithm,
+            budget=options.budget,
+            backend=backend,
+            spec=spec,
+            n=n,
+        )
+        ok = print_reports(options.seeds, reports)
+    return 0 if ok else 1
+
+
 def _cmd_backends(_args: list[str]) -> int:
     from repro.backend import (
         CAPABILITY_NOTES,
@@ -430,6 +547,7 @@ _COMMANDS = {
     "fuzz": _cmd_fuzz,
     "replay": _cmd_replay,
     "latency": _cmd_latency,
+    "load": _cmd_load,
     "backends": _cmd_backends,
     "demo": _cmd_demo,
 }

@@ -13,6 +13,7 @@ from repro.backend.base import (
     Capabilities,
     CAPABILITY_NOTES,
     ClusterBackend,
+    OperationPipeline,
     backend_capabilities,
     backend_class,
     backend_names,
@@ -29,6 +30,7 @@ __all__ = [
     "Capabilities",
     "CAPABILITY_NOTES",
     "ClusterBackend",
+    "OperationPipeline",
     "AsyncioBackend",
     "SimBackend",
     "UdpBackend",

@@ -18,6 +18,8 @@ Harnesses program against the contract::
     create()    finish any asynchronous setup (idempotent)
     start()     launch the do-forever loops
     write()/snapshot()   invoke operations, recorded in .history
+    submit_write()/submit_snapshot()   pipelined (non-awaiting) submission
+    pipeline()  a depth-k client window over the submit path
     inject()    a TransientFaultInjector bound to this deployment
     partition()/heal()   connectivity control (real or modeled)
     .metrics / .history / .obs / .kernel / .network / .tracker
@@ -50,6 +52,7 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
 __all__ = [
     "Capabilities",
     "ClusterBackend",
+    "OperationPipeline",
     "BACKENDS",
     "backend_class",
     "backend_capabilities",
@@ -218,6 +221,10 @@ class ClusterBackend:
         self.obs = None
         self._started = False
         self._closed = False
+        #: Tail of the per-node pipelined-operation chain (see
+        #: :meth:`submit_write`): node id → the most recently submitted
+        #: operation's task.  Submissions to a node run strictly FIFO.
+        self._op_chains: dict[int, Any] = {}
         ambient = current_session()
         if ambient is not None:
             ambient.attach(self)
@@ -317,6 +324,56 @@ class ClusterBackend:
             obs.end_op(span)
         return result
 
+    # -- pipelined operation submission ------------------------------------
+
+    def _submit(self, node_id: int, factory) -> Any:
+        """Chain one operation onto ``node_id``'s FIFO dispatch queue.
+
+        Returns a task handle (``SimTask`` on the simulator,
+        ``asyncio.Task`` on the live backends) that completes with the
+        operation's result.  Operations submitted to the same node
+        dispatch strictly in submission order — the paper's model is one
+        sequential client per node (SWMR), and the algorithm objects
+        enforce it — so pipelining overlaps the *client's* round trips,
+        not a single node's protocol rounds.  Submissions to different
+        nodes genuinely run concurrently, which is the throughput axis
+        the load driver sweeps.
+
+        A failed operation rejects only its own handle; later submissions
+        on the same node still dispatch (the chain swallows predecessors'
+        exceptions — they are reported where they were submitted).
+        """
+        previous = self._op_chains.get(node_id)
+
+        async def chained() -> Any:
+            if previous is not None:
+                try:
+                    await previous
+                except BaseException:  # noqa: BLE001 - reported on its own handle
+                    pass
+            return await factory()
+
+        task = self.kernel.create_task(chained(), name=f"op@{node_id}")
+        self._op_chains[node_id] = task
+        return task
+
+    def submit_write(self, node_id: int, value: Any) -> Any:
+        """Pipelined :meth:`write`: enqueue and return a task handle.
+
+        Unlike ``await write(...)``, the caller keeps control immediately
+        and can have several operations in flight (see
+        :meth:`pipeline` for a bounded-depth client window).
+        """
+        return self._submit(node_id, lambda: self.write(node_id, value))
+
+    def submit_snapshot(self, node_id: int) -> Any:
+        """Pipelined :meth:`snapshot`: enqueue and return a task handle."""
+        return self._submit(node_id, lambda: self.snapshot(node_id))
+
+    def pipeline(self, depth: int = 4) -> "OperationPipeline":
+        """A depth-``depth`` client window over the submit path."""
+        return OperationPipeline(self, depth=depth)
+
     async def settle_cycles(self, cycles: int) -> None:
         """Let the cluster run for a number of asynchronous cycles."""
         self.capabilities.require("cycle_tracking", "settle_cycles()")
@@ -365,6 +422,73 @@ class ClusterBackend:
             f"n={self.config.n if getattr(self, 'config', None) else '?'} "
             f"backend={self.name}>"
         )
+
+
+class OperationPipeline:
+    """A client that keeps up to ``depth`` operations in flight.
+
+    Wraps a backend's submit path (:meth:`ClusterBackend.submit_write` /
+    :meth:`~ClusterBackend.submit_snapshot`) with a bounded window:
+    submitting past the depth awaits the *oldest* outstanding operation
+    first (classic pipelining back-pressure), so a closed-loop client
+    with ``depth=k`` always has ``k`` requests outstanding instead of
+    round-tripping serially.  ``depth=1`` degenerates to today's
+    one-at-a-time behaviour.
+
+    Handles returned by ``write``/``snapshot`` are the backend's task
+    objects; :meth:`drain` awaits everything still outstanding and
+    re-raises the first failure.
+    """
+
+    def __init__(self, cluster: ClusterBackend, depth: int = 4) -> None:
+        if depth < 1:
+            raise ConfigurationError(f"pipeline depth must be >= 1, got {depth}")
+        self.cluster = cluster
+        self.depth = depth
+        self._window: list[Any] = []
+
+    @property
+    def in_flight(self) -> int:
+        """Operations submitted but not yet awaited out of the window."""
+        return len(self._window)
+
+    async def reserve(self) -> None:
+        """Await completions until the window has a free slot.
+
+        The back-pressure half of the pipeline: with ``depth`` operations
+        outstanding this awaits the *oldest* until fewer than ``depth``
+        remain, so a client that reserves before every submission keeps
+        exactly ``depth`` requests in flight (``depth=1`` is genuinely
+        serial).  Failures of awaited operations propagate here.
+        """
+        while len(self._window) >= self.depth:
+            await self._window.pop(0)
+
+    def admit(self, task: Any) -> Any:
+        """Add an already-submitted task to the window (no back-pressure).
+
+        For callers (like the load driver) that submit through
+        ``submit_write``/``submit_snapshot`` themselves — to timestamp
+        the submission — after :meth:`reserve` freed a slot.
+        """
+        self._window.append(task)
+        return task
+
+    async def write(self, node_id: int, value: Any) -> Any:
+        """Submit a write once a slot is free; returns its task handle."""
+        await self.reserve()
+        return self.admit(self.cluster.submit_write(node_id, value))
+
+    async def snapshot(self, node_id: int) -> Any:
+        """Submit a snapshot once a slot is free; returns its task handle."""
+        await self.reserve()
+        return self.admit(self.cluster.submit_snapshot(node_id))
+
+    async def drain(self) -> None:
+        """Await every outstanding operation (first failure re-raises)."""
+        window, self._window = self._window, []
+        for task in window:
+            await task
 
 
 async def create_backend(

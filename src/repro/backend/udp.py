@@ -18,6 +18,7 @@ than ``__init__``::
 from __future__ import annotations
 
 import asyncio
+import warnings
 
 from repro.analysis.metrics import MetricsCollector
 from repro.backend.base import BACKENDS, Capabilities, ClusterBackend
@@ -121,6 +122,13 @@ class UdpSnapshotCluster(UdpBackend):
         time_scale: float = 0.01,
     ) -> "UdpSnapshotCluster":
         """Bind sockets, build the processes, start the do-forever loops."""
+        warnings.warn(
+            "UdpSnapshotCluster is deprecated; use "
+            "await repro.backend.create_backend('udp', ...) or "
+            "repro.backend.udp.UdpBackend",
+            DeprecationWarning,
+            stacklevel=2,
+        )
         self = object.__new__(cls)
         UdpBackend.__init__(self, algorithm, config, time_scale=time_scale)
         await UdpBackend.create(self)

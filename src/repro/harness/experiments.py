@@ -1,6 +1,6 @@
 """Experiment registry and command-line runner.
 
-``python -m repro.harness.experiments`` runs every experiment (E1–E16)
+``python -m repro.harness.experiments`` runs every experiment (E1–E18)
 and prints its table; ``python -m repro.harness.experiments e07 e09``
 runs a subset, and ``--jobs N`` fans the selected experiments out across
 ``N`` worker processes (the printed output is byte-identical to a serial
@@ -38,6 +38,7 @@ from repro.harness.recovery import (
     e14_bounded_reset,
 )
 from repro.harness.report import print_table
+from repro.load.experiments import e17_throughput_vs_n, e18_delta_vs_throughput
 
 __all__ = [
     "BACKEND_AWARE",
@@ -113,12 +114,20 @@ EXPERIMENTS: dict[str, tuple[str, Callable[[], list[dict]]]] = {
         "E16 / deployment — backend parity: msgs/op on sim vs asyncio vs UDP",
         e16_backend_parity,
     ),
+    "e17": (
+        "E17 / deployment — saturated throughput vs n, serial vs pipelined",
+        e17_throughput_vs_n,
+    ),
+    "e18": (
+        "E18 / Contribution 2 — delta vs throughput and snapshot tails under load",
+        e18_delta_vs_throughput,
+    ),
 }
 
 #: Experiments that accept a ``backend`` kwarg; ``--backend`` restricts
 #: the selection to these (the rest measure simulator-only quantities
 #: like cycle counts and deterministic schedules).
-BACKEND_AWARE = frozenset({"e16"})
+BACKEND_AWARE = frozenset({"e16", "e17", "e18"})
 
 
 def run_experiment(experiment_id: str) -> list[dict]:

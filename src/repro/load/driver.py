@@ -1,0 +1,431 @@
+"""Open- and closed-loop load generation against any cluster backend.
+
+Every harness before this module issued one operation at a time, so the
+paper's headline economics — one round trip per operation, throughput
+that scales with *concurrent* clients — were never measured.  The load
+driver closes that gap:
+
+* **closed loop** — ``clients`` concurrent clients, each keeping
+  ``depth`` operations in flight through an
+  :class:`~repro.backend.base.OperationPipeline` and submitting the next
+  the moment a window slot frees.  Measures the system's service
+  capacity.
+* **open loop** — operations *arrive* at an offered rate ``rate``
+  (seeded-Poisson inter-arrival gaps) regardless of completions, so
+  queueing delay becomes visible: past the saturation point latency
+  diverges while throughput flattens.  This is the mode the
+  :mod:`repro.load.sweep` knee-finder drives.
+
+The **contention dimension** is the operation mix: ``write_fraction``
+sets the writers:scanners ratio and ``skew`` concentrates traffic on
+low-numbered nodes (a Zipf-like weight ``1/(rank+1)^skew``), which for
+the stacked ABD construction is per-key skew — node *i*'s register is
+key *i*.  Per-operation latency lands in
+:class:`~repro.obs.registry.QuantileHistogram` instruments of a
+:class:`~repro.obs.registry.MetricsRegistry` (p50/p95/p99), and the
+recorded operation history is checked for linearizability at the end, so
+a load run is also a correctness campaign.
+
+On the ``sim`` backend a load run is fully deterministic: same
+:class:`LoadSpec` + same seed ⇒ identical operation history.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field, replace
+from typing import Any
+
+from repro.analysis.linearizability import check_snapshot_history
+from repro.backend.base import run_on_backend
+from repro.config import ClusterConfig, scenario_config
+from repro.errors import ConfigurationError
+from repro.obs.registry import MetricsRegistry
+
+__all__ = [
+    "CLOSED",
+    "OPEN",
+    "LoadSpec",
+    "LoadReport",
+    "parse_mix",
+    "run_load",
+    "run_load_campaigns",
+]
+
+CLOSED = "closed"
+OPEN = "open"
+
+
+def parse_mix(mix: str) -> float:
+    """``"writers:scanners"`` (e.g. ``"8:2"``) → write fraction."""
+    try:
+        writers_str, scanners_str = mix.split(":")
+        writers, scanners = float(writers_str), float(scanners_str)
+    except ValueError:
+        raise ConfigurationError(
+            f"mix must look like 'writers:scanners' (e.g. '8:2'), got {mix!r}"
+        ) from None
+    if writers < 0 or scanners < 0 or writers + scanners <= 0:
+        raise ConfigurationError(f"mix needs non-negative weights, got {mix!r}")
+    return writers / (writers + scanners)
+
+
+@dataclass(frozen=True, slots=True)
+class LoadSpec:
+    """One load-generation run, fully described.
+
+    Attributes
+    ----------
+    mode:
+        ``"closed"`` (clients self-clock on completions) or ``"open"``
+        (arrivals at ``rate``, independent of completions).
+    clients:
+        Concurrent clients (closed loop only).
+    depth:
+        Pipeline depth per closed-loop client — operations each client
+        keeps in flight (``1`` = today's serial round-tripping).
+    rate:
+        Offered load in operations per simulated time unit (open loop
+        only).
+    duration:
+        Length of the submission window in simulated time units; after
+        it closes, outstanding operations drain and are still measured.
+    write_fraction:
+        Probability an operation is a write (the writers:scanners mix;
+        see :func:`parse_mix`).
+    skew:
+        Zipf-like exponent concentrating operations on low node ids
+        (``0`` = uniform).  Per-key skew for the stacked construction.
+    seed:
+        Seeds the workload's own RNG (op kinds, targets, arrival gaps).
+        Distinct from the cluster seed so workload and schedule vary
+        independently.
+    """
+
+    mode: str = CLOSED
+    clients: int = 8
+    depth: int = 1
+    rate: float | None = None
+    duration: float = 60.0
+    write_fraction: float = 0.8
+    skew: float = 0.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.mode not in (CLOSED, OPEN):
+            raise ConfigurationError(
+                f"mode must be {CLOSED!r} or {OPEN!r}, got {self.mode!r}"
+            )
+        if self.mode == OPEN and (self.rate is None or self.rate <= 0):
+            raise ConfigurationError("open-loop load needs a positive rate")
+        if self.clients < 1:
+            raise ConfigurationError(f"clients must be >= 1, got {self.clients}")
+        if self.depth < 1:
+            raise ConfigurationError(f"depth must be >= 1, got {self.depth}")
+        if self.duration <= 0:
+            raise ConfigurationError(
+                f"duration must be positive, got {self.duration}"
+            )
+        if not 0.0 <= self.write_fraction <= 1.0:
+            raise ConfigurationError(
+                f"write_fraction must be in [0, 1], got {self.write_fraction}"
+            )
+        if self.skew < 0:
+            raise ConfigurationError(f"skew must be >= 0, got {self.skew}")
+
+
+@dataclass(slots=True)
+class LoadReport:
+    """Outcome of one load run — the unified campaign report protocol."""
+
+    backend: str
+    algorithm: str
+    n: int
+    spec: LoadSpec
+    offered_rate: float | None
+    submitted: int
+    completed: int
+    errors: int
+    elapsed: float
+    throughput: float
+    latency: dict[str, dict[str, float]]
+    metrics: dict[str, Any]
+    failures: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """True when the saturated history checked out linearizable."""
+        return not self.failures
+
+    def quantile(self, kind: str, q: str) -> float:
+        """Convenience accessor, e.g. ``report.quantile("write", "p99")``."""
+        return self.latency[kind][q]
+
+    def row(self) -> dict[str, Any]:
+        """Flatten into one table/JSON row (what the sweep serializes)."""
+        return {
+            "backend": self.backend,
+            "algorithm": self.algorithm,
+            "n": self.n,
+            "mode": self.spec.mode,
+            "offered_rate": self.offered_rate,
+            "submitted": self.submitted,
+            "completed": self.completed,
+            "errors": self.errors,
+            "elapsed": round(self.elapsed, 2),
+            "throughput": round(self.throughput, 3),
+            "p50": round(self.latency["all"]["p50"], 2),
+            "p99": round(self.latency["all"]["p99"], 2),
+            "write_p50": round(self.latency["write"]["p50"], 2),
+            "write_p99": round(self.latency["write"]["p99"], 2),
+            "snapshot_p50": round(self.latency["snapshot"]["p50"], 2),
+            "snapshot_p99": round(self.latency["snapshot"]["p99"], 2),
+            "linearizable": self.ok,
+        }
+
+    def summary(self) -> str:
+        """One line per run, campaign-style."""
+        mode = self.spec.mode
+        offered = (
+            f" offered {self.offered_rate:g} op/u," if self.offered_rate else ""
+        )
+        return (
+            f"{mode} load on {self.backend} ({self.algorithm}, n={self.n}):"
+            f"{offered} {self.completed} ops in {self.elapsed:.1f}u = "
+            f"{self.throughput:.2f} op/u, p50 {self.latency['all']['p50']:.1f}u"
+            f" p99 {self.latency['all']['p99']:.1f}u, "
+            f"{'linearizable' if self.ok else 'VIOLATIONS'}"
+        )
+
+
+class LoadGenerator:
+    """Drives one cluster with one :class:`LoadSpec`; collects metrics."""
+
+    def __init__(
+        self,
+        cluster: Any,
+        spec: LoadSpec,
+        registry: MetricsRegistry | None = None,
+    ) -> None:
+        self.cluster = cluster
+        self.spec = spec
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.rng = random.Random(spec.seed)
+        n = cluster.config.n
+        self._nodes = list(range(n))
+        self._weights = [1.0 / (rank + 1) ** spec.skew for rank in range(n)]
+        self._in_flight = 0
+        self._last_completion = 0.0
+        self.submitted = 0
+        self.errors = 0
+
+    # -- op drawing --------------------------------------------------------
+
+    def _draw_op(self) -> tuple[str, int]:
+        kind = (
+            "write"
+            if self.rng.random() < self.spec.write_fraction
+            else "snapshot"
+        )
+        node = self.rng.choices(self._nodes, weights=self._weights)[0]
+        return kind, node
+
+    # -- measurement -------------------------------------------------------
+
+    def _track(self, task: Any, kind: str) -> None:
+        kernel = self.cluster.kernel
+        submitted_at = kernel.now
+        self.submitted += 1
+        self._in_flight += 1
+        gauge = self.registry.gauge("load.max_in_flight")
+        if self._in_flight > gauge.value:
+            gauge.set(self._in_flight)
+        hist = self.registry.quantile_histogram(f"load.{kind}_latency")
+        overall = self.registry.quantile_histogram("load.latency")
+
+        def _on_done(done: Any) -> None:
+            self._in_flight -= 1
+            failed = done.cancelled() or done.exception() is not None
+            if failed:
+                self.errors += 1
+                self.registry.counter("load.ops_failed").inc()
+                return
+            latency = kernel.now - submitted_at
+            hist.observe(latency)
+            overall.observe(latency)
+            self.registry.counter("load.ops_completed").inc()
+            self.registry.counter(f"load.{kind}s_completed").inc()
+            self._last_completion = kernel.now
+
+        task.add_done_callback(_on_done)
+
+    def _submit(self, kind: str, node: int) -> Any:
+        if kind == "write":
+            payload = (node, self.submitted)
+            task = self.cluster.submit_write(node, payload)
+        else:
+            task = self.cluster.submit_snapshot(node)
+        self._track(task, kind)
+        return task
+
+    # -- the two loop disciplines -----------------------------------------
+
+    async def _closed_client(self, deadline: float) -> None:
+        kernel = self.cluster.kernel
+        pipeline = self.cluster.pipeline(depth=self.spec.depth)
+        while kernel.now < deadline:
+            try:
+                await pipeline.reserve()
+            except Exception:  # counted by _track's done callback
+                pass
+            if kernel.now >= deadline:
+                break
+            kind, node = self._draw_op()
+            pipeline.admit(self._submit(kind, node))
+        try:
+            await pipeline.drain()
+        except Exception:
+            pass
+
+    async def _open_generator(self, deadline: float) -> None:
+        kernel = self.cluster.kernel
+        rate = self.spec.rate
+        while True:
+            await kernel.sleep(self.rng.expovariate(rate))
+            if kernel.now >= deadline:
+                return
+            kind, node = self._draw_op()
+            self._submit(kind, node)
+
+    async def run(self) -> None:
+        """Submit for ``spec.duration``, then drain every outstanding op."""
+        kernel = self.cluster.kernel
+        start = kernel.now
+        self._start = start
+        self._last_completion = start
+        deadline = start + self.spec.duration
+        if self.spec.mode == CLOSED:
+            clients = [
+                kernel.create_task(
+                    self._closed_client(deadline), name=f"load-client{i}"
+                )
+                for i in range(self.spec.clients)
+            ]
+            for client in clients:
+                await client
+        else:
+            await self._open_generator(deadline)
+        # Drain: every per-node chain tail subsumes its predecessors.
+        for tail in list(self.cluster._op_chains.values()):
+            try:
+                await tail
+            except Exception:
+                pass
+
+    # -- reporting ---------------------------------------------------------
+
+    def report(self, backend: str, failures: list[str]) -> LoadReport:
+        """Package the run's measurements (call after :meth:`run`)."""
+
+        def stats(name: str) -> dict[str, float]:
+            return self.registry.quantile_histogram(name).value
+
+        completed = self.registry.counter("load.ops_completed").value
+        elapsed = max(self._last_completion - self._start, 1e-9)
+        return LoadReport(
+            backend=backend,
+            algorithm=self.cluster.algorithm_name,
+            n=self.cluster.config.n,
+            spec=self.spec,
+            offered_rate=self.spec.rate,
+            submitted=self.submitted,
+            completed=completed,
+            errors=self.errors,
+            elapsed=elapsed,
+            throughput=completed / elapsed,
+            latency={
+                "all": stats("load.latency"),
+                "write": stats("load.write_latency"),
+                "snapshot": stats("load.snapshot_latency"),
+            },
+            metrics=self.registry.collect(),
+            failures=failures,
+        )
+
+
+def run_load(
+    backend: str = "sim",
+    algorithm: str = "ss-nonblocking",
+    config: ClusterConfig | None = None,
+    spec: LoadSpec | None = None,
+    *,
+    time_scale: float = 0.002,
+    check: bool = True,
+) -> LoadReport:
+    """Run one load generation pass on the named backend.
+
+    Deploys a cluster via :func:`~repro.backend.base.run_on_backend`,
+    drives it with ``spec`` (default: a closed-loop mixed workload), and
+    returns a :class:`LoadReport`.  With ``check`` (the default) the
+    recorded operation history is verified well-formed and linearizable;
+    violations land in ``report.failures``.
+    """
+    spec = spec if spec is not None else LoadSpec()
+    config = config if config is not None else scenario_config(n=4, delta=2)
+
+    async def body(cluster: Any) -> LoadReport:
+        generator = LoadGenerator(cluster, spec)
+        await generator.run()
+        failures: list[str] = []
+        if check:
+            cluster.history.validate_well_formed()
+            verdict = check_snapshot_history(
+                cluster.history.records(), n=cluster.config.n
+            )
+            if not verdict.ok:
+                failures.extend(verdict.violations)
+        return generator.report(backend, failures)
+
+    return run_on_backend(
+        backend, algorithm, config, body, time_scale=time_scale, max_events=None
+    )
+
+
+def run_load_campaigns(
+    seeds: list[int],
+    jobs: int = 1,
+    algorithm: str = "ss-nonblocking",
+    budget: int = 60,
+    backend: str = "sim",
+    spec: LoadSpec | None = None,
+    n: int = 4,
+    delta: float = 2,
+    time_scale: float = 0.002,
+) -> list[LoadReport]:
+    """One load run per seed — the unified campaign entry point.
+
+    ``budget`` is the submission-window duration in simulated time
+    units.  Load measurements are throughput-sensitive, so runs always
+    execute serially; asking for ``--jobs`` > 1 off-sim raises the
+    shared capability error.
+    """
+    from repro.backend import backend_capabilities
+
+    capabilities = backend_capabilities(backend)  # validates the name
+    if jobs > 1:
+        capabilities.require("process_fanout", f"--jobs {jobs}")
+    base = spec if spec is not None else LoadSpec()
+    reports = []
+    for seed in seeds:
+        run_spec = replace(base, seed=seed, duration=float(budget))
+        config = scenario_config(n=n, seed=seed, delta=delta)
+        reports.append(
+            run_load(
+                backend=backend,
+                algorithm=algorithm,
+                config=config,
+                spec=run_spec,
+                time_scale=time_scale,
+            )
+        )
+    return reports

@@ -1,0 +1,119 @@
+"""Load-generation experiments: E17 (throughput vs n) and E18 (δ vs load).
+
+Everything before the load driver measured *unloaded* operation costs —
+one client, one round trip at a time.  These two experiments measure the
+paper's algorithms as deployed systems under saturation:
+
+* **E17** — closed-loop capacity as the cluster grows, serial
+  (``depth=1``) vs pipelined (``depth=4``) clients.  The paper's
+  one-round-trip write (Algorithm 1) predicts capacity ≈ ``n/2``
+  op/unit with default channel delays; pipelining overlaps the client's
+  round trips and should approach it even with few clients.
+* **E18** — the δ trade-off under real load: Algorithm 3's δ knob delays
+  snapshot helping until δ concurrent writes are observed.  E10 measured
+  its *message* cost; here we measure what a saturated mixed workload
+  actually experiences — aggregate throughput and snapshot tail latency
+  as δ grows.
+
+Both experiments are backend-aware (``--backend asyncio|udp`` runs the
+same workload on live substrates) and, like every registered experiment,
+pure functions of their seed.
+"""
+
+from __future__ import annotations
+
+from repro.config import scenario_config
+from repro.load.driver import CLOSED, LoadSpec, run_load
+
+__all__ = ["e17_throughput_vs_n", "e18_delta_vs_throughput"]
+
+
+def e17_throughput_vs_n(
+    backend=None, ns=(2, 4, 8), duration=30.0, seed=0
+):
+    """E17 / deployment — saturated throughput vs cluster size.
+
+    For each ``n``, drives ``n`` closed-loop clients (80:20
+    write:snapshot mix) twice: serial clients (``depth=1``, today's
+    one-round-trip-at-a-time behaviour) and pipelined clients
+    (``depth=4``).  Tabulates achieved throughput and tail latency;
+    ``pipelining_gain`` is the throughput ratio.
+    """
+    backend = backend or "sim"
+    rows = []
+    for n in ns:
+        by_depth = {}
+        for depth in (1, 4):
+            spec = LoadSpec(
+                mode=CLOSED,
+                clients=n,
+                depth=depth,
+                duration=duration,
+                write_fraction=0.8,
+                seed=seed,
+            )
+            by_depth[depth] = run_load(
+                backend=backend,
+                algorithm="ss-nonblocking",
+                config=scenario_config(n=n, seed=seed, delta=2),
+                spec=spec,
+            )
+        serial, pipelined = by_depth[1], by_depth[4]
+        rows.append(
+            {
+                "backend": backend,
+                "n": n,
+                "clients": n,
+                "throughput_serial": round(serial.throughput, 2),
+                "throughput_depth4": round(pipelined.throughput, 2),
+                "pipelining_gain": round(
+                    pipelined.throughput / max(serial.throughput, 1e-9), 2
+                ),
+                "p50_depth4": round(pipelined.latency["all"]["p50"], 1),
+                "p99_depth4": round(pipelined.latency["all"]["p99"], 1),
+                "linearizable": serial.ok and pipelined.ok,
+            }
+        )
+    return rows
+
+
+def e18_delta_vs_throughput(
+    backend=None, deltas=(0, 2, 8), n=5, duration=30.0, seed=0
+):
+    """E18 / Contribution 2 — δ vs throughput and snapshot tails under load.
+
+    Saturated closed-loop mixed workload (70:30 write:snapshot, ``n``
+    pipelined clients) against Algorithm 3 (``ss-always``) at several δ.
+    Larger δ lets writes run longer before snapshot helping blocks them —
+    higher write throughput, longer snapshot tails — the same trade-off
+    E10 showed in messages, now in operations per time unit.
+    """
+    backend = backend or "sim"
+    rows = []
+    for delta in deltas:
+        spec = LoadSpec(
+            mode=CLOSED,
+            clients=n,
+            depth=2,
+            duration=duration,
+            write_fraction=0.7,
+            seed=seed,
+        )
+        report = run_load(
+            backend=backend,
+            algorithm="ss-always",
+            config=scenario_config(n=n, seed=seed, delta=delta),
+            spec=spec,
+        )
+        rows.append(
+            {
+                "backend": backend,
+                "delta": delta,
+                "throughput": round(report.throughput, 2),
+                "write_p50": round(report.latency["write"]["p50"], 1),
+                "snapshot_p50": round(report.latency["snapshot"]["p50"], 1),
+                "snapshot_p99": round(report.latency["snapshot"]["p99"], 1),
+                "linearizable": report.ok,
+            }
+        )
+    return rows

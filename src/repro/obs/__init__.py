@@ -31,7 +31,13 @@ from repro.obs.observe import (
     current_session,
     session,
 )
-from repro.obs.registry import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.registry import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    QuantileHistogram,
+)
 from repro.obs.spans import Span, SpanRecorder
 
 __all__ = [
@@ -45,6 +51,7 @@ __all__ = [
     "Counter",
     "Gauge",
     "Histogram",
+    "QuantileHistogram",
     "Span",
     "SpanRecorder",
 ]

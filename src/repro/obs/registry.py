@@ -18,11 +18,18 @@ Design constraints, inherited from the determinism contract:
 
 from __future__ import annotations
 
+import math
 from typing import Any, Callable
 
 from repro.errors import ObservabilityError
 
-__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry"]
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "QuantileHistogram",
+    "MetricsRegistry",
+]
 
 
 class Counter:
@@ -104,12 +111,97 @@ class Histogram:
         }
 
 
+class QuantileHistogram:
+    """A log-bucketed histogram with quantile estimates (p50/p95/p99).
+
+    The load driver needs tail latencies, which the streaming
+    :class:`Histogram` cannot provide (it keeps no distribution).  This
+    instrument buckets samples geometrically (±2.5% relative error per
+    bucket at the default growth factor), so memory stays bounded and —
+    like every registry instrument — recording never draws RNG or
+    schedules kernel events, preserving the determinism contract.
+
+    ``value`` extends the plain histogram's summary with ``p50``, ``p95``
+    and ``p99``, so the exporters serialize it with no schema changes.
+    """
+
+    __slots__ = ("name", "_growth", "_buckets", "_count", "_sum", "_min", "_max")
+
+    #: Relative bucket width: consecutive bucket boundaries differ by 5%.
+    GROWTH = 1.05
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._growth = math.log(self.GROWTH)
+        self._buckets: dict[int, int] = {}
+        self._count = 0
+        self._sum = 0.0
+        self._min = 0.0
+        self._max = 0.0
+
+    def observe(self, value: float) -> None:
+        """Record one sample (negative samples clamp to zero)."""
+        if value < 0.0:
+            value = 0.0
+        if self._count == 0:
+            self._min = self._max = value
+        else:
+            if value < self._min:
+                self._min = value
+            if value > self._max:
+                self._max = value
+        self._count += 1
+        self._sum += value
+        index = 0 if value < 1e-9 else int(math.log(value) / self._growth) + 1
+        self._buckets[index] = self._buckets.get(index, 0) + 1
+
+    def quantile(self, q: float) -> float:
+        """Estimate the ``q``-quantile (``0 <= q <= 1``) of the samples."""
+        if not 0.0 <= q <= 1.0:
+            raise ObservabilityError(f"quantile must be in [0, 1], got {q}")
+        if self._count == 0:
+            return 0.0
+        rank = max(1, math.ceil(q * self._count))
+        seen = 0
+        for index in sorted(self._buckets):
+            seen += self._buckets[index]
+            if seen >= rank:
+                if index == 0:
+                    return max(self._min, 0.0)
+                # Geometric midpoint of the bucket, clamped to the
+                # observed range so estimates never leave [min, max].
+                mid = math.exp((index - 0.5) * self._growth)
+                return min(max(mid, self._min), self._max)
+        return self._max  # pragma: no cover - rank <= count always hits
+
+    @property
+    def count(self) -> int:
+        """Number of samples observed so far."""
+        return self._count
+
+    @property
+    def value(self) -> dict[str, float]:
+        """Summary statistics plus the three standard tail quantiles."""
+        count = self._count
+        return {
+            "count": count,
+            "sum": self._sum,
+            "min": self._min,
+            "max": self._max,
+            "mean": self._sum / count if count else 0.0,
+            "p50": self.quantile(0.50),
+            "p95": self.quantile(0.95),
+            "p99": self.quantile(0.99),
+        }
+
+
 class MetricsRegistry:
     """Named instruments plus pull-style collector callbacks.
 
-    ``counter``/``gauge``/``histogram`` are get-or-create: asking for the
-    same name twice returns the same instrument; asking for it with a
-    different instrument type raises :class:`ObservabilityError`.
+    ``counter``/``gauge``/``histogram``/``quantile_histogram`` are
+    get-or-create: asking for the same name twice returns the same
+    instrument; asking for it with a different instrument type raises
+    :class:`ObservabilityError`.
     """
 
     def __init__(self) -> None:
@@ -139,6 +231,10 @@ class MetricsRegistry:
     def histogram(self, name: str) -> Histogram:
         """Get or create the histogram ``name``."""
         return self._get_or_create(name, Histogram)
+
+    def quantile_histogram(self, name: str) -> QuantileHistogram:
+        """Get or create the quantile histogram ``name``."""
+        return self._get_or_create(name, QuantileHistogram)
 
     def add_collector(
         self, collector: Callable[["MetricsRegistry"], None]

@@ -21,6 +21,8 @@ Usage::
 
 from __future__ import annotations
 
+import warnings
+
 from repro.backend.aio import AsyncioBackend
 
 __all__ = ["AsyncioSnapshotCluster"]
@@ -43,3 +45,13 @@ class AsyncioSnapshotCluster(AsyncioBackend):
     callbacks at construction).  Call ``start()`` to launch the
     do-forever loops and ``stop()`` before discarding the cluster.
     """
+
+    def __init__(self, *args, **kwargs) -> None:
+        warnings.warn(
+            "AsyncioSnapshotCluster is deprecated; use "
+            "repro.backend.create_backend('asyncio', ...) or "
+            "repro.backend.aio.AsyncioBackend",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        super().__init__(*args, **kwargs)

@@ -1,0 +1,117 @@
+"""Executable documentation: docs/*.md code blocks run, links resolve.
+
+Extends the README pattern (``tests/test_readme.py``) to the whole
+documentation set:
+
+* every ```` ```python ```` block in ``docs/*.md`` is **executed**
+  (blocks within one file share a namespace, doctest-session style, so
+  a later block may use an earlier block's imports).  Blocks that
+  cannot run standalone opt out explicitly:
+
+  - a block containing top-level ``await`` is compiled with
+    ``PyCF_ALLOW_TOP_LEVEL_AWAIT`` (syntax-checked) but not executed —
+    it needs a live event loop and a cluster;
+  - a block preceded by an HTML comment ``<!-- docs-snippet: no-exec -->``
+    on the line above its fence is compiled but not executed.
+
+* every **relative markdown link** in ``README.md`` and ``docs/*.md``
+  must point at a file or directory that exists (anchors stripped;
+  ``http(s)``/``mailto`` links are out of scope).
+
+Adding a doc snippet that doesn't run — or a link to a file that was
+renamed — fails this module, which is what keeps the docs audited.
+"""
+
+import ast
+import pathlib
+import re
+
+import pytest
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+DOCS = sorted((ROOT / "docs").glob("*.md"))
+LINKED_SOURCES = [ROOT / "README.md", *DOCS]
+
+NO_EXEC_MARKER = "<!-- docs-snippet: no-exec -->"
+_BLOCK_RE = re.compile(r"(^|\n)([^\n]*)\n```python\n(.*?)```", re.DOTALL)
+_LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+
+
+def _doc_blocks(path: pathlib.Path):
+    """Yield ``(preceding_line, source, line_number)`` per python block."""
+    text = path.read_text()
+    for match in _BLOCK_RE.finditer(text):
+        line = text[: match.start(3)].count("\n") + 1
+        yield match.group(2).strip(), match.group(3), line
+
+
+def _needs_event_loop(source: str) -> bool:
+    """True when the block only compiles with top-level ``await``.
+
+    ``ast.parse`` accepts top-level ``await`` (the grammar allows it;
+    the error surfaces at bytecode generation), so probe with
+    ``compile`` and retry under ``PyCF_ALLOW_TOP_LEVEL_AWAIT``. A block
+    that fails both compiles is genuinely broken and raises here.
+    """
+    try:
+        compile(source, "<doc-block>", "exec")
+    except SyntaxError:
+        compile(source, "<doc-block>", "exec", flags=ast.PyCF_ALLOW_TOP_LEVEL_AWAIT)
+        return True
+    return False
+
+
+def _cases():
+    for path in DOCS:
+        for preceding, source, line in _doc_blocks(path):
+            yield pytest.param(
+                path, preceding, source,
+                id=f"{path.name}:{line}",
+            )
+
+
+@pytest.fixture(scope="module")
+def doc_namespaces():
+    """One shared namespace per documentation file (session style)."""
+    return {}
+
+
+@pytest.mark.parametrize("path,preceding,source", list(_cases()))
+def test_docs_python_block(path, preceding, source, doc_namespaces):
+    label = f"{path.name} block"
+    if _needs_event_loop(source):
+        # Top-level await: syntax-check only (needs a cluster + loop).
+        compile(
+            source, label, "exec",
+            flags=ast.PyCF_ALLOW_TOP_LEVEL_AWAIT,
+        )
+        return
+    code = compile(source, label, "exec")
+    if preceding == NO_EXEC_MARKER:
+        return
+    namespace = doc_namespaces.setdefault(path.name, {})
+    exec(code, namespace)  # noqa: S102 - executing our own documentation
+
+
+def test_every_doc_has_been_collected():
+    # A rename that empties DOCS would silently skip everything above.
+    names = {path.name for path in DOCS}
+    assert {
+        "api.md", "architecture.md", "benchmarking.md", "faq.md",
+        "observability.md", "runtimes.md", "verification.md",
+    } <= names
+
+
+@pytest.mark.parametrize(
+    "path", LINKED_SOURCES, ids=lambda p: str(p.relative_to(ROOT))
+)
+def test_relative_links_resolve(path):
+    text = path.read_text()
+    broken = []
+    for target in _LINK_RE.findall(text):
+        if target.startswith(("http://", "https://", "mailto:", "#")):
+            continue
+        resolved = (path.parent / target.split("#", 1)[0]).resolve()
+        if not resolved.exists():
+            broken.append(target)
+    assert not broken, f"{path.name}: broken relative links {broken}"

@@ -14,8 +14,11 @@ EXAMPLES = pathlib.Path(__file__).resolve().parent.parent / "examples"
 
 
 def run_example(name, timeout=240):
+    # -W error::DeprecationWarning: the examples are the library's
+    # showcase, so they must not lean on deprecated facades.
     result = subprocess.run(
-        [sys.executable, str(EXAMPLES / name)],
+        [sys.executable, "-W", "error::DeprecationWarning",
+         str(EXAMPLES / name)],
         capture_output=True,
         text=True,
         timeout=timeout,

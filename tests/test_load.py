@@ -1,0 +1,352 @@
+"""Load-generation subsystem: specs, pipelining, reports, sweeps, CLI."""
+
+import importlib.util
+import json
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+from repro.backend.base import OperationPipeline, run_on_backend
+from repro.config import scenario_config
+from repro.errors import ConfigurationError
+from repro.load import (
+    KNEE_EFFICIENCY,
+    OPEN,
+    LoadReport,
+    LoadSpec,
+    SweepResult,
+    default_rate_ladder,
+    parse_mix,
+    run_load,
+    run_load_campaigns,
+    sweep_rates,
+    write_bench,
+)
+from repro.load.driver import LoadGenerator
+from repro.obs.registry import QuantileHistogram
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+
+class TestParseMix:
+    def test_standard_mixes(self):
+        assert parse_mix("8:2") == pytest.approx(0.8)
+        assert parse_mix("1:1") == pytest.approx(0.5)
+        assert parse_mix("0:1") == 0.0
+        assert parse_mix("1:0") == 1.0
+
+    @pytest.mark.parametrize("bad", ["x", "1", "1:2:3", "-1:2", "0:0"])
+    def test_rejects_malformed(self, bad):
+        with pytest.raises(ConfigurationError):
+            parse_mix(bad)
+
+
+class TestLoadSpec:
+    def test_defaults_are_closed_loop(self):
+        spec = LoadSpec()
+        assert spec.mode == "closed"
+        assert spec.depth == 1
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"mode": "bogus"},
+            {"mode": OPEN},  # open loop without a rate
+            {"mode": OPEN, "rate": 0.0},
+            {"clients": 0},
+            {"depth": 0},
+            {"duration": 0.0},
+            {"write_fraction": 1.5},
+            {"skew": -0.1},
+        ],
+    )
+    def test_rejects_invalid(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            LoadSpec(**kwargs)
+
+
+class TestQuantileHistogram:
+    def test_quantiles_track_uniform_samples(self):
+        hist = QuantileHistogram("t")
+        for value in range(1, 1001):
+            hist.observe(float(value))
+        assert hist.count == 1000
+        # Log-bucketing promises ~±2.5% relative error per bucket.
+        assert hist.quantile(0.50) == pytest.approx(500, rel=0.06)
+        assert hist.quantile(0.99) == pytest.approx(990, rel=0.06)
+        summary = hist.value
+        assert summary["min"] == 1.0 and summary["max"] == 1000.0
+        assert summary["p50"] <= summary["p95"] <= summary["p99"]
+
+    def test_empty_and_clamped_samples(self):
+        hist = QuantileHistogram("t")
+        assert hist.value["p99"] == 0.0
+        hist.observe(-5.0)  # clamps to zero rather than corrupting buckets
+        assert hist.value["max"] == 0.0
+        assert hist.quantile(0.5) == 0.0
+
+
+class TestOperationPipeline:
+    def test_depth_must_be_positive(self):
+        def body_factory(depth):
+            async def body(cluster):
+                cluster.pipeline(depth=depth)
+
+            return body
+
+        with pytest.raises(ConfigurationError):
+            run_on_backend(
+                "sim", "ss-always", scenario_config(n=3), body_factory(0)
+            )
+
+    def test_depth_one_is_serial(self):
+        async def body(cluster):
+            pipeline = cluster.pipeline(depth=1)
+            first = await pipeline.write(0, b"a")
+            second = await pipeline.write(1, b"b")
+            # Reserving for the second op awaited the first to completion.
+            assert first.done()
+            assert pipeline.in_flight == 1
+            await pipeline.drain()
+            assert second.done()
+            assert pipeline.in_flight == 0
+
+        run_on_backend("sim", "ss-always", scenario_config(n=3), body)
+
+    def test_window_never_exceeds_depth(self):
+        async def body(cluster):
+            pipeline = cluster.pipeline(depth=2)
+            for node in range(4):
+                await pipeline.write(node % cluster.config.n, node)
+                assert pipeline.in_flight <= 2
+            await pipeline.drain()
+
+        run_on_backend("sim", "ss-nonblocking", scenario_config(n=4), body)
+
+    def test_pipeline_is_an_operation_pipeline(self):
+        async def body(cluster):
+            assert isinstance(cluster.pipeline(), OperationPipeline)
+
+        run_on_backend("sim", "ss-always", scenario_config(n=3), body)
+
+
+class TestSubmitChaining:
+    def test_same_node_submissions_dispatch_fifo(self):
+        async def body(cluster):
+            tasks = [cluster.submit_write(0, value) for value in range(3)]
+            results = [await task for task in tasks]
+            # SWMR: one sequential client per node, so timestamps step.
+            assert results == [1, 2, 3]
+            cluster.history.validate_well_formed()
+
+        run_on_backend("sim", "ss-always", scenario_config(n=3), body)
+
+    def test_cross_node_submissions_overlap(self):
+        async def body(cluster):
+            tasks = [
+                cluster.submit_write(node, node)
+                for node in range(cluster.config.n)
+            ]
+            for task in tasks:
+                await task
+            snap = await cluster.snapshot(0)
+            assert snap.values == tuple(range(cluster.config.n))
+            cluster.history.validate_well_formed()
+
+        run_on_backend("sim", "ss-nonblocking", scenario_config(n=4), body)
+
+
+def _history_fingerprint(workload_seed, depth):
+    spec = LoadSpec(clients=3, depth=depth, duration=40.0, seed=workload_seed)
+
+    async def body(cluster):
+        generator = LoadGenerator(cluster, spec)
+        await generator.run()
+        cluster.history.validate_well_formed()
+        return tuple(repr(record) for record in cluster.history.records())
+
+    return run_on_backend(
+        "sim", "ss-nonblocking", scenario_config(n=4, seed=1), body
+    )
+
+
+class TestRunLoad:
+    def test_closed_loop_report(self):
+        report = run_load(
+            "sim",
+            "ss-nonblocking",
+            spec=LoadSpec(clients=4, depth=2, duration=30.0),
+        )
+        assert report.ok
+        assert report.completed > 0
+        assert report.errors == 0
+        assert report.throughput > 0
+        assert report.quantile("all", "p99") >= report.quantile("all", "p50")
+        row = report.row()
+        assert row["mode"] == "closed"
+        assert row["linearizable"] is True
+        assert "linearizable" in report.summary()
+
+    def test_open_loop_report(self):
+        report = run_load(
+            "sim",
+            "ss-nonblocking",
+            spec=LoadSpec(mode=OPEN, rate=1.0, duration=30.0),
+        )
+        assert report.ok
+        assert report.offered_rate == 1.0
+        assert report.summary().startswith("open load on sim")
+
+    def test_pipelined_run_is_deterministic(self):
+        # Tentpole property: same seed => identical history, even with
+        # several operations in flight per client.
+        first = _history_fingerprint(workload_seed=5, depth=3)
+        second = _history_fingerprint(workload_seed=5, depth=3)
+        assert first == second
+        assert len(first) > 0
+
+    def test_workload_seed_changes_history(self):
+        assert _history_fingerprint(5, depth=3) != _history_fingerprint(6, depth=3)
+
+    def test_saturated_mixed_workload_linearizable(self):
+        report = run_load(
+            "sim",
+            "ss-nonblocking",
+            spec=LoadSpec(
+                clients=8, depth=4, write_fraction=0.5, skew=1.0, duration=40.0
+            ),
+        )
+        assert report.ok, report.failures
+        assert report.completed >= 20
+        assert report.metrics["load.max_in_flight"] > 1
+
+
+def _point(offered, throughput, failures=()):
+    quantiles = {"count": 1, "sum": 1.0, "min": 1.0, "max": 1.0,
+                 "mean": 1.0, "p50": 1.0, "p95": 1.0, "p99": 1.0}
+    return LoadReport(
+        backend="sim",
+        algorithm="ss-nonblocking",
+        n=4,
+        spec=LoadSpec(mode=OPEN, rate=offered, duration=10.0),
+        offered_rate=offered,
+        submitted=10,
+        completed=10,
+        errors=0,
+        elapsed=10.0,
+        throughput=throughput,
+        latency={"all": quantiles, "write": quantiles, "snapshot": quantiles},
+        metrics={},
+        failures=list(failures),
+    )
+
+
+class TestSweep:
+    def test_default_ladder_straddles_capacity(self):
+        ladder = default_rate_ladder(4)
+        assert ladder == sorted(ladder)
+        assert ladder[0] < 2.0 < ladder[-1]  # capacity n/2 sits inside
+
+    def test_knee_is_last_rung_keeping_up(self):
+        sweep = SweepResult(
+            backend="sim", algorithm="ss-nonblocking", n=4,
+            points=[_point(0.5, 0.5), _point(1.0, 0.95), _point(2.0, 1.0)],
+        )
+        # 1.0 keeps up (0.95 >= 0.9), 2.0 does not (1.0 < 1.8).
+        assert sweep.knee_rate == 1.0
+        assert sweep.saturated_throughput == 1.0
+        assert sweep.ok
+
+    def test_knee_none_when_never_keeping_up(self):
+        sweep = SweepResult(
+            backend="sim", algorithm="ss-nonblocking", n=4,
+            points=[_point(4.0, 1.0)],
+        )
+        assert sweep.knee_rate is None
+        assert "saturated below" in sweep.summary()
+
+    def test_failures_propagate(self):
+        sweep = SweepResult(
+            backend="sim", algorithm="ss-nonblocking", n=4,
+            points=[_point(0.5, 0.5, failures=["boom"])],
+        )
+        assert not sweep.ok
+        assert sweep.failures == ["boom"]
+
+    def test_empty_rate_list_rejected(self):
+        with pytest.raises(ConfigurationError):
+            sweep_rates(rates=[])
+
+    def test_real_two_rung_sweep_locates_knee(self, tmp_path):
+        sweep = sweep_rates(
+            backend="sim", n=4, rates=[0.25, 4.0], duration=60.0
+        )
+        assert sweep.ok, sweep.failures
+        assert sweep.knee_rate == 0.25
+        assert sweep.saturated_throughput > KNEE_EFFICIENCY * 0.25
+        payload = sweep.to_dict()
+        json.dumps(payload)  # serializable as-is
+
+        # write_bench emits the house BENCH_*.json shape, and the CI
+        # gate accepts it.
+        path = write_bench(tmp_path / "bench.json", [sweep])
+        spec = importlib.util.spec_from_file_location(
+            "check_load_series", ROOT / "benchmarks" / "check_load_series.py"
+        )
+        checker = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(checker)
+        assert checker.check(path) == []
+
+
+class TestCampaigns:
+    def test_one_report_per_seed(self):
+        reports = run_load_campaigns(
+            seeds=[0, 1], algorithm="ss-nonblocking", budget=20
+        )
+        assert len(reports) == 2
+        assert [r.spec.seed for r in reports] == [0, 1]
+        assert all(r.ok for r in reports)
+
+    def test_jobs_fanout_requires_sim(self):
+        with pytest.raises(ConfigurationError):
+            run_load_campaigns(seeds=[0], jobs=2, backend="asyncio")
+
+
+class TestCli:
+    def _run(self, *args):
+        return subprocess.run(
+            [sys.executable, "-m", "repro", "load", *args],
+            capture_output=True,
+            text=True,
+            timeout=240,
+            cwd=ROOT,
+            env={"PYTHONPATH": str(ROOT / "src"), "PATH": "/usr/bin:/bin"},
+        )
+
+    def test_closed_loop_command(self):
+        result = self._run(
+            "--backend", "sim", "--clients", "2", "--depth", "2",
+            "--duration", "15", "--seeds", "1",
+        )
+        assert result.returncode == 0, result.stderr
+        assert "closed load on sim" in result.stdout
+        assert "linearizable" in result.stdout
+
+    def test_sweep_writes_bench_file(self, tmp_path):
+        out = tmp_path / "bench_load.json"
+        result = self._run("--backend", "sim", "--sweep", "--out", str(out))
+        assert result.returncode == 0, result.stderr
+        assert "knee at" in result.stdout
+        payload = json.loads(out.read_text())
+        assert payload["pr"] == 5
+        assert payload["headline"]["knee_rate"] is not None
+        gate = subprocess.run(
+            [sys.executable, str(ROOT / "benchmarks" / "check_load_series.py"),
+             str(out)],
+            capture_output=True,
+            text=True,
+            timeout=60,
+        )
+        assert gate.returncode == 0, gate.stderr

@@ -1,0 +1,38 @@
+"""Load generation on the live backends (asyncio event loop, real UDP).
+
+The simulator carries the measurement burden; here we only need each
+live substrate to sustain a short mixed pipelined workload whose history
+still checks out linearizable — the ``--backend asyncio|udp`` path of
+``python -m repro load``.
+"""
+
+import pytest
+
+from repro.load import LoadSpec, run_load
+
+pytestmark = pytest.mark.runtime
+
+# Short submission window (simulated units; 2 ms each at the default
+# time_scale) so a run stays well inside the suite's watchdog.
+SPEC = LoadSpec(clients=4, depth=2, write_fraction=0.8, duration=20.0, seed=3)
+
+
+@pytest.mark.parametrize("backend", ["asyncio", "udp"])
+def test_live_load_is_linearizable(backend):
+    report = run_load(backend, "ss-nonblocking", spec=SPEC)
+    assert report.ok, report.failures
+    assert report.backend == backend
+    assert report.completed > 0
+    assert report.errors == 0
+    assert report.throughput > 0
+    assert report.quantile("all", "p99") >= report.quantile("all", "p50")
+
+
+def test_live_open_loop(backend="asyncio"):
+    report = run_load(
+        backend,
+        "ss-always",
+        spec=LoadSpec(mode="open", rate=0.5, duration=20.0, seed=7),
+    )
+    assert report.ok, report.failures
+    assert report.offered_rate == 0.5

@@ -101,3 +101,14 @@ def test_unknown_algorithm_rejected():
             AsyncioSnapshotCluster("bogus")
 
     run(main())
+
+
+def test_facade_emits_deprecation_warning():
+    async def main():
+        with pytest.warns(DeprecationWarning, match="create_backend"):
+            cluster = AsyncioSnapshotCluster(
+                "ss-always", ClusterConfig(n=3), time_scale=0.002
+            )
+        await cluster.close()
+
+    run(main())

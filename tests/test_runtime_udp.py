@@ -89,3 +89,14 @@ class TestUdpCluster:
                 await cluster.close()
 
         run(main())
+
+
+def test_facade_emits_deprecation_warning():
+    async def main():
+        with pytest.warns(DeprecationWarning, match="create_backend"):
+            cluster = await UdpSnapshotCluster.create(
+                "ss-nonblocking", ClusterConfig(n=3, seed=1), time_scale=0.002
+            )
+        await cluster.close()
+
+    run(main())
