@@ -416,6 +416,63 @@ def test_obs_disabled_path_is_pre_obs_loop():
     )
 
 
+def test_obs_disabled_hotpaths_stay_lean():
+    """The per-packet and per-round obs hooks cost a guard test when off.
+
+    The attribution layer hooks two more hot paths than the kernel loop:
+    ``Process.deliver`` (one ``obs is not None`` test per arriving
+    packet) and ``AckCollector.__enter__`` (one per quorum round).  This
+    traces both over a seeded run with observability disabled and pins
+    the executed-lines-per-call budget, so any future fattening of the
+    disabled path fails structurally — no wall clock involved.
+    """
+    import sys as _sys
+
+    from repro.config import scenario_config
+    from repro.core.cluster import SnapshotCluster
+    from repro.net.node import Process
+    from repro.net.quorum import AckCollector
+
+    targets = {
+        Process.deliver.__code__: "deliver",
+        AckCollector.__enter__.__code__: "round_open",
+    }
+    counts = {"deliver": [0, 0], "round_open": [0, 0]}
+
+    def tracer(frame, event, arg):
+        name = targets.get(frame.f_code)
+        if name is None:
+            return None
+        if event == "call":
+            counts[name][1] += 1
+        elif event == "line":
+            counts[name][0] += 1
+        return tracer
+
+    cluster = SnapshotCluster("ss-nonblocking", scenario_config(n=4, seed=0))
+    assert cluster.obs is None  # no ambient session: the disabled path
+    _sys.settrace(tracer)
+    try:
+        for i in range(6):
+            cluster.write_sync(i % 4, f"w{i}".encode())
+    finally:
+        _sys.settrace(None)
+
+    deliver_lines, deliver_calls = counts["deliver"]
+    round_lines, round_calls = counts["round_open"]
+    assert deliver_calls > 50 and round_calls == 6
+    # deliver: crash test, obs guard, handler dispatch, ack-sink loop.
+    assert deliver_lines / deliver_calls <= 8.0, (
+        f"obs-off deliver executes {deliver_lines / deliver_calls:.2f} "
+        "lines per packet; the disabled path budget is 8"
+    )
+    # round open: obs guard + sink registration + return.
+    assert round_lines / round_calls <= 4.0, (
+        f"obs-off AckCollector.__enter__ executes "
+        f"{round_lines / round_calls:.2f} lines per round; budget is 4"
+    )
+
+
 @pytest.mark.slow
 def test_obs_disabled_overhead():
     """Observability off costs ≤ 2% kernel throughput vs the pre-obs loop.

@@ -13,6 +13,7 @@ from pathlib import Path
 POINT_KEYS = (
     "backend", "algorithm", "n", "mode", "offered_rate", "submitted",
     "completed", "errors", "elapsed", "throughput", "p50", "p99",
+    "slowest_node", "blame_share", "dominant_phase",
     "linearizable",
 )
 
@@ -37,6 +38,11 @@ def _check_point(label, point, problems):
     if isinstance(p50, (int, float)) and isinstance(p99, (int, float)):
         if p99 < p50:
             problems.append(f"{label}: p99 < p50 ({p99} < {p50})")
+    share = point.get("blame_share")
+    if share is not None and not (
+        isinstance(share, (int, float)) and 0.0 <= share <= 1.0
+    ):
+        problems.append(f"{label}: blame_share {share!r} outside [0, 1]")
 
 
 def _check_sweep(label, sweep, problems):

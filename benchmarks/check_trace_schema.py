@@ -11,7 +11,11 @@ contract the Perfetto UI relies on:
   ``run`` track per cluster;
 * operation spans: ``X`` slices of category ``op`` with span arguments
   (``op_id``, ``status``) and non-negative durations;
-* flow-arrow pairing: every finish (``f``) id matches some start (``s``).
+* flow-arrow pairing: every finish (``f``) id matches some start (``s``);
+* tail-latency attribution: op slices carrying an ``attribution`` arg
+  name a slowest responder, a dominant phase, and at least one round;
+* health records: ``otherData.health`` entries carry one classified
+  node dict per node, with a known state and its matching state code.
 
 Exits non-zero, printing one line per problem, if anything is off.
 ``tests/test_obs_export.py`` imports :func:`validate` as its golden
@@ -24,6 +28,79 @@ from pathlib import Path
 
 _KNOWN_PHASES = {"M", "X", "s", "f", "i"}
 _METADATA_NAMES = {"process_name", "thread_name"}
+_HEALTH_STATES = {"healthy": 0, "limping": 1, "crashed": 2, "corrupt-suspect": 3}
+_ATTRIBUTION_KEYS = {
+    "slowest_responder",
+    "slowest_latency",
+    "completer",
+    "dominant_phase",
+    "rounds",
+}
+_NODE_HEALTH_KEYS = {
+    "node",
+    "state",
+    "state_code",
+    "service_ewma",
+    "replies",
+    "silence",
+    "retransmit_rate",
+    "queue_depth",
+    "detections",
+}
+
+
+def _check_attribution(where, attribution, problems):
+    """Validate one op slice's ``attribution`` argument."""
+    if not isinstance(attribution, dict):
+        problems.append(f"{where}: attribution is not an object")
+        return
+    missing = _ATTRIBUTION_KEYS - attribution.keys()
+    if missing:
+        problems.append(f"{where}: attribution missing {sorted(missing)}")
+        return
+    if not isinstance(attribution["rounds"], int) or attribution["rounds"] < 1:
+        problems.append(
+            f"{where}: attribution rounds {attribution['rounds']!r}"
+        )
+    latency = attribution["slowest_latency"]
+    if not isinstance(latency, (int, float)) or latency < 0:
+        problems.append(f"{where}: bad slowest_latency {latency!r}")
+    if not isinstance(attribution["dominant_phase"], str):
+        problems.append(
+            f"{where}: bad dominant_phase {attribution['dominant_phase']!r}"
+        )
+
+
+def _check_health(records, problems):
+    """Validate the ``otherData.health`` per-cluster node classifications."""
+    if not isinstance(records, list):
+        problems.append("otherData.health is not a list")
+        return
+    for entry in records:
+        if not isinstance(entry, dict) or "cluster" not in entry:
+            problems.append("health record missing cluster index")
+            continue
+        where = f"health[cluster={entry['cluster']}]"
+        nodes = entry.get("nodes")
+        if not isinstance(nodes, list) or not nodes:
+            problems.append(f"{where}: missing node classifications")
+            continue
+        for health in nodes:
+            if not isinstance(health, dict):
+                problems.append(f"{where}: node entry is not an object")
+                continue
+            missing = _NODE_HEALTH_KEYS - health.keys()
+            if missing:
+                problems.append(f"{where}: node missing {sorted(missing)}")
+                continue
+            state = health["state"]
+            if state not in _HEALTH_STATES:
+                problems.append(f"{where}: unknown state {state!r}")
+            elif health["state_code"] != _HEALTH_STATES[state]:
+                problems.append(
+                    f"{where}: state_code {health['state_code']!r} does not "
+                    f"encode {state!r}"
+                )
 
 
 def _check_event(index, event, problems):
@@ -58,6 +135,8 @@ def _check_event(index, event, problems):
             args = event.get("args", {})
             if "op_id" not in args or "status" not in args:
                 problems.append(f"{where}: op slice missing op_id/status args")
+            if "attribution" in args:
+                _check_attribution(where, args["attribution"], problems)
     if phase in ("s", "f"):
         if "id" not in event:
             problems.append(f"{where}: flow event missing id")
@@ -112,6 +191,9 @@ def validate(payload):
         problems.append(
             f"{len(unmatched)} flow finish(es) without a matching start"
         )
+    other = payload.get("otherData", {})
+    if isinstance(other, dict) and "health" in other:
+        _check_health(other["health"], problems)
     return problems
 
 

@@ -72,6 +72,15 @@ capability outright (e.g. ``--jobs 2`` on a live backend) raises a
     and writes the result to ``BENCH_PR5.json`` (``--out FILE``
     overrides).
 
+``top``
+    Live terminal health dashboard: drive a closed-loop workload and
+    refresh per-node health states, the blame table (slowest quorum
+    responders), and active alerts while it runs (see
+    ``docs/observability.md``).  ``--throttle NODE:FACTOR`` makes a
+    node limp so the gray-failure detector has something to catch;
+    ``--refresh R`` sets the frame interval (simulated time units on
+    ``sim``); ``--metrics-port P`` (live backends) serves the registry
+    as Prometheus text exposition at ``/metrics`` for the run.
 ``backends``
     Print the backend capability matrix (which features each of
     ``sim``/``asyncio``/``udp`` provides).
@@ -95,10 +104,14 @@ The same commands accept the observability flags (see
     metrics) for ad-hoc analysis.
 ``--stats``
     Print a terminal summary: per-operation table (counts, latency,
-    retransmits, messages) plus the full metric catalog.
+    retransmits, messages), the per-node blame table (slowest quorum
+    responders), and the full metric catalog including per-node health
+    gauges.
 
-Capturing runs in-process, so these flags force ``--jobs 1``.  Tracing
-never perturbs seeded schedules — results are identical with or without.
+Span capture runs in-process, so ``--trace-out``/``--jsonl-out`` force
+``--jobs 1``; ``--stats`` merges worker aggregates deterministically and
+composes with any ``--jobs N``.  Tracing never perturbs seeded
+schedules — results are identical with or without.
 """
 
 from __future__ import annotations
@@ -494,6 +507,12 @@ def _cmd_load(args: list[str]) -> int:
     return 0 if ok else 1
 
 
+def _cmd_top(args: list[str]) -> int:
+    from repro.obs.top import run_top
+
+    return run_top(args)
+
+
 def _cmd_backends(_args: list[str]) -> int:
     from repro.backend import (
         CAPABILITY_NOTES,
@@ -548,6 +567,7 @@ _COMMANDS = {
     "replay": _cmd_replay,
     "latency": _cmd_latency,
     "load": _cmd_load,
+    "top": _cmd_top,
     "backends": _cmd_backends,
     "demo": _cmd_demo,
 }

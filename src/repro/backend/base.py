@@ -410,6 +410,16 @@ class ClusterBackend:
         """Remove all partitions."""
         self.network.heal()
 
+    def throttle(self, node_id: int, factor: float = 10.0) -> None:
+        """Make a node limp: stretch message delays to/from it by ``factor``.
+
+        Supported on every backend — the sim and asyncio fabrics stretch
+        their modeled channel delays, the UDP fabric stretches the fault
+        gate's hold times — so gray-failure (limplock) scenarios run
+        identically everywhere.  ``factor=1.0`` restores the node.
+        """
+        self.network.throttle(node_id, factor)
+
     # -- diagnostics -------------------------------------------------------
 
     def quiescent_registers(self) -> list[tuple[int, ...]]:

@@ -23,6 +23,7 @@ from repro.analysis.linearizability import check_snapshot_history
 from repro.config import scenario_config
 from repro.core.cluster import SnapshotCluster
 from repro.fault import TransientFaultInjector
+from repro.obs.alerts import AlertEngine
 
 __all__ = ["ChaosCampaign", "ChaosReport", "run_chaos_campaigns"]
 
@@ -86,6 +87,9 @@ class ChaosReport:
     partitions: int = 0
     linearizability_checks: int = 0
     failures: list[str] = field(default_factory=list)
+    #: Alerts raised by the health/alert engine during the campaign (as
+    #: dicts; populated only when the campaign's cluster was observed).
+    alerts: list[dict] = field(default_factory=list)
 
     @property
     def ok(self) -> bool:
@@ -95,11 +99,12 @@ class ChaosReport:
     def summary(self) -> str:
         """One-line outcome."""
         verdict = "OK" if self.ok else f"{len(self.failures)} FAILURES"
+        alerts = f", {len(self.alerts)} alerts" if self.alerts else ""
         return (
             f"{self.events} events ({self.writes}w/{self.snapshots}s ops, "
             f"{self.crashes} crashes, {self.corruptions} corruptions, "
             f"{self.partitions} partitions), "
-            f"{self.linearizability_checks} checks: {verdict}"
+            f"{self.linearizability_checks} checks: {verdict}{alerts}"
         )
 
 
@@ -140,6 +145,11 @@ class ChaosCampaign:
             self.injector = None
         self.report = ChaosReport()
         self._write_counter = 0
+        # Health alerts ride along whenever the cluster is observed (an
+        # ambient obs session installed, e.g. ``--stats``): every event
+        # tick samples the health monitor through the default rule set
+        # and the raised alerts land on the report.
+        self._alert_engine = AlertEngine()
 
     # -- event primitives ------------------------------------------------------
 
@@ -257,6 +267,19 @@ class ChaosCampaign:
             )
         self.cluster.history = HistoryRecorder()
 
+    def _evaluate_alerts(self) -> None:
+        """Sample the cluster's health monitor through the alert rules.
+
+        A no-op unless the cluster is observed (no ambient session → no
+        health monitor); raised alerts accumulate on the report as they
+        happen, so a campaign doubles as a gray-failure detection check.
+        """
+        cobs = getattr(self.cluster, "obs", None)
+        if cobs is None:
+            return
+        raised = self._alert_engine.evaluate(cobs.health.sample())
+        self.report.alerts.extend(alert.to_dict() for alert in raised)
+
     # -- the campaign ----------------------------------------------------------------------
 
     async def _run(self, events: int) -> None:
@@ -278,6 +301,7 @@ class ChaosCampaign:
                 self._check("pre-corruption")
                 self._do_corrupt()
                 await self._recover_and_check()
+                self._evaluate_alerts()
                 since_corruption = 0
                 continue
             action = self.rng.choice(weighted)
@@ -285,12 +309,14 @@ class ChaosCampaign:
             if result is not None:  # coroutine actions
                 await result
             await self.cluster.kernel.sleep(self.rng.uniform(0.5, 3.0))
+            self._evaluate_alerts()
         self._do_heal()
         for node in range(self.cluster.config.n):
             if self.cluster.node(node).crashed:
                 self.cluster.resume(node)
         await self.cluster.tracker.wait_cycles(4)
         self._check("final")
+        self._evaluate_alerts()
 
     async def _run_live(self, events: int) -> ChaosReport:
         from repro.backend import create_backend

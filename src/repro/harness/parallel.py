@@ -115,36 +115,58 @@ def verify_cells(
     ]
 
 
-def _run_cell(indexed: tuple[int, Cell]) -> tuple[int, Any]:
-    """Execute one cell in a worker process (top-level for picklability)."""
-    index, cell = indexed
+def _run_cell(
+    indexed: tuple[int, Cell, bool]
+) -> tuple[int, Any, dict | None]:
+    """Execute one cell in a worker process (top-level for picklability).
+
+    With ``capture`` set (third tuple element), the cell runs under its
+    own observability session and its portable aggregate snapshot rides
+    back alongside the result — how ``--stats`` survives ``--jobs N``:
+    the parent absorbs the snapshots in cell order, so the merged
+    summary matches a serial run's.
+    """
+    index, cell, capture = indexed
+    if capture:
+        from repro.obs.observe import Observability, session
+
+        obs = Observability(trace_messages=False)
+        with session(obs):
+            result = _execute_cell(cell)
+        obs.finish()
+        return index, result, obs.portable()
+    return index, _execute_cell(cell), None
+
+
+def _execute_cell(cell: Cell) -> Any:
+    """Dispatch one cell to its registered runner."""
     kwargs = dict(cell.kwargs)
     if cell.kind == "experiment":
         from repro.harness.experiments import EXPERIMENTS
 
         _title, runner = EXPERIMENTS[cell.name]
-        return index, runner(**kwargs)
+        return runner(**kwargs)
     if cell.kind == "ablation":
         from repro.harness.ablations import ABLATIONS
 
         _title, runner = ABLATIONS[cell.name]
-        return index, runner(**kwargs)
+        return runner(**kwargs)
     if cell.kind == "chaos":
         from repro.harness.chaos import ChaosCampaign
 
         events = kwargs.pop("events", 150)
         campaign = ChaosCampaign(algorithm=cell.name, **kwargs)
-        return index, campaign.run(events=events)
+        return campaign.run(events=events)
     if cell.kind == "fuzz":
         from repro.fuzz.runner import probe_seed
 
-        return index, probe_seed(
+        return probe_seed(
             kwargs["seed"], algorithm=cell.name, budget=kwargs["budget"]
         )
     if cell.kind == "verify":
         from repro.verify.explorer import explore_standard_scenario
 
-        return index, explore_standard_scenario(
+        return explore_standard_scenario(
             cell.name, seed=kwargs["seed"], budget=kwargs["budget"]
         )
     raise ValueError(f"unknown cell kind {cell.kind!r}")
@@ -166,14 +188,32 @@ def run_cells(cells: Sequence[Cell], jobs: int | None = None) -> list[Any]:
     completion order is nondeterministic but the merge keys results by cell
     index, so the returned list — and anything printed from it — is
     identical to the serial run.
+
+    When an ambient observability session is installed (``--stats``),
+    each worker cell runs under its own session and ships a portable
+    aggregate snapshot back; the parent absorbs them **in cell order**,
+    so the merged metrics/blame/health summary is deterministic and
+    matches the serial run.  (Span-level capture — ``--trace-out`` /
+    ``--jsonl-out`` — still forces serial: spans do not travel.)
     """
-    indexed = list(enumerate(cells))
-    if jobs is None or jobs <= 1 or len(indexed) <= 1:
-        return [_run_cell(pair)[1] for pair in indexed]
+    serial = jobs is None or jobs <= 1 or len(cells) <= 1
+    if serial:
+        indexed = [(i, cell, False) for i, cell in enumerate(cells)]
+        return [_run_cell(triple)[1] for triple in indexed]
+    from repro.obs.observe import current_session
+
+    parent = current_session()
+    indexed = [(i, cell, parent is not None) for i, cell in enumerate(cells)]
     results: list[Any] = [None] * len(indexed)
+    portables: list[dict | None] = [None] * len(indexed)
     with _pool_context().Pool(processes=min(jobs, len(indexed))) as pool:
-        for index, result in pool.imap_unordered(_run_cell, indexed):
+        for index, result, portable in pool.imap_unordered(_run_cell, indexed):
             results[index] = result
+            portables[index] = portable
+    if parent is not None:
+        for portable in portables:
+            if portable is not None:
+                parent.absorb(portable)
     return results
 
 

@@ -33,6 +33,7 @@ On the ``sim`` backend a load run is fully deterministic: same
 from __future__ import annotations
 
 import random
+from contextlib import nullcontext
 from dataclasses import dataclass, field, replace
 from typing import Any
 
@@ -40,6 +41,8 @@ from repro.analysis.linearizability import check_snapshot_history
 from repro.backend.base import run_on_backend
 from repro.config import ClusterConfig, scenario_config
 from repro.errors import ConfigurationError
+from repro.obs.attribution import blame_aggregate, blame_rows, dominant_phases
+from repro.obs.observe import Observability, current_session, session
 from repro.obs.registry import MetricsRegistry
 
 __all__ = [
@@ -150,6 +153,10 @@ class LoadReport:
     throughput: float
     latency: dict[str, dict[str, float]]
     metrics: dict[str, Any]
+    #: Critical-path attribution for the run (``None`` when the cluster
+    #: ran unobserved): which node the tail blames, how strongly, where
+    #: operation time went, and the full per-node blame rows.
+    attribution: dict[str, Any] | None = None
     failures: list[str] = field(default_factory=list)
 
     @property
@@ -180,6 +187,17 @@ class LoadReport:
             "write_p99": round(self.latency["write"]["p99"], 2),
             "snapshot_p50": round(self.latency["snapshot"]["p50"], 2),
             "snapshot_p99": round(self.latency["snapshot"]["p99"], 2),
+            "slowest_node": (
+                self.attribution["slowest_node"] if self.attribution else None
+            ),
+            "blame_share": (
+                round(self.attribution["blame_share"], 3)
+                if self.attribution
+                else None
+            ),
+            "dominant_phase": (
+                self.attribution["dominant_phase"] if self.attribution else None
+            ),
             "linearizable": self.ok,
         }
 
@@ -324,6 +342,39 @@ class LoadGenerator:
 
     # -- reporting ---------------------------------------------------------
 
+    def attribution(self) -> dict[str, Any] | None:
+        """Critical-path attribution for the driven cluster's operations.
+
+        Reduces the observed spans (this cluster's only) to the blame
+        table plus headline fields: the most-blamed node (tie → lower
+        id), its blame share, and the phase where operation time went.
+        ``None`` when the cluster ran unobserved or nothing attributed.
+        """
+        cobs = getattr(self.cluster, "obs", None)
+        if cobs is None:
+            return None
+        spans = [
+            span
+            for span in cobs.session.recorder.spans
+            if span.cluster == cobs.index
+        ]
+        aggregate = blame_aggregate(spans)
+        if not aggregate["attributed"]:
+            return None
+        rows = blame_rows(aggregate)
+        top = max(rows, key=lambda row: (row["blamed"], -row["node"]))
+        phases = dominant_phases(spans)
+        dominant = (
+            max(phases.items(), key=lambda item: item[1])[0] if phases else None
+        )
+        return {
+            "attributed": aggregate["attributed"],
+            "slowest_node": top["node"],
+            "blame_share": top["blame_share"],
+            "dominant_phase": dominant,
+            "nodes": rows,
+        }
+
     def report(self, backend: str, failures: list[str]) -> LoadReport:
         """Package the run's measurements (call after :meth:`run`)."""
 
@@ -349,6 +400,7 @@ class LoadGenerator:
                 "snapshot": stats("load.snapshot_latency"),
             },
             metrics=self.registry.collect(),
+            attribution=self.attribution(),
             failures=failures,
         )
 
@@ -369,6 +421,13 @@ def run_load(
     returns a :class:`LoadReport`.  With ``check`` (the default) the
     recorded operation history is verified well-formed and linearizable;
     violations land in ``report.failures``.
+
+    Every load run is observed: if no ambient obs session is installed
+    (``--stats`` installs one) a private session is used, so the
+    report's tail-latency attribution (``report.attribution``, the
+    ``slowest_node``/``blame_share`` sweep columns) is always populated.
+    Observation never draws from the schedule RNG, so the operation
+    history is identical either way.
     """
     spec = spec if spec is not None else LoadSpec()
     config = config if config is not None else scenario_config(n=4, delta=2)
@@ -386,9 +445,20 @@ def run_load(
                 failures.extend(verdict.violations)
         return generator.report(backend, failures)
 
-    return run_on_backend(
-        backend, algorithm, config, body, time_scale=time_scale, max_events=None
+    context = (
+        session(Observability(trace_messages=False))
+        if current_session() is None
+        else nullcontext()
     )
+    with context:
+        return run_on_backend(
+            backend,
+            algorithm,
+            config,
+            body,
+            time_scale=time_scale,
+            max_events=None,
+        )
 
 
 def run_load_campaigns(

@@ -57,6 +57,7 @@ class Channel:
         "_capacity",
         "_min_delay",
         "_max_delay",
+        "delay_factor",
     )
 
     def __init__(
@@ -80,6 +81,12 @@ class Channel:
         self._next_token = 0
         #: When True, every packet is dropped (used to model partitions).
         self.blocked = False
+        #: Multiplier applied to the drawn delay — models a limping
+        #: endpoint (``Network.throttle``).  Applied *after* the delay
+        #: uniform is drawn, so throttling consumes no extra RNG draws
+        #: and the draw-order contract above is untouched (``x * 1.0``
+        #: is exact in IEEE arithmetic, so the default changes nothing).
+        self.delay_factor = 1.0
         self._loss_p = config.loss_probability
         self._dup_p = config.duplication_probability
         self._capacity = config.capacity
@@ -155,7 +162,7 @@ class Channel:
         self._next_token = token + 1
         in_flight[token] = message
         delay = self._rng.uniform(self._min_delay, self._max_delay)
-        self._kernel.call_later(delay, self._arrive, token)
+        self._kernel.call_later(delay * self.delay_factor, self._arrive, token)
 
     def _arrive(self, token: int) -> None:
         message = self._in_flight.pop(token, None)

@@ -42,6 +42,7 @@ class Network:
         #: ``"send"`` or ``"deliver"``.  Used by the trace recorder.
         self.trace_listeners: list = []
         self._processes: dict[int, "Process"] = {}
+        self._throttled: dict[int, float] = {}
         self._rng = random.Random(kernel.rng.getrandbits(64))
         self._channels: dict[tuple[int, int], Channel] = {}
         for src in range(config.n):
@@ -150,3 +151,31 @@ class Network:
         """Remove all partitions."""
         for channel in self._channels.values():
             channel.blocked = False
+
+    def throttle(self, node_id: int, factor: float = 10.0) -> None:
+        """Make ``node_id`` limp: stretch delays on its channels by ``factor``.
+
+        Models a gray failure — the node stays alive and correct but
+        every packet to or from it takes ``factor`` times longer.  A
+        channel between two throttled nodes takes the larger factor.
+        ``factor=1.0`` restores the node.  Throttling changes no RNG
+        draws (the factor multiplies the already-drawn delay), so a
+        seeded schedule stays deterministic under it.
+        """
+        if factor <= 0.0:
+            raise NetworkError(f"throttle factor must be > 0, got {factor}")
+        if not 0 <= node_id < self.config.n:
+            raise NetworkError(
+                f"node id {node_id} outside 0..{self.config.n - 1}"
+            )
+        self._throttled[node_id] = factor
+        if factor == 1.0:
+            del self._throttled[node_id]
+        for (src, dst), channel in self._channels.items():
+            channel.delay_factor = max(
+                self._throttled.get(src, 1.0), self._throttled.get(dst, 1.0)
+            )
+
+    def throttled(self) -> dict[int, float]:
+        """Currently throttled nodes and their factors."""
+        return dict(self._throttled)

@@ -114,6 +114,13 @@ class Process:
         if self.crashed:
             # A crashed node takes no receive steps; the packet is lost.
             return
+        obs = self.obs
+        if obs is not None:
+            # Attribution: time this packet against the node's open
+            # quorum round of its kind (a dict miss for non-ack kinds).
+            # Runs before the ack sinks so late replies are recorded
+            # even after the collector has been removed.
+            obs.on_reply(sender, message.kind, self.kernel.now)
         handler = self._handlers.get(message.kind)
         if handler is not None:
             handler(sender, message)

@@ -46,10 +46,18 @@ class AckCollector:
         self._match = match
         self._replies: dict[int, Message] = {}
         self._event = process.kernel.create_event()
+        self._round = None
 
     # -- lifecycle --------------------------------------------------------------
 
     def __enter__(self) -> "AckCollector":
+        # Attribution: open a quorum-round record on the node's obs
+        # struct.  The round outlives the collector — replies landing
+        # after the quorum completed are exactly the stragglers the
+        # blame tables exist to expose (see repro.obs.attribution).
+        obs = self._process.obs
+        if obs is not None:
+            self._round = obs.begin_round(self._kind, self._threshold)
         self._process.add_ack_sink(self._kind, self)
         return self
 
@@ -64,6 +72,10 @@ class AckCollector:
             return False
         self._replies[sender] = message
         if len(self._replies) >= self._threshold:
+            round_ = self._round
+            if round_ is not None and round_.completer is None:
+                round_.completer = sender
+                round_.end = self._process.kernel.now
             self._event.set()
         return True
 

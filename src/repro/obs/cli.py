@@ -6,8 +6,12 @@ argv, then wrap their work in :func:`observe_cli`, which installs an
 ambient session (so clusters built inside experiment runners attach
 automatically) and writes the requested exports when the block exits.
 
-Capture forces ``--jobs 1``: worker processes would each observe their
-own clusters and the parent session would see nothing.
+Span-level capture (``--trace-out`` / ``--jsonl-out``) forces
+``--jobs 1``: spans and message arrows live in worker memory and do not
+travel.  ``--stats`` parallelizes: each worker cell runs under its own
+session and ships a portable aggregate snapshot back, which the parent
+absorbs in cell order (see :meth:`repro.obs.observe.Observability.absorb`),
+so the merged summary matches a serial run.
 """
 
 from __future__ import annotations
@@ -36,6 +40,15 @@ class ObsFlags:
     def active(self) -> bool:
         """Whether any capture was requested."""
         return bool(self.trace_out or self.jsonl_out or self.stats)
+
+    @property
+    def needs_serial(self) -> bool:
+        """Whether the requested capture requires in-process execution.
+
+        Span/trace exports do (spans do not travel across workers);
+        ``--stats`` alone does not — its aggregates merge.
+        """
+        return bool(self.trace_out or self.jsonl_out)
 
 
 def extract_obs_flags(argv: list[str]) -> tuple[ObsFlags, list[str]]:
@@ -71,10 +84,15 @@ def extract_obs_flags(argv: list[str]) -> tuple[ObsFlags, list[str]]:
 
 
 def clamp_jobs_for_capture(flags: ObsFlags, jobs: int) -> int:
-    """Force serial execution while capture is active (with a notice)."""
-    if flags.active and jobs > 1:
+    """Force serial execution while *span* capture is active (with a notice).
+
+    ``--trace-out``/``--jsonl-out`` record spans in-process, so they
+    clamp to one job; ``--stats`` merges across workers and passes
+    through untouched.
+    """
+    if flags.needs_serial and jobs > 1:
         print(
-            "observability capture runs in-process; forcing --jobs 1",
+            "trace capture records spans in-process; forcing --jobs 1",
             file=sys.stderr,
         )
         return 1

@@ -142,10 +142,29 @@ def chrome_trace(obs: "Observability") -> dict:
                         "tid": event.src,
                     }
                 )
+    from repro.obs.attribution import attribute_op
+
     for span in obs.recorder.spans:
         cobs = obs.clusters[span.cluster]
         tid = span.node if span.node is not None else cobs.cluster.config.n
         end = span.end if span.end is not None else cobs.cluster.kernel.now
+        args = {
+            "op_id": span.op_id,
+            "status": span.status,
+            "retransmits": span.retransmits,
+            "messages_by_kind": dict(span.messages_by_kind),
+            "message_bytes": span.message_bytes,
+        }
+        if span.rounds:
+            record = attribute_op(span)
+            if record is not None:
+                args["attribution"] = {
+                    "slowest_responder": record.slowest_responder,
+                    "slowest_latency": record.slowest_latency,
+                    "completer": record.completer,
+                    "dominant_phase": record.dominant_phase,
+                    "rounds": record.rounds,
+                }
         events.append(
             {
                 "name": span.name,
@@ -155,13 +174,7 @@ def chrome_trace(obs: "Observability") -> dict:
                 "dur": max((end - span.start) * TIME_SCALE, 1.0),
                 "pid": span.cluster,
                 "tid": tid,
-                "args": {
-                    "op_id": span.op_id,
-                    "status": span.status,
-                    "retransmits": span.retransmits,
-                    "messages_by_kind": dict(span.messages_by_kind),
-                    "message_bytes": span.message_bytes,
-                },
+                "args": args,
             }
         )
         for time, label in span.phases:
@@ -189,6 +202,10 @@ def chrome_trace(obs: "Observability") -> dict:
                     "n": cobs.cluster.config.n,
                 }
                 for cobs in obs.clusters
+            ],
+            "health": [
+                {"cluster": index, "nodes": nodes}
+                for index, nodes in obs.health_reports()
             ],
         },
     }
@@ -230,6 +247,10 @@ def jsonl(obs: "Observability") -> str:
                     }
                 )
             )
+    for index, nodes in obs.health_reports():
+        lines.append(
+            json.dumps({"type": "health", "cluster": index, "nodes": nodes})
+        )
     for name, value in obs.collect().items():
         lines.append(json.dumps({"type": "metric", "name": name, "value": value}))
     return "\n".join(lines) + "\n"
@@ -239,32 +260,34 @@ def summary(obs: "Observability") -> str:
     """Terminal tables: per-operation statistics plus the metric registry."""
     from repro.harness.report import format_table
 
+    from repro.obs.attribution import blame_rows
+
     parts = []
-    ops = obs.recorder.ops()
-    if ops:
+    groups = obs.op_aggregates()
+    if groups:
         rows = []
-        for name in sorted({span.name for span in ops}):
-            group = [span for span in ops if span.name == name]
-            durations = [
-                span.duration for span in group if span.duration is not None
-            ]
+        for name, group in groups.items():
+            counted = group["duration_count"]
             rows.append(
                 {
                     "op": name,
-                    "count": len(group),
-                    "ok": sum(1 for s in group if s.status == "ok"),
-                    "aborted": sum(1 for s in group if s.status == "aborted"),
+                    "count": group["count"],
+                    "ok": group["ok"],
+                    "aborted": group["aborted"],
                     "mean_time": (
-                        sum(durations) / len(durations) if durations else None
+                        group["duration_sum"] / counted if counted else None
                     ),
-                    "max_time": max(durations) if durations else None,
-                    "retransmits": sum(s.retransmits for s in group),
-                    "messages": sum(
-                        sum(s.messages_by_kind.values()) for s in group
-                    ),
+                    "max_time": group["max_time"] if counted else None,
+                    "retransmits": group["retransmits"],
+                    "messages": group["messages"],
                 }
             )
         parts.append(format_table(rows, title="operations"))
+    blame = blame_rows(obs.blame())
+    if any(row["replies"] or row["blamed"] for row in blame):
+        parts.append(
+            format_table(blame, title="blame (slowest quorum responder)")
+        )
     values = obs.collect()
     scalar_rows = [
         {"metric": name, "value": value}

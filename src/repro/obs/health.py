@@ -1,0 +1,266 @@
+"""Gray-failure health scoring: healthy / limping / crashed / corrupt-suspect.
+
+Quorum algorithms mask a slow node so well that nothing fails — ops
+complete, invariants hold — while every operation's tail quietly absorbs
+the straggler.  This module turns the passive signals the quorum layer
+already records into an online *diagnosis*:
+
+* :class:`NodeVitals` — per-node accumulators fed from the reply path
+  (EWMA service time, reply counts, last-reply recency) plus sampled
+  requester-side retransmit rates and queue depth;
+* :class:`HealthMonitor` — a pull-style detector over one cluster's
+  vitals that classifies each node at sample time.
+
+Classification is deliberately *distinct* from the stabilization
+layer's corruption gossip: ``corrupt-suspect`` fires **only** when the
+node's self-stabilizing cleanup counters (``ProcessObs.detections``)
+actually moved — evidence of repaired state — never from slowness.  A
+slow node can only ever be ``limping``; a silent one ``crashed``.
+
+Thresholds are relative (peer medians) and time-scale aware (multiples
+of the cluster's retransmit interval), so the same detector works on
+the simulated clock and on wall-clock backends.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from statistics import median
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.obs.observe import ClusterObs
+
+__all__ = [
+    "HEALTHY",
+    "LIMPING",
+    "CRASHED",
+    "CORRUPT_SUSPECT",
+    "STATE_CODES",
+    "NodeVitals",
+    "NodeHealth",
+    "HealthReport",
+    "HealthMonitor",
+]
+
+#: Health states, ordered by severity.  ``STATE_CODES`` gives the gauge
+#: encoding used by the registry / Prometheus exposition.
+HEALTHY = "healthy"
+LIMPING = "limping"
+CRASHED = "crashed"
+CORRUPT_SUSPECT = "corrupt-suspect"
+STATE_CODES = {HEALTHY: 0, LIMPING: 1, CRASHED: 2, CORRUPT_SUSPECT: 3}
+
+
+class NodeVitals:
+    """Hot-path accumulators for one node (plain floats behind slots).
+
+    ``record_reply`` is called from the requester's deliver path behind
+    an ``obs is not None`` test; it does one EWMA update and two stores —
+    no allocation, no RNG, no kernel events (determinism contract).
+    Self-loopback replies are excluded by the caller: they measure the
+    zero-cost loopback, not the node's service time.
+    """
+
+    __slots__ = ("node_id", "service_ewma", "replies", "last_reply")
+
+    #: EWMA smoothing: each new sample contributes 20%.
+    ALPHA = 0.2
+
+    def __init__(self, node_id: int) -> None:
+        self.node_id = node_id
+        self.service_ewma: float | None = None
+        self.replies = 0
+        self.last_reply: float | None = None
+
+    def record_reply(self, latency: float, now: float) -> None:
+        """Fold one request→reply latency observed towards this node."""
+        if self.service_ewma is None:
+            self.service_ewma = latency
+        else:
+            self.service_ewma += self.ALPHA * (latency - self.service_ewma)
+        self.replies += 1
+        self.last_reply = now
+
+
+@dataclass(slots=True)
+class NodeHealth:
+    """One node's classification and the signals that produced it."""
+
+    node: int
+    state: str
+    service_ewma: float
+    replies: int
+    #: Time since the node's last observed reply (``inf`` if never).
+    silence: float
+    #: Requester-side retransmits per time unit since the last sample.
+    retransmit_rate: float
+    #: Operations currently open on the node.
+    queue_depth: int
+    #: Total corrupted-state detections (stabilization heal counters).
+    detections: int
+
+    def to_dict(self) -> dict:
+        """A JSON-ready view (``silence`` maps ``inf`` to ``None``)."""
+        return {
+            "node": self.node,
+            "state": self.state,
+            "state_code": STATE_CODES[self.state],
+            "service_ewma": self.service_ewma,
+            "replies": self.replies,
+            "silence": self.silence if self.silence != float("inf") else None,
+            "retransmit_rate": self.retransmit_rate,
+            "queue_depth": self.queue_depth,
+            "detections": self.detections,
+        }
+
+
+@dataclass(slots=True)
+class HealthReport:
+    """One monitor sample: per-node classifications at a point in time."""
+
+    time: float
+    nodes: list[NodeHealth] = field(default_factory=list)
+
+    def state_of(self, node: int) -> str:
+        """The classified state of ``node`` in this sample."""
+        return self.nodes[node].state
+
+    def in_state(self, state: str) -> list[int]:
+        """Node ids currently classified as ``state``, sorted."""
+        return [h.node for h in self.nodes if h.state == state]
+
+    def to_dict(self) -> dict:
+        """A JSON-ready view of the whole sample."""
+        return {
+            "time": self.time,
+            "nodes": [h.to_dict() for h in self.nodes],
+        }
+
+
+class HealthMonitor:
+    """Classifies every node of one cluster from its recorded vitals.
+
+    Pull-style: :meth:`sample` reads the vitals and per-process counters
+    accumulated since the previous sample and returns a
+    :class:`HealthReport`; nothing runs between samples, so the
+    simulation hot path pays zero for an attached monitor.
+    """
+
+    #: A node is limping when its EWMA service time exceeds this factor
+    #: times the median of its peers' (given ``MIN_SAMPLES`` replies).
+    LIMP_FACTOR = 3.0
+    #: Replies needed before a node's EWMA is trusted for classification.
+    MIN_SAMPLES = 3
+    #: A node is crashed when it has been silent this many times longer
+    #: than the median peer *and* longer than the absolute floor below.
+    CRASH_FACTOR = 5.0
+    #: Absolute silence floor, in multiples of the retransmit interval
+    #: (prevents flapping before traffic ramps up).
+    SILENCE_FLOOR_INTERVALS = 4.0
+    #: How long a corruption detection keeps a node corrupt-suspect, in
+    #: multiples of the gossip interval.
+    SUSPECT_WINDOW_INTERVALS = 10.0
+
+    def __init__(self, cobs: "ClusterObs") -> None:
+        self._cobs = cobs
+        config = cobs.cluster.config
+        self._silence_floor = self.SILENCE_FLOOR_INTERVALS * config.retransmit_interval
+        self._suspect_window = self.SUSPECT_WINDOW_INTERVALS * config.gossip_interval
+        n = config.n
+        self._last_detections = [0] * n
+        self._last_retransmits = [0] * n
+        self._last_sample_time: float | None = None
+        self._last_report: HealthReport | None = None
+        #: Last time each node's detection counters moved (-inf = never).
+        self._last_detection_bump = [float("-inf")] * n
+
+    def sample(self, now: float | None = None) -> HealthReport:
+        """Classify every node at time ``now`` (default: the kernel clock).
+
+        Idempotent per timestamp: re-sampling at the same clock reading
+        returns the cached report, so a dashboard tick that evaluates
+        alerts *and* renders a frame reads one consistent classification
+        (and rate-style deltas are not zeroed by the second read).
+        """
+        cobs = self._cobs
+        if now is None:
+            now = cobs.cluster.kernel.now
+        if now == self._last_sample_time and self._last_report is not None:
+            return self._last_report
+        elapsed = (
+            now - self._last_sample_time
+            if self._last_sample_time is not None
+            else now
+        )
+        vitals = cobs.vitals
+        silences = [
+            (now - v.last_reply) if v.last_reply is not None else float("inf")
+            for v in vitals
+        ]
+        report = HealthReport(time=now)
+        for pobs, v in zip(cobs.process_obs, vitals):
+            node = v.node_id
+            detections = pobs.detections
+            if detections > self._last_detections[node]:
+                self._last_detection_bump[node] = now
+            self._last_detections[node] = detections
+            retransmit_delta = pobs.retransmits - self._last_retransmits[node]
+            self._last_retransmits[node] = pobs.retransmits
+            peer_silences = [s for i, s in enumerate(silences) if i != node]
+            peer_ewmas = [
+                w.service_ewma
+                for w in vitals
+                if w.node_id != node
+                and w.service_ewma is not None
+                and w.replies >= self.MIN_SAMPLES
+            ]
+            state = HEALTHY
+            silence = silences[node]
+            finite_peers = [s for s in peer_silences if s != float("inf")]
+            # A node that has *never* replied gets a longer absolute grace
+            # (CRASH_FACTOR × the silence floor) before being declared
+            # crashed: a heavily throttled node's first replies arrive
+            # late, and flagging it crashed before they can would
+            # misclassify a limper during ramp-up.
+            never_replied = silence == float("inf")
+            if finite_peers and (
+                (
+                    never_replied
+                    and now > self.CRASH_FACTOR * self._silence_floor
+                )
+                or (
+                    not never_replied
+                    and silence > self._silence_floor
+                    and silence
+                    > self.CRASH_FACTOR * max(median(finite_peers), 1e-12)
+                )
+            ):
+                state = CRASHED
+            elif now - self._last_detection_bump[node] <= self._suspect_window:
+                state = CORRUPT_SUSPECT
+            elif (
+                peer_ewmas
+                and v.replies >= self.MIN_SAMPLES
+                and v.service_ewma is not None
+                and v.service_ewma
+                > self.LIMP_FACTOR * max(median(peer_ewmas), 1e-12)
+            ):
+                state = LIMPING
+            report.nodes.append(
+                NodeHealth(
+                    node=node,
+                    state=state,
+                    service_ewma=v.service_ewma or 0.0,
+                    replies=v.replies,
+                    silence=silence,
+                    retransmit_rate=(
+                        retransmit_delta / elapsed if elapsed > 0 else 0.0
+                    ),
+                    queue_depth=len(cobs._active.get(node, ())),
+                    detections=detections,
+                )
+            )
+        self._last_sample_time = now
+        self._last_report = report
+        return report

@@ -28,10 +28,13 @@ asserts the golden fingerprints hold with tracing on.
 
 from __future__ import annotations
 
+from collections import deque
 from contextlib import contextmanager
 from typing import TYPE_CHECKING, Any, Iterator
 
 from repro.analysis.trace import MessageTrace
+from repro.obs.attribution import QuorumRound, blame_aggregate, merge_blame
+from repro.obs.health import STATE_CODES, HealthMonitor, NodeVitals
 from repro.obs.registry import MetricsRegistry
 from repro.obs.spans import ABORTED, OK, Span, SpanRecorder
 
@@ -98,6 +101,7 @@ class ProcessObs:
         "vc_clears",
         "task_repairs",
         "reset_invocations",
+        "_rounds",
     )
 
     def __init__(self, owner: "ClusterObs", node_id: int) -> None:
@@ -109,6 +113,13 @@ class ProcessObs:
         self.vc_clears = 0
         self.task_repairs = 0
         self.reset_invocations = 0
+        #: Recent quorum rounds per awaited ack kind (bounded FIFO).
+        #: Replies attribute to the *oldest* round still missing that
+        #: sender, so a straggler's ack for round k is timed against
+        #: round k even when the requester is several rounds ahead —
+        #: that is how a limping node's true latency gets measured at
+        #: all (its replies land after each quorum completed).
+        self._rounds: dict[str, deque[QuorumRound]] = {}
 
     @property
     def detections(self) -> int:
@@ -127,6 +138,65 @@ class ProcessObs:
         span = self._owner.active_span(self.node_id)
         if span is not None:
             span.phases.append((self._owner.cluster.kernel.now, label))
+
+    # -- quorum attribution ----------------------------------------------------
+
+    #: How many recent rounds per ack kind stay open for late replies.
+    #: Must cover the straggler gap: at delay factor ``f`` a limping
+    #: node's ack lands roughly ``f × mean_delay / op_interval`` rounds
+    #: behind; replies older than the window attribute to the oldest
+    #: retained round (still a *large* latency, so blame still lands on
+    #: the straggler, just slightly under-measured).
+    ROUND_WINDOW = 8
+
+    def begin_round(self, kind: str, threshold: int) -> QuorumRound:
+        """Open a quorum round awaiting ``kind`` replies (collector entry).
+
+        The round attaches to the node's active operation span (if any)
+        and enters the node's recent-rounds window for its kind; the
+        oldest round falls out once the window is full.
+        """
+        owner = self._owner
+        round_ = QuorumRound(
+            kind=kind,
+            node=self.node_id,
+            start=owner.cluster.kernel.now,
+            threshold=threshold,
+        )
+        window = self._rounds.get(kind)
+        if window is None:
+            window = self._rounds[kind] = deque(maxlen=self.ROUND_WINDOW)
+        window.append(round_)
+        span = owner.active_span(self.node_id)
+        if span is not None:
+            span.rounds.append(round_)
+        return round_
+
+    def on_reply(self, sender: int, kind: str, now: float) -> None:
+        """Attribute one arriving message to a recent round of its kind.
+
+        Called from the deliver path for *every* arriving packet behind
+        an ``obs is not None`` test; non-ack kinds miss the dict lookup
+        and return immediately.  The reply lands in the oldest windowed
+        round still missing this sender (FIFO matching — each request
+        draws one reply per responder), so duplicates fall through to
+        the round they retransmitted for and true duplicates are
+        dropped.  Self-loopback replies are timed for attribution but
+        excluded from the responder's vitals (they measure the
+        loopback, not the node's service time).
+        """
+        window = self._rounds.get(kind)
+        if window is None:
+            return
+        for round_ in window:
+            if sender not in round_.replies:
+                latency = now - round_.start
+                if latency < 0.0:
+                    return
+                round_.replies[sender] = latency
+                if sender != self.node_id:
+                    self._owner.vitals[sender].record_reply(latency, now)
+                return
 
 
 class ClusterObs:
@@ -153,6 +223,11 @@ class ClusterObs:
             pobs = ProcessObs(self, process.node_id)
             process.obs = pobs
             self.process_obs.append(pobs)
+        #: Per-node reply-path accumulators feeding the health monitor.
+        self.vitals: list[NodeVitals] = [
+            NodeVitals(process.node_id) for process in cluster.processes
+        ]
+        self.health = HealthMonitor(self)
         #: node id -> stack of (span, window_cm, window_holder) for the
         #: operations currently open on that node (a node may run one
         #: write and one snapshot concurrently).
@@ -296,6 +371,12 @@ class Observability:
         self.recorder = SpanRecorder()
         self.clusters: list[ClusterObs] = []
         self._trace_messages = trace_messages
+        # Aggregates absorbed from worker sessions (``--stats --jobs N``
+        # ships each worker's portable snapshot back to the parent).
+        self._absorbed_totals: dict[str, float] = {}
+        self._absorbed_ops: dict[str, dict] = {}
+        self._absorbed_blame: dict = {"attributed": 0, "nodes": {}}
+        self._absorbed_health: list[list[dict]] = []
 
     def attach(self, cluster: "SnapshotCluster") -> ClusterObs:
         """Observe a cluster (idempotent: re-attaching returns the existing)."""
@@ -308,27 +389,176 @@ class Observability:
         cluster.obs = cobs
         return cobs
 
+    def _totals(self) -> dict[str, float]:
+        """Cluster-derived metric totals, live clusters plus absorbed."""
+        totals: dict[str, float] = {}
+        seen_kernels: set[int] = set()
+        for cobs in self.clusters:
+            cobs.contribute(totals, seen_kernels)
+        for name, value in self._absorbed_totals.items():
+            if name == "kernel.largest_batch":
+                totals[name] = max(totals.get(name, 0), value)
+            else:
+                _add(totals, name, value)
+        return totals
+
+    @staticmethod
+    def _empty_op_group() -> dict:
+        return {
+            "count": 0,
+            "ok": 0,
+            "aborted": 0,
+            "open": 0,
+            "retransmits": 0,
+            "messages": 0,
+            "duration_sum": 0.0,
+            "duration_count": 0,
+            "max_time": 0.0,
+        }
+
+    def op_aggregates(self) -> dict[str, dict]:
+        """Per-operation-name aggregates, live spans plus absorbed workers."""
+        groups: dict[str, dict] = {}
+        for span in self.recorder.ops():
+            group = groups.setdefault(span.name, self._empty_op_group())
+            group["count"] += 1
+            if span.status == OK:
+                group["ok"] += 1
+            elif span.status == ABORTED:
+                group["aborted"] += 1
+            if span.end is None:
+                group["open"] += 1
+            group["retransmits"] += span.retransmits
+            group["messages"] += sum(span.messages_by_kind.values())
+            duration = span.duration
+            if duration is not None:
+                group["duration_sum"] += duration
+                group["duration_count"] += 1
+                if duration > group["max_time"]:
+                    group["max_time"] = duration
+        for name, absorbed in self._absorbed_ops.items():
+            group = groups.setdefault(name, self._empty_op_group())
+            for key, value in absorbed.items():
+                if key == "max_time":
+                    group[key] = max(group[key], value)
+                else:
+                    group[key] += value
+        return dict(sorted(groups.items()))
+
+    def blame(self) -> dict:
+        """The session's merged blame aggregate (live spans + absorbed)."""
+        aggregate = blame_aggregate(self.recorder.spans)
+        merge_blame(aggregate, self._absorbed_blame)
+        return aggregate
+
+    def health_reports(self) -> list[tuple[int, list[dict]]]:
+        """``(cluster_index, node_health_dicts)`` for every observed cluster.
+
+        Live clusters are sampled now; clusters absorbed from worker
+        sessions follow, indexed after the live ones — in the serial
+        case and the ``--jobs N`` case alike, cluster indices end up in
+        cell order, so merged ``--stats`` output is deterministic.
+        """
+        reports: list[tuple[int, list[dict]]] = []
+        for cobs in self.clusters:
+            report = cobs.health.sample()
+            reports.append(
+                (cobs.index, [health.to_dict() for health in report.nodes])
+            )
+        offset = len(self.clusters)
+        for position, nodes in enumerate(self._absorbed_health):
+            reports.append((offset + position, nodes))
+        return reports
+
     def collect(self) -> dict[str, Any]:
         """Pull every metric source and return ``{name: value}``.
 
         Cluster-derived values land in gauges (summed across clusters,
         except ``kernel.largest_batch`` which takes the max); values
         pushed directly into the registry (e.g. by E07/E08) pass through
-        untouched.
+        untouched.  Per-node health gauges (``health.<signal>.c<i>.n<j>``)
+        are refreshed from the health monitors on every collect.
         """
-        totals: dict[str, float] = {}
-        seen_kernels: set[int] = set()
-        for cobs in self.clusters:
-            cobs.contribute(totals, seen_kernels)
-        ops = self.recorder.ops()
-        totals["ops.total"] = len(ops)
-        totals["ops.completed"] = sum(1 for s in ops if s.status == OK)
-        totals["ops.aborted"] = sum(1 for s in ops if s.status == ABORTED)
-        totals["ops.open"] = sum(1 for s in ops if s.end is None)
-        totals["ops.retransmits"] = sum(s.retransmits for s in ops)
+        totals = self._totals()
+        groups = self.op_aggregates()
+        totals["ops.total"] = sum(g["count"] for g in groups.values())
+        totals["ops.completed"] = sum(g["ok"] for g in groups.values())
+        totals["ops.aborted"] = sum(g["aborted"] for g in groups.values())
+        totals["ops.open"] = sum(g["open"] for g in groups.values())
+        totals["ops.retransmits"] = sum(
+            g["retransmits"] for g in groups.values()
+        )
+        for index, nodes in self.health_reports():
+            for health in nodes:
+                base = f"c{index}.n{health['node']}"
+                totals[f"health.state.{base}"] = health["state_code"]
+                totals[f"health.service_ewma.{base}"] = health["service_ewma"]
+                totals[f"health.replies.{base}"] = health["replies"]
+                totals[f"health.retransmit_rate.{base}"] = health[
+                    "retransmit_rate"
+                ]
+                totals[f"health.queue_depth.{base}"] = health["queue_depth"]
+                totals[f"health.detections.{base}"] = health["detections"]
         for name, value in totals.items():
             self.registry.gauge(name).set(value)
         return self.registry.collect()
+
+    # -- parallel-worker merge (``--stats`` under ``--jobs N``) ----------------
+
+    def portable(self) -> dict:
+        """A picklable snapshot of this session's aggregates.
+
+        Spans and message traces do **not** travel (they are why trace
+        capture still forces serial execution); what does is everything
+        ``--stats`` prints: metric totals, per-op aggregates, the blame
+        aggregate, per-cluster health reports, and the registry state.
+        Call :meth:`finish` first so open spans have durations.
+        """
+        # ``health.*`` gauge names embed this worker's *local* cluster
+        # indices (a mid-run ``collect()`` — e.g. E07 reading detections —
+        # writes them into the registry); the parent rebuilds them from
+        # the ``health`` lists under its own merged indices, so shipping
+        # the stale names would leave phantom rows behind.
+        registry_state = {
+            name: state
+            for name, state in self.registry.state().items()
+            if not name.startswith("health.")
+        }
+        return {
+            "totals": self._totals(),
+            "ops": self.op_aggregates(),
+            "blame": self.blame(),
+            "health": [nodes for _index, nodes in self.health_reports()],
+            "registry": registry_state,
+        }
+
+    def absorb(self, portable: dict) -> None:
+        """Fold one worker session's :meth:`portable` snapshot into this one.
+
+        Callers merge snapshots in cell-index order; every combination
+        rule here (sum / max / last-write via the registry) is
+        order-insensitive except gauge last-write, so the merged result
+        is deterministic for a fixed merge order.
+        """
+        for name, value in portable["totals"].items():
+            if name == "kernel.largest_batch":
+                self._absorbed_totals[name] = max(
+                    self._absorbed_totals.get(name, 0), value
+                )
+            else:
+                self._absorbed_totals[name] = (
+                    self._absorbed_totals.get(name, 0) + value
+                )
+        for name, absorbed in portable["ops"].items():
+            group = self._absorbed_ops.setdefault(name, self._empty_op_group())
+            for key, value in absorbed.items():
+                if key == "max_time":
+                    group[key] = max(group[key], value)
+                else:
+                    group[key] += value
+        merge_blame(self._absorbed_blame, portable["blame"])
+        self._absorbed_health.extend(portable["health"])
+        self.registry.merge_state(portable["registry"])
 
     def finish(self) -> None:
         """Close every still-open span at its cluster's current sim time.

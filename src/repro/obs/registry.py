@@ -50,6 +50,14 @@ class Counter:
         """The current count."""
         return self._value
 
+    def state(self) -> dict[str, Any]:
+        """A portable snapshot of this instrument (see ``MetricsRegistry.state``)."""
+        return {"type": "counter", "value": self._value}
+
+    def merge_state(self, state: dict[str, Any]) -> None:
+        """Fold a portable snapshot into this counter (counts sum)."""
+        self._value += state["value"]
+
 
 class Gauge:
     """A value that can go up and down (depth, cycles, last-seen)."""
@@ -68,6 +76,14 @@ class Gauge:
     def value(self) -> float:
         """The most recently set value."""
         return self._value
+
+    def state(self) -> dict[str, Any]:
+        """A portable snapshot of this instrument (see ``MetricsRegistry.state``)."""
+        return {"type": "gauge", "value": self._value}
+
+    def merge_state(self, state: dict[str, Any]) -> None:
+        """Fold a portable snapshot into this gauge (last write wins)."""
+        self._value = state["value"]
 
 
 class Histogram:
@@ -109,6 +125,29 @@ class Histogram:
             "max": self._max,
             "mean": self._sum / count if count else 0.0,
         }
+
+    def state(self) -> dict[str, Any]:
+        """A portable snapshot of this instrument (see ``MetricsRegistry.state``)."""
+        return {
+            "type": "histogram",
+            "count": self._count,
+            "sum": self._sum,
+            "min": self._min,
+            "max": self._max,
+        }
+
+    def merge_state(self, state: dict[str, Any]) -> None:
+        """Fold a portable snapshot into this histogram (summaries combine)."""
+        if state["count"] == 0:
+            return
+        if self._count == 0:
+            self._min = state["min"]
+            self._max = state["max"]
+        else:
+            self._min = min(self._min, state["min"])
+            self._max = max(self._max, state["max"])
+        self._count += state["count"]
+        self._sum += state["sum"]
 
 
 class QuantileHistogram:
@@ -156,11 +195,20 @@ class QuantileHistogram:
         self._buckets[index] = self._buckets.get(index, 0) + 1
 
     def quantile(self, q: float) -> float:
-        """Estimate the ``q``-quantile (``0 <= q <= 1``) of the samples."""
+        """Estimate the ``q``-quantile (``0 <= q <= 1``) of the samples.
+
+        Edge cases are exact, never ``NaN``: an empty histogram reports
+        ``0.0``, a single observation is returned verbatim, ``q=0`` is the
+        observed minimum and ``q=1`` the observed maximum.
+        """
         if not 0.0 <= q <= 1.0:
             raise ObservabilityError(f"quantile must be in [0, 1], got {q}")
         if self._count == 0:
             return 0.0
+        if self._count == 1 or q == 0.0:
+            return self._min
+        if q == 1.0:
+            return self._max
         rank = max(1, math.ceil(q * self._count))
         seen = 0
         for index in sorted(self._buckets):
@@ -193,6 +241,36 @@ class QuantileHistogram:
             "p95": self.quantile(0.95),
             "p99": self.quantile(0.99),
         }
+
+    def state(self) -> dict[str, Any]:
+        """A portable snapshot of this instrument (see ``MetricsRegistry.state``).
+
+        Buckets serialize as sorted ``[index, count]`` pairs so the
+        snapshot is JSON- and pickle-safe and merge order is fixed.
+        """
+        return {
+            "type": "quantile_histogram",
+            "count": self._count,
+            "sum": self._sum,
+            "min": self._min,
+            "max": self._max,
+            "buckets": [[i, self._buckets[i]] for i in sorted(self._buckets)],
+        }
+
+    def merge_state(self, state: dict[str, Any]) -> None:
+        """Fold a portable snapshot into this histogram (buckets merge)."""
+        if state["count"] == 0:
+            return
+        if self._count == 0:
+            self._min = state["min"]
+            self._max = state["max"]
+        else:
+            self._min = min(self._min, state["min"])
+            self._max = max(self._max, state["max"])
+        self._count += state["count"]
+        self._sum += state["sum"]
+        for index, count in state["buckets"]:
+            self._buckets[index] = self._buckets.get(index, 0) + count
 
 
 class MetricsRegistry:
@@ -255,6 +333,47 @@ class MetricsRegistry:
             name: instrument.value
             for name, instrument in sorted(self._instruments.items())
         }
+
+    #: Snapshot ``type`` tag -> instrument class, for :meth:`merge_state`.
+    _STATE_TYPES: dict[str, type] = {
+        "counter": Counter,
+        "gauge": Gauge,
+        "histogram": Histogram,
+        "quantile_histogram": QuantileHistogram,
+    }
+
+    def state(self) -> dict[str, dict[str, Any]]:
+        """A portable, mergeable snapshot of every instrument.
+
+        The snapshot is plain dicts/lists (pickle- and JSON-safe), keyed
+        by instrument name, each entry carrying a ``type`` tag.  Feed it
+        to another registry's :meth:`merge_state` to combine runs — this
+        is how ``--stats`` survives ``--jobs N`` (worker registries merge
+        into the parent's).  Collectors are *not* run; call
+        :meth:`collect` first if pull-style gauges should be included.
+        """
+        return {
+            name: self._instruments[name].state()
+            for name in sorted(self._instruments)
+        }
+
+    def merge_state(self, state: dict[str, dict[str, Any]]) -> None:
+        """Fold a :meth:`state` snapshot into this registry.
+
+        Counters sum, gauges take the incoming value (last write wins),
+        histograms merge their summaries/buckets.  Entries are applied in
+        sorted-name order so repeated merges are deterministic; merging a
+        snapshot into an instrument of a different type raises
+        :class:`ObservabilityError`.
+        """
+        for name in sorted(state):
+            entry = state[name]
+            cls = self._STATE_TYPES.get(entry["type"])
+            if cls is None:
+                raise ObservabilityError(
+                    f"metric {name!r}: unknown snapshot type {entry['type']!r}"
+                )
+            self._get_or_create(name, cls).merge_state(entry)
 
     def value(self, name: str) -> Any:
         """Read one instrument's current value (no collector pass)."""

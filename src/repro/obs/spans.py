@@ -47,6 +47,11 @@ class Span:
     #: Message traffic sent while the span was open, by kind.
     messages_by_kind: dict[str, int] = field(default_factory=dict)
     message_bytes: int = 0
+    #: Quorum rounds executed inside the span
+    #: (:class:`repro.obs.attribution.QuorumRound`); late replies keep
+    #: landing in a round after the span closes, so attribution sees the
+    #: true per-responder timing, not just the quorum that completed.
+    rounds: list = field(default_factory=list)
 
     @property
     def duration(self) -> float | None:
@@ -72,6 +77,7 @@ class Span:
             "phases": [list(phase) for phase in self.phases],
             "messages_by_kind": dict(self.messages_by_kind),
             "message_bytes": self.message_bytes,
+            "rounds": [r.to_dict() for r in self.rounds],
         }
 
 

@@ -93,6 +93,7 @@ class DatagramFaultGate:
         #: Packets currently held for delayed release, per directed pair.
         self._held: dict[tuple[int, int], int] = {}
         self._membership: dict[int, int] = {}
+        self._throttled: dict[int, float] = {}
 
     # -- partition schedule ------------------------------------------------
 
@@ -117,6 +118,24 @@ class DatagramFaultGate:
     def heal(self) -> None:
         """Remove all partitions."""
         self._membership = {}
+
+    def throttle(self, node_id: int, factor: float = 10.0) -> None:
+        """Stretch delays on paths touching ``node_id`` by ``factor``.
+
+        Mirrors :meth:`repro.net.network.Network.throttle` (a path
+        between two throttled nodes takes the larger factor); the factor
+        multiplies the already-drawn delay so the RNG draw order stays
+        identical to the simulated channel's.  ``factor=1.0`` restores.
+        """
+        if factor <= 0.0:
+            raise ValueError(f"throttle factor must be > 0, got {factor}")
+        self._throttled[node_id] = factor
+        if factor == 1.0:
+            del self._throttled[node_id]
+
+    def throttled(self) -> dict[int, float]:
+        """Currently throttled nodes and their factors."""
+        return dict(self._throttled)
 
     # -- the fault model ---------------------------------------------------
 
@@ -148,6 +167,10 @@ class DatagramFaultGate:
             return
         self._held[key] = self._held.get(key, 0) + 1
         delay = self._rng.uniform(self._min_delay, self._max_delay)
+        if self._throttled:
+            delay *= max(
+                self._throttled.get(src, 1.0), self._throttled.get(dst, 1.0)
+            )
         self._kernel.call_later(delay, self._release, src, dst, payload)
 
     def _release(self, src: int, dst: int, payload: bytes) -> None:
@@ -286,6 +309,14 @@ class UdpNetwork:
     def heal(self) -> None:
         """Remove all partitions."""
         self._gate.heal()
+
+    def throttle(self, node_id: int, factor: float = 10.0) -> None:
+        """Make ``node_id`` limp: stretch its datagram delays by ``factor``."""
+        self._gate.throttle(node_id, factor)
+
+    def throttled(self) -> dict[int, float]:
+        """Currently throttled nodes and their factors."""
+        return self._gate.throttled()
 
     # -- introspection -----------------------------------------------------
 

@@ -101,6 +101,7 @@ class TestObservabilityFlags:
             "session",
             "span",
             "message",
+            "health",
             "metric",
         }
 

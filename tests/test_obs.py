@@ -229,3 +229,126 @@ class TestKernelStats:
         kernel.run_until_complete(sleeper())
         assert kernel.obs.timer_pool_misses == 1  # first sleep allocates
         assert kernel.obs.timer_pool_hits == 1  # second reuses it
+
+
+class TestQuantileHistogramEdges:
+    def _hist(self):
+        from repro.obs.registry import QuantileHistogram
+
+        return QuantileHistogram("h")
+
+    def test_empty_histogram_is_all_zero_and_json_safe(self):
+        import json
+        import math
+
+        hist = self._hist()
+        value = hist.value
+        assert value["count"] == 0
+        assert value["mean"] == 0.0
+        assert value["p50"] == value["p95"] == value["p99"] == 0.0
+        assert not any(
+            isinstance(v, float) and math.isnan(v) for v in value.values()
+        )
+        json.dumps(value)
+
+    def test_single_observation_is_returned_verbatim(self):
+        hist = self._hist()
+        hist.observe(7.25)
+        for q in (0.0, 0.5, 0.95, 1.0):
+            assert hist.quantile(q) == 7.25
+
+    def test_q0_and_q1_are_exact_extremes(self):
+        hist = self._hist()
+        for sample in (3.0, 9.0, 1.0, 5.0):
+            hist.observe(sample)
+        assert hist.quantile(0.0) == 1.0
+        assert hist.quantile(1.0) == 9.0
+        assert 1.0 <= hist.quantile(0.5) <= 9.0
+
+    def test_out_of_range_quantile_raises(self):
+        hist = self._hist()
+        hist.observe(1.0)
+        with pytest.raises(ObservabilityError):
+            hist.quantile(-0.1)
+        with pytest.raises(ObservabilityError):
+            hist.quantile(1.1)
+
+    def test_negative_samples_clamp_to_zero(self):
+        hist = self._hist()
+        hist.observe(-5.0)
+        assert hist.quantile(0.0) == 0.0
+        assert hist.value["min"] == 0.0
+
+
+class TestRegistryMerge:
+    """Portable snapshots: ``state()`` ships, ``merge_state()`` folds."""
+
+    def _populated(self, offset=0):
+        registry = MetricsRegistry()
+        registry.counter("ops").inc(3 + offset)
+        registry.gauge("depth").set(5.0 + offset)
+        streaming = registry.histogram("bytes")
+        tail = registry.quantile_histogram("latency")
+        for i in range(4):
+            streaming.observe(10.0 * (i + 1) + offset)
+            tail.observe(1.0 + i + offset)
+        return registry
+
+    def test_state_is_json_safe_and_sorted(self):
+        import json
+
+        state = self._populated().state()
+        assert list(state) == sorted(state)
+        round_tripped = json.loads(json.dumps(state))
+        target = MetricsRegistry()
+        target.merge_state(round_tripped)  # string-keyed dicts still merge
+        assert target.counter("ops").value == 3
+
+    def test_merge_matches_observing_everything_in_one_registry(self):
+        merged = self._populated(offset=0)
+        merged.merge_state(self._populated(offset=100).state())
+
+        combined = MetricsRegistry()
+        combined.counter("ops").inc(3)
+        combined.counter("ops").inc(103)
+        streaming = combined.histogram("bytes")
+        tail = combined.quantile_histogram("latency")
+        for offset in (0, 100):
+            for i in range(4):
+                streaming.observe(10.0 * (i + 1) + offset)
+                tail.observe(1.0 + i + offset)
+
+        assert merged.counter("ops").value == combined.counter("ops").value
+        assert merged.histogram("bytes").value == combined.histogram("bytes").value
+        assert (
+            merged.quantile_histogram("latency").value
+            == combined.quantile_histogram("latency").value
+        )
+
+    def test_gauge_merge_is_last_write_wins(self):
+        merged = self._populated(offset=0)
+        merged.merge_state(self._populated(offset=100).state())
+        assert merged.gauge("depth").value == 105.0
+
+    def test_empty_snapshot_entries_are_no_ops(self):
+        target = self._populated()
+        before = target.quantile_histogram("latency").value
+        empty = MetricsRegistry()
+        empty.quantile_histogram("latency")  # created but never observed
+        empty.counter("ops")
+        target.merge_state(empty.state())
+        assert target.quantile_histogram("latency").value == before
+        assert target.counter("ops").value == 3
+
+    def test_type_conflict_raises(self):
+        target = MetricsRegistry()
+        target.counter("x")
+        other = MetricsRegistry()
+        other.gauge("x").set(1.0)
+        with pytest.raises(ObservabilityError):
+            target.merge_state(other.state())
+
+    def test_unknown_snapshot_type_raises(self):
+        target = MetricsRegistry()
+        with pytest.raises(ObservabilityError):
+            target.merge_state({"x": {"type": "bogus"}})

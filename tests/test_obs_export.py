@@ -100,7 +100,7 @@ class TestJsonl:
         records = [json.loads(line) for line in lines]
         assert records[0]["type"] == "session"
         types = {record["type"] for record in records}
-        assert types == {"session", "span", "message", "metric"}
+        assert types == {"session", "span", "message", "health", "metric"}
         spans = [r for r in records if r["type"] == "span"]
         assert {s["name"] for s in spans} == {"run", "write", "snapshot"}
         metrics = {r["name"] for r in records if r["type"] == "metric"}

@@ -100,3 +100,36 @@ class TestCli:
         from repro.__main__ import main
 
         assert main(["ablations", "zz", "--jobs", "2"]) == 2
+
+
+class TestObservedParallelRuns:
+    """Worker sessions ship portable snapshots; the parent absorbs them
+    in cell order, so ``--stats --jobs N`` equals the serial run."""
+
+    @staticmethod
+    def _stats(jobs):
+        from repro.obs.observe import Observability, session
+
+        with session(Observability(trace_messages=False)) as obs:
+            reports = run_cells(
+                chaos_cells([0, 1], events=40, algorithm="ss-always"),
+                jobs=jobs,
+            )
+            obs.finish()
+        return [r.summary() for r in reports], obs.collect(), obs.summary()
+
+    def test_parallel_stats_match_serial_exactly(self):
+        serial = self._stats(jobs=1)
+        parallel = self._stats(jobs=2)
+        assert parallel == serial
+        # The merged session really carried the workers' observations.
+        _, values, summary = parallel
+        assert values["ops.total"] > 0
+        assert any(name.startswith("health.state") for name in values)
+        assert "metrics" in summary
+
+    def test_unobserved_parallel_runs_stay_unobserved(self):
+        reports = run_cells(
+            chaos_cells([0], events=30, algorithm="ss-always"), jobs=2
+        )
+        assert len(reports) == 1 and reports[0].ok
