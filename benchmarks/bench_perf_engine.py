@@ -209,9 +209,9 @@ def dispatch_line_events(cls, events):
 
 def measure_write_op_cost(n, ops=100, warmup=20):
     """Mean seconds per completed write on an idle n-node cluster."""
-    from repro import ClusterConfig, SnapshotCluster
+    from repro import ClusterConfig, SimBackend
 
-    cluster = SnapshotCluster(
+    cluster = SimBackend(
         "ss-nonblocking", ClusterConfig(n=n, seed=0), start=False
     )
     counter = iter(range(10**9))
@@ -225,9 +225,9 @@ def measure_write_op_cost(n, ops=100, warmup=20):
 
 def measure_snapshot_op_cost(n=8, ops=50, warmup=5):
     """Mean seconds per completed snapshot (ss-always, δ=2)."""
-    from repro import ClusterConfig, SnapshotCluster
+    from repro import ClusterConfig, SimBackend
 
-    cluster = SnapshotCluster("ss-always", ClusterConfig(n=n, seed=0, delta=2))
+    cluster = SimBackend("ss-always", ClusterConfig(n=n, seed=0, delta=2))
     cluster.write_sync(0, b"x")
     for _ in range(warmup):
         cluster.snapshot_sync(1)
@@ -340,9 +340,9 @@ def test_sleep_timer_pool(benchmark):
 
 def test_broadcast_fanout_cost(benchmark):
     """Per-broadcast cost at n=32 (cached wire_size across 31 channels)."""
-    from repro import ClusterConfig, SnapshotCluster
+    from repro import ClusterConfig, SimBackend
 
-    cluster = SnapshotCluster(
+    cluster = SimBackend(
         "ss-nonblocking", ClusterConfig(n=32, seed=0), start=False
     )
     counter = iter(range(10**9))
@@ -355,9 +355,9 @@ def test_broadcast_fanout_cost(benchmark):
 
 def test_metrics_disabled_run(benchmark):
     """Write cost with the collector disabled (the near-free path)."""
-    from repro import ClusterConfig, SnapshotCluster
+    from repro import ClusterConfig, SimBackend
 
-    cluster = SnapshotCluster(
+    cluster = SimBackend(
         "ss-nonblocking", ClusterConfig(n=16, seed=0), start=False
     )
     cluster.metrics.disable()
@@ -429,7 +429,7 @@ def test_obs_disabled_hotpaths_stay_lean():
     import sys as _sys
 
     from repro.config import scenario_config
-    from repro.core.cluster import SnapshotCluster
+    from repro.backend.sim import SimBackend
     from repro.net.node import Process
     from repro.net.quorum import AckCollector
 
@@ -449,7 +449,7 @@ def test_obs_disabled_hotpaths_stay_lean():
             counts[name][0] += 1
         return tracer
 
-    cluster = SnapshotCluster("ss-nonblocking", scenario_config(n=4, seed=0))
+    cluster = SimBackend("ss-nonblocking", scenario_config(n=4, seed=0))
     assert cluster.obs is None  # no ambient session: the disabled path
     _sys.settrace(tracer)
     try:

@@ -7,7 +7,7 @@ and model-checker schedules/second.
 
 import pytest
 
-from repro import ClusterConfig, SnapshotCluster
+from repro import ClusterConfig, SimBackend
 from repro.sim.kernel import Kernel
 
 
@@ -34,7 +34,7 @@ def test_kernel_event_throughput(benchmark):
 @pytest.mark.parametrize("n", [4, 16, 32])
 def test_write_operation_cost(benchmark, n):
     """Simulated write cost vs cluster size (message fan-out dominates)."""
-    cluster = SnapshotCluster(
+    cluster = SimBackend(
         "ss-nonblocking", ClusterConfig(n=n, seed=0), start=False
     )
     counter = iter(range(10**9))
@@ -46,7 +46,7 @@ def test_write_operation_cost(benchmark, n):
 
 
 def test_snapshot_operation_cost(benchmark):
-    cluster = SnapshotCluster(
+    cluster = SimBackend(
         "ss-always", ClusterConfig(n=8, seed=0, delta=2)
     )
     cluster.write_sync(0, b"x")

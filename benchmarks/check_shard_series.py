@@ -1,0 +1,166 @@
+"""CI gate: BENCH_PR8.json must carry a well-formed, scaling K-series.
+
+Usage: ``python benchmarks/check_shard_series.py [path]`` (defaults to
+the repository-root ``BENCH_PR8.json``).  Exits non-zero if the file is
+missing, malformed, records a non-linearizable rung, fails to scale
+monotonically in K, or misses the headline acceptance bar (K=8 must
+reach >= 5x the recorded single-cluster BENCH_PR5 capacity).
+"""
+
+import json
+import sys
+from pathlib import Path
+
+ROW_KEYS = (
+    "backend", "algorithm", "n", "shards", "epoch", "mode", "skew",
+    "offered_rate", "submitted", "completed", "errors", "elapsed",
+    "throughput", "p50", "p99", "imbalance", "composes",
+    "fenced_composes", "linearizable", "speedup_vs_k1",
+    "vs_pr5_capacity",
+)
+
+HEADLINE_KEYS = (
+    "backend", "algorithm", "n", "max_shards", "k1_throughput",
+    "max_throughput", "speedup_vs_k1", "vs_pr5_capacity",
+    "linearizable",
+)
+
+#: The acceptance bar: the K=8 rung must beat the single-cluster
+#: capacity by at least this factor (near-linear scaling leaves slack
+#: for composed-cut and routing overhead).
+MIN_VS_PR5 = 5.0
+
+#: Each doubling of K must gain at least this factor — strictly
+#: increasing, but tolerant of measurement noise at the top rung.
+MIN_STEP_GAIN = 1.05
+
+
+def _check_row(label, row, problems):
+    if not isinstance(row, dict):
+        problems.append(f"{label}: row is not an object")
+        return
+    for key in ROW_KEYS:
+        if key not in row:
+            problems.append(f"{label}: row missing {key!r}")
+    if row.get("linearizable") is not True:
+        problems.append(f"{label}: K={row.get('shards')} rung not "
+                        "linearizable")
+    if row.get("errors"):
+        problems.append(f"{label}: K={row.get('shards')} rung had "
+                        "operation errors")
+    throughput = row.get("throughput")
+    if not isinstance(throughput, (int, float)) or throughput <= 0:
+        problems.append(f"{label}: non-positive throughput")
+    composes = row.get("composes")
+    if not isinstance(composes, int) or composes < 1:
+        problems.append(f"{label}: no composed cuts taken "
+                        f"(composes={composes!r})")
+    p50, p99 = row.get("p50"), row.get("p99")
+    if isinstance(p50, (int, float)) and isinstance(p99, (int, float)):
+        if p99 < p50:
+            problems.append(f"{label}: p99 < p50 ({p99} < {p50})")
+    imbalance = row.get("imbalance")
+    if imbalance is not None and not (
+        isinstance(imbalance, (int, float)) and imbalance >= 1.0
+    ):
+        problems.append(f"{label}: imbalance {imbalance!r} below 1.0")
+
+
+def _check_series(label, series, problems):
+    ks = [row.get("shards") for row in series if isinstance(row, dict)]
+    if ks != sorted(ks) or len(set(ks)) != len(ks):
+        problems.append(f"{label}: shard counts not strictly increasing "
+                        f"({ks})")
+    if ks and ks[0] != 1:
+        problems.append(f"{label}: series must start at K=1 (got {ks})")
+    rows = [row for row in series if isinstance(row, dict)]
+    for earlier, later in zip(rows, rows[1:]):
+        t0, t1 = earlier.get("throughput"), later.get("throughput")
+        if not isinstance(t0, (int, float)) or not isinstance(
+            t1, (int, float)
+        ):
+            continue
+        if t1 < t0 * MIN_STEP_GAIN:
+            problems.append(
+                f"{label}: throughput not scaling K={earlier.get('shards')}"
+                f"->K={later.get('shards')} ({t0} -> {t1}, need "
+                f">= {MIN_STEP_GAIN}x)")
+
+
+def _check_headline(label, headline, series, problems):
+    if not isinstance(headline, dict):
+        problems.append(f"{label}: missing 'headline' section")
+        return
+    for key in HEADLINE_KEYS:
+        if key not in headline:
+            problems.append(f"{label}: headline missing {key!r}")
+    if headline.get("linearizable") is not True:
+        problems.append(f"{label}: headline not linearizable")
+    vs_pr5 = headline.get("vs_pr5_capacity")
+    if not isinstance(vs_pr5, (int, float)) or vs_pr5 < MIN_VS_PR5:
+        problems.append(
+            f"{label}: headline vs_pr5_capacity {vs_pr5!r} below the "
+            f"{MIN_VS_PR5}x acceptance bar")
+    rows = [row for row in series if isinstance(row, dict)]
+    if rows:
+        last = rows[-1]
+        if headline.get("max_shards") != last.get("shards"):
+            problems.append(
+                f"{label}: headline max_shards "
+                f"{headline.get('max_shards')!r} != last series rung "
+                f"K={last.get('shards')!r}")
+        if headline.get("max_throughput") != last.get("throughput"):
+            problems.append(
+                f"{label}: headline max_throughput "
+                f"{headline.get('max_throughput')!r} != last rung "
+                f"throughput {last.get('throughput')!r}")
+
+
+def check(path):
+    try:
+        payload = json.loads(Path(path).read_text())
+    except FileNotFoundError:
+        return [f"{path}: not found"]
+    except json.JSONDecodeError as exc:
+        return [f"{path}: invalid JSON ({exc})"]
+    problems = []
+    if payload.get("pr") != 8:
+        problems.append(f"{path}: expected 'pr': 8")
+    for section in ("description", "host"):
+        if not payload.get(section):
+            problems.append(f"{path}: missing {section!r} section")
+    baseline = payload.get("baseline")
+    if not isinstance(baseline, dict) or not isinstance(
+        baseline.get("k1_capacity"), (int, float)
+    ):
+        problems.append(f"{path}: missing baseline.k1_capacity")
+    series = payload.get("series")
+    if not isinstance(series, list) or not series:
+        problems.append(f"{path}: missing or empty 'series'")
+        return problems
+    for index, row in enumerate(series):
+        _check_row(f"{path} series[{index}]", row, problems)
+    _check_series(path, series, problems)
+    _check_headline(path, payload.get("headline"), series, problems)
+    return problems
+
+
+def main(argv):
+    default = Path(__file__).resolve().parent.parent / "BENCH_PR8.json"
+    path = argv[1] if len(argv) > 1 else str(default)
+    problems = check(path)
+    if problems:
+        for problem in problems:
+            print(problem, file=sys.stderr)
+        return 1
+    payload = json.loads(Path(path).read_text())
+    headline = payload["headline"]
+    print(f"{path}: ok ({len(payload['series'])} rungs, "
+          f"K={headline['max_shards']} at {headline['max_throughput']} "
+          f"op/u = {headline['vs_pr5_capacity']}x the PR5 capacity, "
+          "all linearizable)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv))

@@ -18,7 +18,7 @@ Run:  python examples/distributed_monitoring.py
 
 import random
 
-from repro import ClusterConfig, SnapshotCluster
+from repro import ClusterConfig, SimBackend
 
 
 N = 10
@@ -28,7 +28,7 @@ THRESHOLD = 60
 
 def main() -> None:
     config = ClusterConfig(n=N, delta=3, seed=7)
-    cluster = SnapshotCluster("ss-always", config)
+    cluster = SimBackend("ss-always", config)
     rng = random.Random(7)
 
     async def sensor(node: int) -> None:

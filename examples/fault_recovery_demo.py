@@ -10,7 +10,7 @@ subsequent operations are linearizable again.
 Run:  python examples/fault_recovery_demo.py
 """
 
-from repro import ClusterConfig, SnapshotCluster
+from repro import ClusterConfig, SimBackend
 from repro.analysis.invariants import definition1_consistent
 from repro.core.register import TimestampedValue
 from repro.fault import TransientFaultInjector
@@ -18,7 +18,7 @@ from repro.fault import TransientFaultInjector
 
 def demo(algorithm: str) -> None:
     print(f"=== {algorithm} ===")
-    cluster = SnapshotCluster(algorithm, ClusterConfig(n=5, seed=3))
+    cluster = SimBackend(algorithm, ClusterConfig(n=5, seed=3))
 
     cluster.write_sync(0, "genuine-v1")
     print("before fault  :", cluster.snapshot_sync(1).values[0])

@@ -9,12 +9,12 @@ completed write survives and per-writer timestamp sequences continue.
 Run:  python examples/live_reconfiguration.py
 """
 
-from repro import ClusterConfig, SnapshotCluster
+from repro import ClusterConfig, SimBackend
 from repro.reconfig import reconfigure
 
 
 def main() -> None:
-    old = SnapshotCluster("ss-nonblocking", ClusterConfig(n=3, seed=11))
+    old = SimBackend("ss-nonblocking", ClusterConfig(n=3, seed=11))
     old.write_sync(0, "inventory=42")
     old.write_sync(1, "orders=17")
     old.write_sync(0, "inventory=41")

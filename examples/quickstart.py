@@ -1,39 +1,40 @@
-"""Quickstart: a 5-node self-stabilizing snapshot object in 30 lines.
+"""Quickstart: a keyed self-stabilizing snapshot store in 30 lines.
 
-Builds a simulated cluster running the paper's Algorithm 3 (the
-self-stabilizing always-terminating snapshot object with δ=2), performs
-writes from several nodes, and takes an atomic snapshot.
+Builds a two-shard simulated fabric (each shard a 4-node cluster running
+the paper's self-stabilizing non-blocking algorithm) behind the
+``SnapshotClient`` facade, writes a few keys, and takes one composed
+atomic snapshot of the whole keyspace.
 
 Run:  python examples/quickstart.py
 """
 
-from repro import ClusterConfig, SnapshotCluster
+from repro import ClusterConfig, SnapshotClient
 
 
 def main() -> None:
-    config = ClusterConfig(n=5, delta=2, seed=42)
-    cluster = SnapshotCluster("ss-always", config)
+    config = ClusterConfig(n=4, seed=42)
+    client = SnapshotClient.local(shards=2, config=config)
 
-    # Each node owns one single-writer register; write from three of them.
-    cluster.write_sync(0, b"alpha")
-    cluster.write_sync(1, b"beta")
-    cluster.write_sync(2, b"gamma")
-    cluster.write_sync(0, b"alpha-v2")  # overwrite node 0's register
+    # Keys route to shards by consistent hash; versions are per key.
+    client.write_sync("alpha", b"a1")
+    client.write_sync("beta", b"b1")
+    client.write_sync("gamma", b"g1")
+    client.write_sync("alpha", b"a2")  # overwrite → version 2
 
-    # Any node can take an atomic snapshot of all registers.
-    result = cluster.snapshot_sync(4)
-    print("snapshot values :", result.values)
-    print("vector clock    :", result.vector_clock)
+    # One linearizable cut across every shard.
+    cut = client.snapshot_sync()
+    print("snapshot        :", dict(sorted(cut.items().items())))
+    print("shards / epoch  :", client.shards, "/", client.epoch)
+    print("fenced          :", cut.fenced, "rounds:", cut.rounds)
 
-    # The recorded history is linearizable — verify it mechanically.
-    from repro.analysis.linearizability import check_snapshot_history
+    # The per-shard histories and composed cuts are checked mechanically.
+    print("linearizable    :", client.check() == [])
 
-    report = check_snapshot_history(cluster.history.records(), config.n)
-    print("linearizable    :", report.ok)
-
-    stats = cluster.metrics.snapshot()
-    print("network messages:", stats.total_messages, "by kind:",
-          dict(sorted(stats.messages_by_kind.items())))
+    # Grow the deployment online: one more shard, keys migrate live.
+    report = client.split_sync()
+    print("split           :", f"epoch {report.old_epoch}->{report.new_epoch},",
+          report.moved_keys, "keys moved")
+    print("after split     :", dict(sorted(client.snapshot_sync().items().items())))
 
 
 if __name__ == "__main__":

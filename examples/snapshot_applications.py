@@ -18,7 +18,7 @@ via a shared kernel — the same pattern ``repro.reconfig`` uses.
 Run:  python examples/snapshot_applications.py
 """
 
-from repro import ClusterConfig, SnapshotCluster
+from repro import ClusterConfig, SimBackend
 from repro.apps import DistributedCounter, PhaseBarrier
 
 N = 4
@@ -27,10 +27,10 @@ ITEMS_PER_PHASE = 5
 
 
 def main() -> None:
-    counter_cluster = SnapshotCluster(
+    counter_cluster = SimBackend(
         "ss-always", ClusterConfig(n=N, delta=2, seed=21)
     )
-    barrier_cluster = SnapshotCluster(
+    barrier_cluster = SimBackend(
         "ss-always",
         ClusterConfig(n=N, delta=2, seed=22),
         kernel=counter_cluster.kernel,  # one shared timeline

@@ -7,12 +7,12 @@ node crashes, message loss/duplication/reordering, *and* transient faults
 
 Quickstart::
 
-    from repro import ClusterConfig, SnapshotCluster
+    from repro import SnapshotClient
 
-    cluster = SnapshotCluster("ss-always", ClusterConfig(n=5, delta=3))
-    cluster.write_sync(0, b"hello")
-    result = cluster.snapshot_sync(1)
-    print(result.values)
+    client = SnapshotClient.local(shards=2)
+    client.write_sync("greeting", b"hello")
+    cut = client.snapshot_sync()
+    print(dict(cut.items()))
 
 See DESIGN.md for the system inventory and EXPERIMENTS.md for the
 paper-claim reproduction index.
@@ -26,7 +26,6 @@ from repro.core import (
     RegisterArray,
     SelfStabilizingAlwaysTerminating,
     SelfStabilizingNonBlocking,
-    SnapshotCluster,
     SnapshotResult,
     TimestampedValue,
 )
@@ -35,6 +34,8 @@ from repro.core.cluster import register_algorithm
 # After repro.core: the backend package reaches back through the wiring
 # layers (analysis, net), which must be fully initialized first.
 from repro.backend.base import backend_names, create_backend
+from repro.backend.sim import SimBackend
+from repro.client import SnapshotClient
 from repro.errors import ReproError
 from repro.stabilization import (
     BoundedSelfStabilizingAlwaysTerminating,
@@ -60,7 +61,8 @@ __all__ = [
     "ReproError",
     "SelfStabilizingAlwaysTerminating",
     "SelfStabilizingNonBlocking",
-    "SnapshotCluster",
+    "SimBackend",
+    "SnapshotClient",
     "SnapshotResult",
     "TimestampedValue",
     "UNBOUNDED_DELTA",

@@ -3,10 +3,10 @@
 Commands
 --------
 ``experiments [ids…]``
-    Run the reproduction experiments (all of E1–E18 by default) and
+    Run the reproduction experiments (all of E1–E19 by default) and
     print their tables.  ``--seeds K`` re-runs each selected experiment
     at K consecutive seeds.  ``--backend {sim,asyncio,udp}`` runs the
-    backend-aware experiments (E16–E18) on a chosen runtime.
+    backend-aware experiments (E16–E19) on a chosen runtime.
 ``figures [names…]``
     Render the paper's Figures 1–3 as ASCII space-time diagrams
     (all by default; names: fig1-upper, fig1-lower, fig2, fig3-upper,
@@ -70,7 +70,20 @@ capability outright (e.g. ``--jobs 2`` on a live backend) raises a
     ``--budget`` is the submission window in simulated time units.
     ``--sweep`` ladders the offered rate to locate the saturation knee
     and writes the result to ``BENCH_PR5.json`` (``--out FILE``
-    overrides).
+    overrides).  ``--shards K`` drives the same keyed workload against a
+    K-shard fabric instead of one cluster (see ``docs/sharding.md``).
+``shard``
+    Sharded-fabric campaigns (see ``docs/sharding.md``): drive a keyed
+    closed-loop workload against ``--shards K`` independent clusters
+    behind the consistent-hash router, taking composed cross-shard
+    snapshots mid-run and checking every per-shard history *and* the
+    composed cuts for linearizability.  ``--skew X`` applies Zipf key
+    popularity (hot shards); ``--duration U`` (alias of ``--budget``)
+    sets the submission window.  ``--sweep`` runs the E19 scaling ladder
+    (K = 1, 2, 4, 8 at fixed n) and writes ``BENCH_PR8.json``
+    (``--out FILE`` overrides).  ``chaos --shards K`` likewise runs the
+    sharded chaos storm: crashes, online shard splits with live key
+    migration, and composed cuts under fire.
 
 ``top``
     Live terminal health dashboard: drive a closed-loop workload and
@@ -83,7 +96,8 @@ capability outright (e.g. ``--jobs 2`` on a live backend) raises a
     as Prometheus text exposition at ``/metrics`` for the run.
 ``backends``
     Print the backend capability matrix (which features each of
-    ``sim``/``asyncio``/``udp`` provides).
+    ``sim``/``asyncio``/``udp`` provides); ``--json`` emits it as a
+    machine-readable document.
 ``demo``
     Run a tiny end-to-end demo (write/snapshot/corrupt/recover).
 
@@ -125,6 +139,27 @@ def _cmd_experiments(args: list[str]) -> int:
     from repro.harness.experiments import main as run_experiments
 
     return run_experiments(args)
+
+
+def _extract_shards(argv: list[str]) -> tuple[int | None, list[str]]:
+    """Split ``--shards K`` out of an argv list (None when absent)."""
+    shards: int | None = None
+    rest: list[str] = []
+    it = iter(argv)
+    for arg in it:
+        if arg == "--shards" or arg.startswith("--shards="):
+            value = arg.split("=", 1)[1] if "=" in arg else next(it, None)
+            if value is None:
+                raise SystemExit("--shards requires a value")
+            try:
+                shards = int(value)
+            except ValueError:
+                raise SystemExit(f"--shards must be an integer, got {value!r}")
+            if shards < 1:
+                raise SystemExit(f"--shards must be >= 1, got {shards}")
+        else:
+            rest.append(arg)
+    return shards, rest
 
 
 def _cmd_figures(args: list[str]) -> int:
@@ -181,7 +216,7 @@ def _cmd_verify(args: list[str]) -> int:
     from repro.harness.campaign import (
         extract_backend,
         extract_campaign_flags,
-        warn_deprecated,
+        reject_removed_spellings,
     )
     from repro.harness.parallel import extract_jobs
     from repro.obs.cli import (
@@ -199,12 +234,8 @@ def _cmd_verify(args: list[str]) -> int:
     jobs, args = extract_jobs(args)
     backend, args = extract_backend(args, default="sim")
     options, rest = extract_campaign_flags(args, default_budget=200)
-    if rest:
-        warn_deprecated(
-            "positional algorithm names", "--algorithm NAME (one per run)"
-        )
-        algorithms = rest
-    elif options.algorithm is not None:
+    reject_removed_spellings(rest, "--algorithm NAME (one per run)")
+    if options.algorithm is not None:
         algorithms = [options.algorithm]
     else:
         algorithms = ["ss-nonblocking", "ss-always"]
@@ -253,11 +284,10 @@ def _cmd_verify(args: list[str]) -> int:
 
 def _cmd_chaos(args: list[str]) -> int:
     from repro.harness.campaign import (
-        CampaignOptions,
         extract_backend,
         extract_campaign_flags,
         print_reports,
-        warn_deprecated,
+        reject_removed_spellings,
     )
     from repro.harness.chaos import run_chaos_campaigns
     from repro.harness.parallel import extract_jobs
@@ -270,22 +300,25 @@ def _cmd_chaos(args: list[str]) -> int:
     obs_flags, args = extract_obs_flags(args)
     jobs, args = extract_jobs(args)
     backend, args = extract_backend(args, default="sim")
-    options, rest = extract_campaign_flags(
-        args, default_budget=150, budget_alias="--events"
-    )
-    if rest:
-        warn_deprecated(
-            "positional [events] [seed]", "--budget N / --seed-start S"
-        )
-        budget = int(rest[0])
-        start = int(rest[1]) if len(rest) > 1 else options.seeds[0]
-        options = CampaignOptions(
-            seeds=list(range(start, start + len(options.seeds))),
-            algorithm=options.algorithm,
-            budget=budget,
-        )
-    algorithm = options.algorithm or "ss-always"
+    shards, args = _extract_shards(args)
+    options, rest = extract_campaign_flags(args, default_budget=150)
+    reject_removed_spellings(rest, "--budget N / --seed-start S")
     jobs = clamp_jobs_for_capture(obs_flags, jobs)
+    if shards is not None:
+        from repro.shard import run_shard_chaos_campaigns
+
+        algorithm = options.algorithm or "ss-nonblocking"
+        with observe_cli(obs_flags):
+            reports = run_shard_chaos_campaigns(
+                options.seeds,
+                shards=shards,
+                algorithm=algorithm,
+                budget=options.budget,
+                backend=backend,
+            )
+            ok = print_reports(options.seeds, reports)
+        return 0 if ok else 1
+    algorithm = options.algorithm or "ss-always"
     with observe_cli(obs_flags):
         reports = run_chaos_campaigns(
             options.seeds,
@@ -304,6 +337,7 @@ def _cmd_fuzz(args: list[str]) -> int:
         extract_backend,
         extract_campaign_flags,
         print_reports,
+        reject_removed_spellings,
     )
     from repro.harness.parallel import extract_jobs
     from repro.obs.cli import (
@@ -331,6 +365,7 @@ def _cmd_fuzz(args: list[str]) -> int:
             shrink = False
         else:
             leftover.append(arg)
+    reject_removed_spellings(leftover)
     if leftover:
         raise SystemExit(f"fuzz: unexpected arguments {leftover}")
     algorithm = options.algorithm or "ss-always"
@@ -374,6 +409,7 @@ def _cmd_latency(args: list[str]) -> int:
         extract_backend,
         extract_campaign_flags,
         print_reports,
+        reject_removed_spellings,
     )
     from repro.harness.latency import run_latency_campaigns
     from repro.harness.parallel import extract_jobs
@@ -387,6 +423,7 @@ def _cmd_latency(args: list[str]) -> int:
     jobs, args = extract_jobs(args)
     backend, args = extract_backend(args, default="sim")
     options, rest = extract_campaign_flags(args, default_budget=16)
+    reject_removed_spellings(rest)
     if rest:
         raise SystemExit(f"latency: unexpected arguments {rest}")
     algorithm = options.algorithm or "ss-nonblocking"
@@ -408,6 +445,7 @@ def _cmd_load(args: list[str]) -> int:
         extract_backend,
         extract_campaign_flags,
         print_reports,
+        reject_removed_spellings,
     )
     from repro.harness.parallel import extract_jobs
     from repro.load import (
@@ -426,6 +464,7 @@ def _cmd_load(args: list[str]) -> int:
     obs_flags, args = extract_obs_flags(args)
     jobs, args = extract_jobs(args)
     backend, args = extract_backend(args, default="sim")
+    shards, args = _extract_shards(args)
     # --duration is load's natural spelling of the shared --budget knob
     # (the submission window in simulated time units); both are accepted.
     args = [
@@ -465,10 +504,35 @@ def _cmd_load(args: list[str]) -> int:
                 out = value
         else:
             leftover.append(arg)
+    reject_removed_spellings(leftover)
     if leftover:
         raise SystemExit(f"load: unexpected arguments {leftover}")
     algorithm = options.algorithm or "ss-nonblocking"
     jobs = clamp_jobs_for_capture(obs_flags, jobs)
+    if shards is not None:
+        from repro.shard import ShardLoadSpec, run_shard_load_campaigns
+
+        spec = ShardLoadSpec(
+            mode="open" if rate is not None else "closed",
+            clients=clients,
+            depth=depth,
+            rate=rate,
+            duration=float(options.budget),
+            write_fraction=write_fraction,
+            skew=skew,
+        )
+        with observe_cli(obs_flags):
+            reports = run_shard_load_campaigns(
+                options.seeds,
+                shards=shards,
+                algorithm=algorithm,
+                budget=options.budget,
+                backend=backend,
+                spec=spec,
+                n=n,
+            )
+            ok = print_reports(options.seeds, reports)
+        return 0 if ok else 1
     with observe_cli(obs_flags):
         if sweep:
             result = sweep_rates(
@@ -507,13 +571,82 @@ def _cmd_load(args: list[str]) -> int:
     return 0 if ok else 1
 
 
+def _cmd_shard(args: list[str]) -> int:
+    from repro.harness.campaign import (
+        extract_backend,
+        extract_campaign_flags,
+        print_reports,
+        reject_removed_spellings,
+    )
+    from repro.shard import (
+        ShardLoadSpec,
+        run_shard_load_campaigns,
+        shard_scaling_series,
+        write_shard_bench,
+    )
+
+    backend, args = extract_backend(args, default="sim")
+    shards, args = _extract_shards(args)
+    args = [
+        "--budget" + arg.removeprefix("--duration") if
+        arg == "--duration" or arg.startswith("--duration=") else arg
+        for arg in args
+    ]
+    options, rest = extract_campaign_flags(args, default_budget=60)
+    sweep = False
+    skew = 0.0
+    out: str | None = None
+    it = iter(rest)
+    leftover: list[str] = []
+    for arg in it:
+        if arg == "--sweep":
+            sweep = True
+        elif arg in ("--skew", "--out"):
+            value = next(it, None)
+            if value is None:
+                raise SystemExit(f"{arg} requires a value")
+            if arg == "--skew":
+                skew = float(value)
+            else:
+                out = value
+        else:
+            leftover.append(arg)
+    reject_removed_spellings(leftover)
+    if leftover:
+        raise SystemExit(f"shard: unexpected arguments {leftover}")
+    algorithm = options.algorithm or "ss-nonblocking"
+    if sweep:
+        print(f"E19 scaling series on {backend!r} ({algorithm})…")
+        reports = shard_scaling_series(
+            backend=backend,
+            algorithm=algorithm,
+            duration=float(options.budget),
+            seed=options.seeds[0],
+            progress=True,
+        )
+        path = write_shard_bench(out or "BENCH_PR8.json", reports)
+        print(f"wrote {path}")
+        return 0 if all(report.ok for report in reports) else 1
+    spec = ShardLoadSpec(skew=skew, duration=float(options.budget))
+    reports = run_shard_load_campaigns(
+        options.seeds,
+        shards=shards if shards is not None else 4,
+        algorithm=algorithm,
+        budget=options.budget,
+        backend=backend,
+        spec=spec,
+    )
+    ok = print_reports(options.seeds, reports)
+    return 0 if ok else 1
+
+
 def _cmd_top(args: list[str]) -> int:
     from repro.obs.top import run_top
 
     return run_top(args)
 
 
-def _cmd_backends(_args: list[str]) -> int:
+def _cmd_backends(args: list[str]) -> int:
     from repro.backend import (
         CAPABILITY_NOTES,
         backend_capabilities,
@@ -521,6 +654,19 @@ def _cmd_backends(_args: list[str]) -> int:
     )
 
     names = backend_names()
+    if "--json" in args:
+        import json
+
+        payload = {
+            "backends": {
+                name: backend_capabilities(name).describe() for name in names
+            },
+            "notes": dict(CAPABILITY_NOTES),
+        }
+        print(json.dumps(payload, indent=2))
+        return 0
+    if args:
+        raise SystemExit(f"backends: unexpected arguments {args}")
     width = max(len(c) for c in CAPABILITY_NOTES)
     header = "capability".ljust(width) + "".join(
         f"  {name:>7s}" for name in names
@@ -538,11 +684,11 @@ def _cmd_backends(_args: list[str]) -> int:
 
 
 def _cmd_demo(_args: list[str]) -> int:
-    from repro import ClusterConfig, SnapshotCluster
+    from repro import ClusterConfig, SimBackend
     from repro.analysis.invariants import definition1_consistent
     from repro.fault import TransientFaultInjector
 
-    cluster = SnapshotCluster("ss-always", ClusterConfig(n=5, delta=2))
+    cluster = SimBackend("ss-always", ClusterConfig(n=5, delta=2))
     cluster.write_sync(0, b"hello")
     cluster.write_sync(1, b"world")
     print("snapshot:", cluster.snapshot_sync(2).values)
@@ -567,6 +713,7 @@ _COMMANDS = {
     "replay": _cmd_replay,
     "latency": _cmd_latency,
     "load": _cmd_load,
+    "shard": _cmd_shard,
     "top": _cmd_top,
     "backends": _cmd_backends,
     "demo": _cmd_demo,

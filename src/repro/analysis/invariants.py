@@ -12,7 +12,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.core.cluster import SnapshotCluster
+from repro.backend.sim import SimBackend
 from repro.core.register import RegisterArray
 
 __all__ = [
@@ -41,13 +41,13 @@ class InvariantReport:
         return self.ok
 
 
-def _in_flight_messages(cluster: SnapshotCluster):
+def _in_flight_messages(cluster: SimBackend):
     for channel in cluster.network.channels():
         for message in channel.in_flight_messages():
             yield channel.src, channel.dst, message
 
 
-def ts_consistent(cluster: SnapshotCluster) -> InvariantReport:
+def ts_consistent(cluster: SimBackend) -> InvariantReport:
     """Definition 1(i): ``ts_i`` dominates every ts attributed to ``p_i``.
 
     Checks node variables (``reg_j[i].ts`` for every ``j``) and the
@@ -83,7 +83,7 @@ def ts_consistent(cluster: SnapshotCluster) -> InvariantReport:
     return report
 
 
-def ssn_consistent(cluster: SnapshotCluster) -> InvariantReport:
+def ssn_consistent(cluster: SimBackend) -> InvariantReport:
     """Definition 1(ii): ``ssn_i`` dominates every ssn attributed to ``p_i``.
 
     The ssn fields appear in SNAPSHOT queries (tagged by the querier) and
@@ -104,7 +104,7 @@ def ssn_consistent(cluster: SnapshotCluster) -> InvariantReport:
     return report
 
 
-def sns_consistent(cluster: SnapshotCluster) -> InvariantReport:
+def sns_consistent(cluster: SimBackend) -> InvariantReport:
     """Definition 1(iii): snapshot task indices are consistent.
 
     ``sns_i = pndTsk_i[i].sns`` and
@@ -134,7 +134,7 @@ def sns_consistent(cluster: SnapshotCluster) -> InvariantReport:
     return report
 
 
-def vc_consistent(cluster: SnapshotCluster) -> InvariantReport:
+def vc_consistent(cluster: SimBackend) -> InvariantReport:
     """Definition 1(iv): every stored vector clock is ⪯ the local VC."""
     report = InvariantReport()
     processes = cluster.processes
@@ -153,7 +153,7 @@ def vc_consistent(cluster: SnapshotCluster) -> InvariantReport:
     return report
 
 
-def definition1_consistent(cluster: SnapshotCluster) -> InvariantReport:
+def definition1_consistent(cluster: SimBackend) -> InvariantReport:
     """All four invariants of Definition 1 combined."""
     combined = InvariantReport()
     for check in (ts_consistent, ssn_consistent, sns_consistent, vc_consistent):

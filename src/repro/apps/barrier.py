@@ -17,7 +17,7 @@ from __future__ import annotations
 
 from typing import Any, Callable, Sequence
 
-from repro.core.cluster import SnapshotCluster
+from repro.backend.sim import SimBackend
 
 __all__ = ["PhaseBarrier", "PredicateDetector"]
 
@@ -33,7 +33,7 @@ class PhaseBarrier:
 
     def __init__(
         self,
-        cluster: SnapshotCluster,
+        cluster: SimBackend,
         participants: Sequence[int] | None = None,
         poll_interval: float = 2.0,
     ) -> None:
@@ -86,7 +86,7 @@ class PredicateDetector:
 
     def __init__(
         self,
-        cluster: SnapshotCluster,
+        cluster: SimBackend,
         predicate: Callable[[tuple[Any, ...]], bool],
         poll_interval: float = 2.0,
     ) -> None:

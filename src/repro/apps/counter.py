@@ -18,7 +18,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.core.cluster import SnapshotCluster
+from repro.backend.sim import SimBackend
 
 __all__ = ["CounterReading", "DistributedCounter"]
 
@@ -51,7 +51,7 @@ class DistributedCounter:
     contend.  ``amount`` may be any positive integer (batched adds).
     """
 
-    def __init__(self, cluster: SnapshotCluster) -> None:
+    def __init__(self, cluster: SimBackend) -> None:
         self._cluster = cluster
         self._local: dict[int, int] = {}
 

@@ -7,8 +7,7 @@
 probabilities, and in-flight inspection all still work — the halfway
 point between the deterministic simulator and real sockets.
 
-``repro.runtime.cluster.AsyncioSnapshotCluster`` is a thin alias of this
-class.  Construct *inside* a running event loop (algorithm handlers
+Construct *inside* a running event loop (algorithm handlers
 schedule callbacks at construction).
 """
 

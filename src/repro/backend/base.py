@@ -106,14 +106,32 @@ class Capabilities:
         }
 
     def require(self, capability: str, feature: str | None = None) -> None:
-        """Raise :class:`ConfigurationError` unless ``capability`` holds."""
+        """Raise :class:`ConfigurationError` unless ``capability`` holds.
+
+        The error names every registered backend that *does* provide the
+        missing capability, so the fix (``--backend NAME`` /
+        ``create_backend(NAME, …)``) is in the message itself.
+        """
         if capability not in CAPABILITY_NOTES:
             raise ConfigurationError(f"unknown capability {capability!r}")
         if not getattr(self, capability):
             wanted = feature or CAPABILITY_NOTES[capability]
+            providers = [
+                name
+                for name in backend_names()
+                if getattr(backend_capabilities(name), capability)
+            ]
+            if providers:
+                hint = (
+                    f"; backends providing it: {', '.join(providers)} "
+                    f"(switch with --backend NAME or "
+                    f"create_backend({providers[0]!r}, ...))"
+                )
+            else:
+                hint = "; no registered backend provides it"
             raise ConfigurationError(
                 f"{wanted} requires capability {capability!r}, which the "
-                f"{self.backend!r} backend does not provide"
+                f"{self.backend!r} backend does not provide{hint}"
             )
 
 
@@ -258,9 +276,9 @@ class ClusterBackend:
 
         Stops the loops and releases any transport resources.  Calling
         twice (or on a backend whose :meth:`create` never completed) is a
-        no-op — the lifecycle asymmetry between the old wrappers (sync
-        ``UdpNetwork.close`` vs async ``UdpSnapshotCluster.close``) is
-        resolved here: the *contract* close is async everywhere.
+        no-op — the lifecycle asymmetry the old wrappers had (sync
+        ``UdpNetwork.close`` vs an async cluster close) is resolved
+        here: the *contract* close is async everywhere.
         """
         if getattr(self, "_closed", False):
             return

@@ -7,9 +7,6 @@ golden-trace regression) depends on.  It is the richest backend: every
 capability holds, and it adds the synchronous conveniences
 (:meth:`write_sync`, :meth:`run_until`, …) that only make sense when the
 caller owns the clock.
-
-``repro.core.cluster.SnapshotCluster`` is a thin alias of this class, so
-all existing sim-only code keeps working unchanged.
 """
 
 from __future__ import annotations

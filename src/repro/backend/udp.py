@@ -11,23 +11,19 @@ than ``__init__``::
     backend = await create_backend("udp", "ss-always", config)
     await backend.write(0, b"over-the-wire")
     await backend.close()
-
-``UdpSnapshotCluster`` is the legacy facade kept for compatibility.
 """
 
 from __future__ import annotations
 
 import asyncio
-import warnings
 
 from repro.analysis.metrics import MetricsCollector
 from repro.backend.base import BACKENDS, Capabilities, ClusterBackend
 from repro.config import ClusterConfig
-from repro.errors import ConfigurationError
 from repro.runtime.asyncio_kernel import AsyncioKernel
 from repro.runtime.udp import UdpNetwork
 
-__all__ = ["UdpBackend", "UdpSnapshotCluster"]
+__all__ = ["UdpBackend"]
 
 
 class UdpBackend(ClusterBackend):
@@ -98,39 +94,3 @@ class UdpBackend(ClusterBackend):
 
 
 BACKENDS["udp"] = UdpBackend
-
-
-class UdpSnapshotCluster(UdpBackend):
-    """Deprecated facade over :class:`UdpBackend`.
-
-    .. deprecated::
-        Kept as a thin alias for existing scripts; new code should use
-        ``await repro.backend.create_backend("udp", …)`` (or
-        :class:`UdpBackend` directly).  The historical construction
-        pattern is preserved: ``await UdpSnapshotCluster.create(...)``
-        builds *and starts* the cluster, and direct construction raises.
-    """
-
-    def __init__(self) -> None:
-        raise ConfigurationError("use 'await UdpSnapshotCluster.create(...)'")
-
-    @classmethod
-    async def create(  # type: ignore[override]
-        cls,
-        algorithm="ss-nonblocking",
-        config: ClusterConfig | None = None,
-        time_scale: float = 0.01,
-    ) -> "UdpSnapshotCluster":
-        """Bind sockets, build the processes, start the do-forever loops."""
-        warnings.warn(
-            "UdpSnapshotCluster is deprecated; use "
-            "await repro.backend.create_backend('udp', ...) or "
-            "repro.backend.udp.UdpBackend",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        self = object.__new__(cls)
-        UdpBackend.__init__(self, algorithm, config, time_scale=time_scale)
-        await UdpBackend.create(self)
-        self.start()
-        return self

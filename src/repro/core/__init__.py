@@ -11,7 +11,7 @@
 """
 
 from repro.core.base import SnapshotAlgorithm, SnapshotResult
-from repro.core.cluster import ALGORITHMS, SnapshotCluster
+from repro.core.cluster import ALGORITHMS
 from repro.core.dgfr_always import DgfrAlwaysTerminating
 from repro.core.dgfr_nonblocking import DgfrNonBlocking
 from repro.core.register import BOTTOM, RegisterArray, TimestampedValue
@@ -27,7 +27,6 @@ __all__ = [
     "SelfStabilizingAlwaysTerminating",
     "SelfStabilizingNonBlocking",
     "SnapshotAlgorithm",
-    "SnapshotCluster",
     "SnapshotResult",
     "TimestampedValue",
 ]

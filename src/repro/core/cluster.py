@@ -1,35 +1,29 @@
-"""The public facade: a simulated cluster emulating one snapshot object.
+"""The algorithm registry every backend resolves names through.
 
-:class:`SnapshotCluster` wires together the kernel, the network fabric,
-one algorithm instance per node, the metrics collector, the asynchronous
-cycle tracker, and the operation-history recorder — everything an
-experiment needs.  Most callers use the synchronous helpers::
+:data:`ALGORITHMS` maps registry names to algorithm classes;
+:func:`register_algorithm` lets optional subsystems (stacked baseline,
+bounded variants) extend it lazily.
 
-    cluster = SnapshotCluster("ss-nonblocking", ClusterConfig(n=5))
-    cluster.write_sync(0, b"hello")
-    result = cluster.snapshot_sync(1)
-
-Coroutine variants (:meth:`~repro.backend.base.ClusterBackend.write`,
-:meth:`~repro.backend.base.ClusterBackend.snapshot`) compose with the
-kernel directly for concurrent workloads.
-
-This module also owns the algorithm registry (:data:`ALGORITHMS`,
-:func:`register_algorithm`) that every backend resolves names through.
+The ``SnapshotCluster`` facade that used to live here completed its
+deprecation cycle (alias since PR 4, removed in PR 8).  Deployments are
+built through :func:`repro.backend.create_backend` (or
+:class:`repro.backend.sim.SimBackend` directly for simulator-only
+code), and the documented keyed entry point is
+:class:`repro.client.SnapshotClient`.
 """
 
 from __future__ import annotations
 
-from repro.backend.sim import SimBackend
 from repro.core.dgfr_always import DgfrAlwaysTerminating
 from repro.core.dgfr_nonblocking import DgfrNonBlocking
 from repro.core.ss_always import SelfStabilizingAlwaysTerminating
 from repro.core.ss_nonblocking import SelfStabilizingNonBlocking
 from repro.errors import ConfigurationError
 
-__all__ = ["SnapshotCluster", "ALGORITHMS", "register_algorithm"]
+__all__ = ["ALGORITHMS", "register_algorithm"]
 
-#: Registry of algorithm names accepted by :class:`SnapshotCluster` and
-#: every :class:`~repro.backend.base.ClusterBackend`.  Extended lazily by
+#: Registry of algorithm names accepted by every
+#: :class:`~repro.backend.base.ClusterBackend`.  Extended lazily by
 #: optional subsystems (stacked baseline, bounded variants) via
 #: :func:`register_algorithm`.
 ALGORITHMS: dict[str, type] = {
@@ -50,15 +44,13 @@ def register_algorithm(name: str, algorithm_cls: type) -> None:
     ALGORITHMS[name] = algorithm_cls
 
 
-class SnapshotCluster(SimBackend):
-    """A complete simulated deployment of one snapshot-object algorithm.
-
-    .. deprecated::
-        ``SnapshotCluster`` is now a thin alias of
-        :class:`repro.backend.sim.SimBackend` — the ``sim`` implementation
-        of the cross-runtime :class:`~repro.backend.base.ClusterBackend`
-        contract.  Existing code keeps working unchanged; new
-        backend-agnostic code should go through
-        :func:`repro.backend.create_backend` /
-        :func:`repro.backend.run_on_backend`.
-    """
+def __getattr__(name: str):
+    if name == "SnapshotCluster":
+        raise ImportError(
+            "SnapshotCluster was removed after its deprecation cycle "
+            "(PR 4 → PR 8). Use repro.backend.sim.SimBackend for "
+            "simulator deployments, repro.backend.create_backend for "
+            "backend-agnostic code, or repro.client.SnapshotClient for "
+            "the keyed facade."
+        )
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -8,7 +8,7 @@ attaches observers to a cluster's existing hooks and forwards them to
     from repro.debuglog import attach_debug_logging
 
     logging.basicConfig(level=logging.DEBUG, format="%(message)s")
-    cluster = SnapshotCluster("ss-always", ClusterConfig(n=3))
+    cluster = SimBackend("ss-always", ClusterConfig(n=3))
     detach = attach_debug_logging(cluster)
     cluster.write_sync(0, b"x")
     detach()
@@ -23,7 +23,7 @@ from __future__ import annotations
 import logging
 from typing import Callable
 
-from repro.core.cluster import SnapshotCluster
+from repro.backend.sim import SimBackend
 
 __all__ = ["attach_debug_logging"]
 
@@ -32,7 +32,7 @@ _CYCLE_LOGGER = logging.getLogger("repro.cycles")
 
 
 def attach_debug_logging(
-    cluster: SnapshotCluster,
+    cluster: SimBackend,
     net_level: int = logging.DEBUG,
     cycle_level: int = logging.INFO,
 ) -> Callable[[], None]:

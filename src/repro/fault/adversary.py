@@ -12,12 +12,12 @@ from __future__ import annotations
 
 from typing import Iterable, Sequence
 
-from repro.core.cluster import SnapshotCluster
+from repro.backend.sim import SimBackend
 
 __all__ = ["PartitionSchedule", "isolate", "flapping_partition"]
 
 
-def isolate(cluster: SnapshotCluster, nodes: Iterable[int]) -> None:
+def isolate(cluster: SimBackend, nodes: Iterable[int]) -> None:
     """Partition the given nodes away from the rest of the cluster."""
     group = set(nodes)
     rest = set(range(cluster.config.n)) - group
@@ -25,7 +25,7 @@ def isolate(cluster: SnapshotCluster, nodes: Iterable[int]) -> None:
 
 
 def flapping_partition(
-    cluster: SnapshotCluster,
+    cluster: SimBackend,
     groups: Sequence[set[int]],
     period: float,
     flaps: int,
@@ -53,7 +53,7 @@ class PartitionSchedule:
 
     def __init__(
         self,
-        cluster: SnapshotCluster,
+        cluster: SimBackend,
         events: Sequence[tuple[float, tuple[set[int], ...]]],
     ) -> None:
         self._cluster = cluster

@@ -12,7 +12,7 @@ from __future__ import annotations
 import random
 from dataclasses import dataclass
 
-from repro.core.cluster import SnapshotCluster
+from repro.backend.sim import SimBackend
 
 __all__ = ["CrashEvent", "CrashSchedule", "random_minority"]
 
@@ -39,7 +39,7 @@ class CrashEvent:
 class CrashSchedule:
     """Applies a list of :class:`CrashEvent` to a cluster's kernel clock."""
 
-    def __init__(self, cluster: SnapshotCluster, events: list[CrashEvent]) -> None:
+    def __init__(self, cluster: SimBackend, events: list[CrashEvent]) -> None:
         self._cluster = cluster
         self.events = sorted(events, key=lambda e: e.at)
         self.applied: list[CrashEvent] = []

@@ -1,6 +1,6 @@
 """The one executor giving every :class:`ScenarioSpec` a deterministic meaning.
 
-:func:`run_spec` builds a :class:`~repro.core.cluster.SnapshotCluster`
+:func:`run_spec` builds a :class:`~repro.core.cluster.SimBackend`
 from the spec's config dimensions and drives its event program, checking
 after each phase:
 
@@ -30,7 +30,7 @@ from repro.analysis.history import HistoryRecorder
 from repro.analysis.invariants import definition1_consistent
 from repro.analysis.linearizability import check_snapshot_history
 from repro.core.base import SnapshotResult
-from repro.core.cluster import SnapshotCluster
+from repro.backend.sim import SimBackend
 from repro.errors import DeadlockError, SimulationError
 from repro.fault import TransientFaultInjector
 from repro.fuzz.spec import ScenarioSpec
@@ -133,7 +133,7 @@ class _SpecRun:
             self.cluster = cluster
         else:
             scripted = spec.decision_script is not None
-            self.cluster = SnapshotCluster(
+            self.cluster = SimBackend(
                 spec.algorithm,
                 spec.config(),
                 tie_break=TieBreak.SCRIPTED if scripted else TieBreak.RANDOM,

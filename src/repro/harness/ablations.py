@@ -23,7 +23,7 @@ import numpy as np
 
 from repro.analysis.invariants import definition1_consistent
 from repro.config import ChannelConfig, ClusterConfig
-from repro.core.cluster import SnapshotCluster
+from repro.backend.sim import SimBackend
 from repro.fault import TransientFaultInjector
 from repro.harness.workloads import ContinuousWriters
 
@@ -41,7 +41,7 @@ _CYCLE_CAP = 20
 
 
 def _recovery_cycles(algorithm: str, n: int, seed: int, **config_kwargs) -> int:
-    cluster = SnapshotCluster(
+    cluster = SimBackend(
         algorithm, ClusterConfig(n=n, seed=seed, delta=2, **config_kwargs)
     )
     cluster.write_sync(0, b"pre")
@@ -122,7 +122,7 @@ def a2_gossip_interval_ablation(
         cycle_counts = []
         wall_times = []
         for seed in range(seeds):
-            cluster = SnapshotCluster(
+            cluster = SimBackend(
                 "ss-nonblocking",
                 ClusterConfig(n=n, seed=seed, gossip_interval=interval),
             )
@@ -168,7 +168,7 @@ def a3_loss_retransmission_cost(
     for loss in loss_rates:
         counts = []
         for seed in range(seeds):
-            cluster = SnapshotCluster(
+            cluster = SimBackend(
                 "ss-nonblocking",
                 ClusterConfig(
                     n=n,
@@ -198,7 +198,7 @@ def a4_delta_latency_distribution(deltas=(0, 4, 16), n=5, seeds=8):
     for delta in deltas:
         latencies = []
         for seed in range(seeds):
-            cluster = SnapshotCluster(
+            cluster = SimBackend(
                 "ss-always",
                 ClusterConfig(
                     n=n,

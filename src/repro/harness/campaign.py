@@ -10,15 +10,15 @@ Every verification campaign in the harness answers to one shape:
   NAME``, ``--budget N``, plus ``--jobs N`` and the observability flags.
 
 This module holds the shared plumbing: :func:`extract_campaign_flags`
-parses the uniform flags (and keeps each command's historical spellings
-working as hidden deprecated aliases that warn on stderr), and
-:func:`print_reports` renders any report sequence the same way, so
-``python -m repro chaos|verify|fuzz`` read identically.
+parses the uniform flags (the historical spellings — ``--algo``,
+``--events``, bare positionals — completed their deprecation cycle and
+now fail fast with the canonical flag named), and :func:`print_reports`
+renders any report sequence the same way, so ``python -m repro
+chaos|verify|fuzz`` read identically.
 """
 
 from __future__ import annotations
 
-import sys
 from dataclasses import dataclass
 from typing import Any, Sequence
 
@@ -27,8 +27,15 @@ __all__ = [
     "extract_backend",
     "extract_campaign_flags",
     "print_reports",
-    "warn_deprecated",
+    "reject_removed_spellings",
 ]
+
+#: Flag spellings that completed their deprecation cycle (warned since
+#: PR 4/5, removed in PR 8), mapped to the canonical replacement.
+REMOVED_FLAGS = {
+    "--algo": "--algorithm NAME",
+    "--events": "--budget N",
+}
 
 
 def extract_backend(
@@ -66,12 +73,28 @@ def extract_backend(
     return backend, rest
 
 
-def warn_deprecated(old: str, new: str) -> None:
-    """Tell the user (on stderr, never stdout) to move off an old spelling."""
-    print(
-        f"note: {old} is deprecated; use {new}",
-        file=sys.stderr,
-    )
+def reject_removed_spellings(
+    rest: Sequence[str], positional_hint: str | None = None
+) -> None:
+    """Fail fast on spellings whose deprecation cycle has completed.
+
+    Every campaign command calls this on its leftover args: removed flag
+    aliases exit naming the canonical flag, and — when the command used
+    to accept positionals (``positional_hint`` names the replacement) —
+    any bare positional exits too, instead of being silently ignored.
+    """
+    for arg in rest:
+        flag = arg.partition("=")[0]
+        if flag in REMOVED_FLAGS:
+            raise SystemExit(
+                f"{flag} was removed after its deprecation cycle; "
+                f"use {REMOVED_FLAGS[flag]}"
+            )
+    if positional_hint is not None and rest:
+        raise SystemExit(
+            f"positional arguments were removed after their deprecation "
+            f"cycle; use {positional_hint} (got: {' '.join(rest)})"
+        )
 
 
 @dataclass(frozen=True, slots=True)
@@ -94,17 +117,16 @@ def extract_campaign_flags(
     argv: list[str],
     default_budget: int,
     default_seeds: int = 1,
-    budget_alias: str | None = None,
 ) -> tuple[CampaignOptions, list[str]]:
     """Split the uniform campaign flags out of an argv list.
 
     Understands ``--seeds K`` (number of consecutive seeds),
     ``--seed-start S`` (first seed, default 0), ``--algorithm NAME``, and
-    ``--budget N`` — each also in ``--flag=value`` form.  ``--algo`` is a
-    deprecated alias of ``--algorithm``; ``budget_alias`` (e.g.
-    ``"--events"`` for chaos) names a command-specific deprecated alias
-    of ``--budget``.  Returns ``(options, remaining_args)``; the caller
-    decides what any remaining positionals mean.
+    ``--budget N`` — each also in ``--flag=value`` form.  The removed
+    aliases (``--algo``, ``--events``) fail fast via
+    :func:`reject_removed_spellings`, which callers apply to the
+    remainder.  Returns ``(options, remaining_args)``; the caller decides
+    what any remaining args mean.
     """
     values: dict[str, str] = {}
     rest: list[str] = []
@@ -112,12 +134,6 @@ def extract_campaign_flags(
     def canonical(flag: str) -> str | None:
         if flag in ("--seeds", "--seed-start", "--algorithm", "--budget"):
             return flag
-        if flag == "--algo":
-            warn_deprecated("--algo", "--algorithm")
-            return "--algorithm"
-        if budget_alias is not None and flag == budget_alias:
-            warn_deprecated(budget_alias, "--budget")
-            return "--budget"
         return None
 
     it = iter(argv)

@@ -21,7 +21,7 @@ from repro.analysis.history import HistoryRecorder
 from repro.analysis.invariants import definition1_consistent
 from repro.analysis.linearizability import check_snapshot_history
 from repro.config import scenario_config
-from repro.core.cluster import SnapshotCluster
+from repro.backend.sim import SimBackend
 from repro.fault import TransientFaultInjector
 from repro.obs.alerts import AlertEngine
 
@@ -136,7 +136,7 @@ class ChaosCampaign:
         self.time_scale = time_scale
         self._config = scenario_config(n=n, seed=seed, delta=delta, loss=loss)
         if backend == "sim":
-            self.cluster = SnapshotCluster(algorithm, self._config)
+            self.cluster = SimBackend(algorithm, self._config)
             self.injector = TransientFaultInjector(self.cluster, seed=seed)
         else:
             # Live clusters must be built inside a running event loop;

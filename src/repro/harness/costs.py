@@ -7,7 +7,7 @@ Each function returns a list of row dicts; the benchmarks print them via
 from __future__ import annotations
 
 from repro.config import ChannelConfig, ClusterConfig, UNBOUNDED_DELTA
-from repro.core.cluster import SnapshotCluster
+from repro.backend.sim import SimBackend
 from repro.harness.workloads import value_of_size
 
 __all__ = [
@@ -24,9 +24,9 @@ __all__ = [
 _RELIABLE = ChannelConfig(loss_probability=0.0, duplication_probability=0.0)
 
 
-def _cluster(algorithm: str, n: int, seed: int = 0, **kwargs) -> SnapshotCluster:
+def _cluster(algorithm: str, n: int, seed: int = 0, **kwargs) -> SimBackend:
     config = ClusterConfig(n=n, seed=seed, channel=_RELIABLE, **kwargs)
-    return SnapshotCluster(algorithm, config)
+    return SimBackend(algorithm, config)
 
 
 def e01_nonblocking_op_costs(n_values=(4, 8, 12, 16), seed=0):

@@ -1,6 +1,6 @@
 """Experiment registry and command-line runner.
 
-``python -m repro.harness.experiments`` runs every experiment (E1–E18)
+``python -m repro.harness.experiments`` runs every experiment (E1–E19)
 and prints its table; ``python -m repro.harness.experiments e07 e09``
 runs a subset, and ``--jobs N`` fans the selected experiments out across
 ``N`` worker processes (the printed output is byte-identical to a serial
@@ -39,6 +39,7 @@ from repro.harness.recovery import (
 )
 from repro.harness.report import print_table
 from repro.load.experiments import e17_throughput_vs_n, e18_delta_vs_throughput
+from repro.shard.experiments import e19_throughput_vs_shards
 
 __all__ = [
     "BACKEND_AWARE",
@@ -122,12 +123,16 @@ EXPERIMENTS: dict[str, tuple[str, Callable[[], list[dict]]]] = {
         "E18 / Contribution 2 — delta vs throughput and snapshot tails under load",
         e18_delta_vs_throughput,
     ),
+    "e19": (
+        "E19 / sharding — aggregate saturated throughput vs shard count K",
+        e19_throughput_vs_shards,
+    ),
 }
 
 #: Experiments that accept a ``backend`` kwarg; ``--backend`` restricts
 #: the selection to these (the rest measure simulator-only quantities
 #: like cycle counts and deterministic schedules).
-BACKEND_AWARE = frozenset({"e16", "e17", "e18"})
+BACKEND_AWARE = frozenset({"e16", "e17", "e18", "e19"})
 
 
 def run_experiment(experiment_id: str) -> list[dict]:

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 from repro.analysis.linearizability import check_snapshot_history
 from repro.config import ClusterConfig
-from repro.core.cluster import SnapshotCluster
+from repro.backend.sim import SimBackend
 from repro.errors import DeadlockError
 
 __all__ = ["e13_crash_tolerance"]
@@ -23,7 +23,7 @@ def e13_crash_tolerance(
     rows = []
     for algorithm in algorithms:
         for f in range(n):
-            cluster = SnapshotCluster(
+            cluster = SimBackend(
                 algorithm, ClusterConfig(n=n, seed=seed, delta=0)
             )
             cluster.write_sync(0, "before-crashes")

@@ -17,7 +17,7 @@ from __future__ import annotations
 from repro.analysis.spacetime import render_spacetime
 from repro.analysis.trace import MessageTrace
 from repro.config import ChannelConfig, ClusterConfig
-from repro.core.cluster import SnapshotCluster
+from repro.backend.sim import SimBackend
 
 __all__ = ["FIGURES", "render_figure"]
 
@@ -29,7 +29,7 @@ def _traced_cluster(algorithm: str, n: int = 4, delta: float = 4):
     config = ClusterConfig(
         n=n, seed=0, delta=delta, channel=_CRISP, gossip_interval=4.0
     )
-    cluster = SnapshotCluster(algorithm, config, tie_break="fifo")
+    cluster = SimBackend(algorithm, config, tie_break="fifo")
     trace = MessageTrace(cluster.network)
     return cluster, trace
 

@@ -11,7 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.config import ChannelConfig, ClusterConfig, UNBOUNDED_DELTA
-from repro.core.cluster import SnapshotCluster
+from repro.backend.sim import SimBackend
 from repro.harness.workloads import ContinuousWriters
 
 __all__ = [
@@ -33,7 +33,7 @@ def _loaded_cluster(delta, n=5, seed=1, algorithm="ss-always"):
     config = ClusterConfig(
         n=n, seed=seed, delta=delta, channel=_STEADY, gossip_interval=1.0
     )
-    return SnapshotCluster(algorithm, config)
+    return SimBackend(algorithm, config)
 
 
 def e09_delta_latency(deltas=(0, 1, 2, 4, 8, 16), n=5, seed=1):

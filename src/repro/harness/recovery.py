@@ -8,7 +8,7 @@ from repro.analysis.invariants import (
     ts_consistent,
 )
 from repro.config import scenario_config
-from repro.core.cluster import SnapshotCluster
+from repro.backend.sim import SimBackend
 from repro.errors import ResetInProgressError
 from repro.fault import TransientFaultInjector
 from repro.obs.observe import Observability
@@ -31,7 +31,7 @@ _CORRUPTIONS = {
 }
 
 
-def _cycles_until(cluster: SnapshotCluster, predicate) -> int | None:
+def _cycles_until(cluster: SimBackend, predicate) -> int | None:
     """Count cycle boundaries until ``predicate(cluster)`` holds."""
     cluster.tracker.reset()
 
@@ -63,7 +63,7 @@ def _recovery_cell(algorithm, config, corrupt, predicate):
     session-wide metric, so earlier cells' counts are not re-reported.
     """
     obs = Observability(trace_messages=False)
-    cluster = SnapshotCluster(algorithm, config)
+    cluster = SimBackend(algorithm, config)
     cobs = obs.attach(cluster)  # no-op if an ambient session attached first
     session = cobs.session
     baseline = session.collect().get(
@@ -143,7 +143,7 @@ def e14_bounded_reset(max_int=10, rounds=25, n=5, seed=0):
     the criteria permit), whether register values survived each reset,
     and final epoch agreement.
     """
-    cluster = SnapshotCluster(
+    cluster = SimBackend(
         "bounded-ss-nonblocking",
         scenario_config(n=n, seed=seed, max_int=max_int),
     )

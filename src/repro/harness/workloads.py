@@ -4,7 +4,7 @@ from __future__ import annotations
 
 from typing import Any, Iterable
 
-from repro.core.cluster import SnapshotCluster
+from repro.backend.sim import SimBackend
 
 __all__ = ["ContinuousWriters", "value_of_size"]
 
@@ -24,7 +24,7 @@ class ContinuousWriters:
 
     def __init__(
         self,
-        cluster: SnapshotCluster,
+        cluster: SimBackend,
         nodes: Iterable[int],
         payload: Any = None,
     ) -> None:

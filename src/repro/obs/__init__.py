@@ -8,11 +8,11 @@ overhead contract.
 
 Quick start::
 
-    from repro import ClusterConfig, SnapshotCluster
+    from repro import ClusterConfig, SimBackend
     from repro.obs import Observability, session
 
     with session() as obs:                   # ambient: clusters auto-attach
-        cluster = SnapshotCluster("ss-nonblocking", ClusterConfig(n=4))
+        cluster = SimBackend("ss-nonblocking", ClusterConfig(n=4))
         cluster.write_sync(0, b"hello")
     obs.finish()
     print(obs.summary())                     # terminal tables

@@ -48,7 +48,12 @@ def chrome_trace(obs: "Observability") -> dict:
                 "name": "process_name",
                 "ph": "M",
                 "pid": pid,
-                "args": {"name": f"cluster{pid} ({cluster.algorithm_name})"},
+                "args": {
+                    "name": (
+                        f"{cobs.label or f'cluster{pid}'} "
+                        f"({cluster.algorithm_name})"
+                    )
+                },
             }
         )
         for tid in range(n):
@@ -198,6 +203,7 @@ def chrome_trace(obs: "Observability") -> dict:
             "clusters": [
                 {
                     "index": cobs.index,
+                    **({"label": cobs.label} if cobs.label else {}),
                     "algorithm": cobs.cluster.algorithm_name,
                     "n": cobs.cluster.config.n,
                 }
@@ -220,6 +226,7 @@ def jsonl(obs: "Observability") -> str:
                 "clusters": [
                     {
                         "index": cobs.index,
+                        **({"label": cobs.label} if cobs.label else {}),
                         "algorithm": cobs.cluster.algorithm_name,
                         "n": cobs.cluster.config.n,
                     }

@@ -14,7 +14,7 @@ One :class:`Observability` object is a *session*: it owns a
   update behind an ``obs is not None`` test.
 
 Sessions can be installed as *ambient* via :func:`session`, in which
-case every :class:`~repro.core.cluster.SnapshotCluster` constructed
+case every :class:`~repro.core.cluster.SimBackend` constructed
 inside the ``with`` block attaches itself automatically — this is how
 ``--trace-out`` observes clusters that experiment runners build
 internally.
@@ -39,7 +39,7 @@ from repro.obs.registry import MetricsRegistry
 from repro.obs.spans import ABORTED, OK, Span, SpanRecorder
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
-    from repro.core.cluster import SnapshotCluster
+    from repro.backend.sim import SimBackend
 
 __all__ = [
     "KernelStats",
@@ -205,13 +205,16 @@ class ClusterObs:
     def __init__(
         self,
         session: "Observability",
-        cluster: "SnapshotCluster",
+        cluster: "SimBackend",
         index: int,
         trace_messages: bool = True,
     ) -> None:
         self.session = session
         self.cluster = cluster
         self.index = index
+        #: Optional human label for this cluster in exports (the sharded
+        #: fabric sets ``"shard<K>"`` so blame/health rows name shards).
+        self.label: str | None = None
         self.trace: MessageTrace | None = (
             MessageTrace(cluster.network) if trace_messages else None
         )
@@ -378,7 +381,7 @@ class Observability:
         self._absorbed_blame: dict = {"attributed": 0, "nodes": {}}
         self._absorbed_health: list[list[dict]] = []
 
-    def attach(self, cluster: "SnapshotCluster") -> ClusterObs:
+    def attach(self, cluster: "SimBackend") -> ClusterObs:
         """Observe a cluster (idempotent: re-attaching returns the existing)."""
         if cluster.obs is not None:
             return cluster.obs

@@ -32,7 +32,7 @@ from dataclasses import dataclass
 
 from repro.config import ClusterConfig
 from repro.core.base import SnapshotResult
-from repro.core.cluster import SnapshotCluster
+from repro.backend.sim import SimBackend
 from repro.core.register import TimestampedValue
 from repro.errors import ConfigurationError
 
@@ -43,14 +43,14 @@ __all__ = ["ReconfigurationReport", "reconfigure"]
 class ReconfigurationReport:
     """Outcome of a configuration change."""
 
-    new_cluster: SnapshotCluster
+    new_cluster: SimBackend
     transfer_point: SnapshotResult
     carried_entries: int
     dropped: tuple[int, ...]
 
 
 async def reconfigure(
-    old_cluster: SnapshotCluster,
+    old_cluster: SimBackend,
     new_config: ClusterConfig,
     algorithm: str | type | None = None,
     collector_node: int = 0,
@@ -80,7 +80,7 @@ async def reconfigure(
     transfer_point = await old_cluster.snapshot(collector_node)
 
     # Step 3: build the successor on the same kernel/timeline.
-    new_cluster = SnapshotCluster(
+    new_cluster = SimBackend(
         algorithm if algorithm is not None else old_cluster.algorithm_name,
         new_config,
         start=False,

@@ -1,9 +1,11 @@
 """Live runtimes: the same algorithms over an event loop or real UDP.
 
-The legacy cluster facades (``AsyncioSnapshotCluster``,
-``UdpSnapshotCluster``) are now thin aliases over the backend package
-and resolve lazily here — the backend implementations import this
-package's kernel/transport modules, so eager imports would cycle.
+This package holds the kernel/transport substrate the live backends are
+built from.  The legacy cluster facades (``AsyncioSnapshotCluster``,
+``UdpSnapshotCluster``) completed their deprecation cycle (aliases since
+PR 5, removed in PR 8); the replacements are
+:func:`repro.backend.create_backend` and
+:class:`repro.client.SnapshotClient`.
 """
 
 from repro.runtime.asyncio_kernel import AsyncioEvent, AsyncioGate, AsyncioKernel
@@ -13,20 +15,21 @@ __all__ = [
     "AsyncioEvent",
     "AsyncioGate",
     "AsyncioKernel",
-    "AsyncioSnapshotCluster",
     "DatagramFaultGate",
     "UdpNetwork",
-    "UdpSnapshotCluster",
 ]
+
+_REMOVED = {
+    "AsyncioSnapshotCluster": "repro.backend.create_backend('asyncio', ...)",
+    "UdpSnapshotCluster": "repro.backend.create_backend('udp', ...)",
+}
 
 
 def __getattr__(name: str):
-    if name == "AsyncioSnapshotCluster":
-        from repro.runtime.cluster import AsyncioSnapshotCluster
-
-        return AsyncioSnapshotCluster
-    if name == "UdpSnapshotCluster":
-        from repro.backend.udp import UdpSnapshotCluster
-
-        return UdpSnapshotCluster
+    if name in _REMOVED:
+        raise ImportError(
+            f"{name} was removed after its deprecation cycle "
+            f"(PR 5 → PR 8). Use {_REMOVED[name]} for backend-agnostic "
+            f"code, or repro.client.SnapshotClient for the keyed facade."
+        )
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

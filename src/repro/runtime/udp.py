@@ -18,9 +18,8 @@ mirroring the simulated channel's behaviour (and its RNG draw order) on
 real sockets.  Chaos and fuzz campaigns thereby speak the same scenario
 vocabulary over the wire.
 
-The cluster facade lives in :class:`repro.backend.udp.UdpBackend`
-(``UdpSnapshotCluster`` remains importable from :mod:`repro.runtime` as
-a thin alias); this module holds the transport only.
+The cluster facade lives in :class:`repro.backend.udp.UdpBackend`;
+this module holds the transport only.
 """
 
 from __future__ import annotations

@@ -1,0 +1,143 @@
+"""Correctness checking for sharded histories.
+
+Two layers, matching the fabric's two-layer guarantee:
+
+* **per shard** — every shard is a complete snapshot object, so its own
+  history must pass the PR-1 linearizability checker
+  (:func:`repro.analysis.linearizability.check_snapshot_history`)
+  unchanged: per-writer timestamp monotonicity, total ⪯-order of
+  snapshot vectors, real-time order, value agreement.  Because each key
+  lives in exactly one slot and the fabric serializes that slot's
+  writes, per-shard atomicity *is* per-key atomicity.
+* **composed** — the cross-shard cuts and fabric-level writes must
+  linearize with each other: composed vectors within an epoch must be
+  ⪯-comparable and respect real-time order; each key's sequence number
+  (global across epochs — migration preserves it) must be monotone
+  across real-time-ordered cuts; and a cut must contain every write
+  that responded before it was invoked and no write invoked after it
+  responded.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any
+
+from repro.analysis.linearizability import check_snapshot_history
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.shard.fabric import ComposedSnapshot, ShardedFabric
+
+__all__ = ["check_composed_records", "check_fabric", "check_shard_histories"]
+
+
+def check_shard_histories(fabric: "ShardedFabric") -> list[str]:
+    """Run the single-object linearizability checker on every shard."""
+    failures: list[str] = []
+    for shard_id in sorted(fabric.shard_ids):
+        backend = fabric.shard(shard_id)
+        try:
+            backend.history.validate_well_formed()
+        except Exception as exc:  # noqa: BLE001 - folded into the report
+            failures.append(f"shard{shard_id}: malformed history: {exc}")
+            continue
+        report = check_snapshot_history(
+            backend.history.records(), backend.config.n
+        )
+        if not report.ok:
+            failures.extend(
+                f"shard{shard_id}: {violation}"
+                for violation in report.violations
+            )
+    return failures
+
+
+def _vc_leq(a: "ComposedSnapshot", b: "ComposedSnapshot") -> bool:
+    return all(
+        all(x <= y for x, y in zip(a.shard_vectors[sid], b.shard_vectors[sid]))
+        for sid in a.shard_vectors
+    )
+
+
+def check_composed_records(fabric: "ShardedFabric") -> list[str]:
+    """Check composed cuts against each other and the per-key writes."""
+    failures: list[str] = []
+    composed = list(fabric.composed)
+    items: list[dict[Any, tuple[int, Any]]] = [c.items() for c in composed]
+
+    # 1. Within an epoch, composed vectors form a total ⪯-order
+    #    (atomicity of the composed object, lifted from condition 3 of
+    #    the single-object checker).
+    by_epoch: dict[int, list[int]] = {}
+    for index, cut in enumerate(composed):
+        by_epoch.setdefault(cut.epoch, []).append(index)
+    for epoch, indices in by_epoch.items():
+        ordered = sorted(
+            indices,
+            key=lambda i: sum(
+                sum(vc) for vc in composed[i].shard_vectors.values()
+            ),
+        )
+        for earlier, later in zip(ordered, ordered[1:]):
+            if not _vc_leq(composed[earlier], composed[later]):
+                failures.append(
+                    f"composed cuts {earlier} and {later} (epoch {epoch}) "
+                    f"are ⪯-incomparable"
+                )
+
+    # 2. Real-time order between cuts: a cut that responded before
+    #    another was invoked must be ⪯ it (same epoch) and must not show
+    #    a larger seq for any key (any epoch — seqs survive migration).
+    for i, first in enumerate(composed):
+        for j, second in enumerate(composed):
+            if i == j or not first.responded < second.invoked:
+                continue
+            if first.epoch == second.epoch and not _vc_leq(first, second):
+                failures.append(
+                    f"composed cut {j} (after {i} in real time) returned "
+                    f"an older vector"
+                )
+            for key, (seq, _) in items[i].items():
+                other = items[j].get(key)
+                if other is None or other[0] < seq:
+                    failures.append(
+                        f"composed cut {j} (after {i} in real time) lost "
+                        f"key {key!r}: seq {seq} regressed to "
+                        f"{other[0] if other else 'absent'}"
+                    )
+
+    # 3. Write containment: effects respect real-time order in both
+    #    directions (conditions 5a/5b of the single-object checker,
+    #    restated over per-key seqs).
+    for w in fabric.writes:
+        for j, cut in enumerate(composed):
+            entry = items[j].get(w.key)
+            seen = entry[0] if entry is not None else 0
+            if w.responded < cut.invoked and seen < w.seq:
+                failures.append(
+                    f"composed cut {j} misses write {w.key!r}#{w.seq} "
+                    f"that preceded it (saw seq {seen})"
+                )
+            if cut.responded < w.invoked and seen >= w.seq:
+                failures.append(
+                    f"composed cut {j} saw future write {w.key!r}#{w.seq} "
+                    f"invoked after it responded"
+                )
+
+    # 4. Per-key seqs are unique and increase in execution order (the
+    #    fabric is each key's single sequential writer).
+    last_seq: dict[Any, int] = {}
+    for w in fabric.writes:
+        previous = last_seq.get(w.key, 0)
+        if w.seq <= previous:
+            failures.append(
+                f"write seq not increasing for key {w.key!r}: "
+                f"{w.seq} after {previous}"
+            )
+        last_seq[w.key] = max(previous, w.seq)
+
+    return failures
+
+
+def check_fabric(fabric: "ShardedFabric") -> list[str]:
+    """Every check; empty list means the sharded run was linearizable."""
+    return check_shard_histories(fabric) + check_composed_records(fabric)

@@ -1,0 +1,85 @@
+"""Epoch agreement: who decides the next shard map.
+
+A shard split is a *configuration change*: every router must agree on
+the successor :class:`~repro.shard.ring.ShardMap` (and on when it takes
+effect) or two routers could disagree about which shard owns a key —
+exactly the split-brain a snapshot fabric must rule out.  The principled
+primitive for that decision in our failure model is the self-stabilizing
+multivalued consensus of Lundström, Raynal & Schiller (see PAPERS.md and
+ROADMAP item 5): each proposer submits a candidate map for epoch ``e+1``
+and all correct participants decide the *same* candidate, even from a
+transiently corrupted starting state.
+
+This module defines the seam the fabric calls through —
+:class:`EpochDecider` — plus the single-router trivial implementation
+used today.  When ROADMAP item 5 lands the consensus algorithm, it slots
+in behind the same two methods and multi-router deployments inherit
+agreed epoch changes without the fabric changing.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol
+
+from repro.errors import ConfigurationError
+from repro.shard.ring import ShardMap
+
+__all__ = ["EpochDecider", "LocalEpochDecider"]
+
+
+class EpochDecider(Protocol):
+    """Decides which shard map governs each epoch.
+
+    Contract (what the consensus implementation must provide):
+
+    * **Agreement** — every caller that decides epoch ``e`` decides the
+      same :class:`ShardMap`.
+    * **Validity** — the decided map was proposed by some caller.
+    * **Monotonicity** — epochs decide in order; a decided epoch is
+      never re-decided to a different value.
+    * **Self-stabilization** — after transient state corruption the
+      decider recovers to a state where the above hold for all future
+      epochs (this is what Lundström/Raynal/Schiller's multivalued
+      consensus adds over a textbook implementation).
+    """
+
+    def propose(self, proposal: ShardMap, current: ShardMap) -> ShardMap:
+        """Propose ``proposal`` as the successor of ``current``; return
+        the decided map for ``current.epoch + 1`` (not necessarily the
+        proposal)."""
+        ...
+
+    def decided(self, epoch: int) -> ShardMap | None:
+        """The map decided for ``epoch``, or ``None`` if undecided."""
+        ...
+
+
+class LocalEpochDecider:
+    """Trivial single-router decider: every proposal wins.
+
+    Correct while exactly one :class:`~repro.shard.fabric.ShardedFabric`
+    instance routes a deployment (today's topology).  It still enforces
+    the *shape* of the contract — epochs are sequential and a decided
+    epoch is immutable — so swapping in the consensus-backed decider is
+    behaviour-preserving for a single router.
+    """
+
+    def __init__(self) -> None:
+        self._decisions: dict[int, ShardMap] = {}
+
+    def propose(self, proposal: ShardMap, current: ShardMap) -> ShardMap:
+        """Decide the successor map (first proposal per epoch wins)."""
+        if proposal.epoch != current.epoch + 1:
+            raise ConfigurationError(
+                f"epoch proposal must be {current.epoch + 1}, "
+                f"got {proposal.epoch}"
+            )
+        existing = self._decisions.get(proposal.epoch)
+        if existing is not None:
+            return existing
+        self._decisions[proposal.epoch] = proposal
+        return proposal
+
+    def decided(self, epoch: int) -> ShardMap | None:
+        """The map decided at ``epoch``, or ``None`` if none yet."""
+        return self._decisions.get(epoch)

@@ -1,0 +1,195 @@
+"""E19 — aggregate throughput vs shard count at fixed n.
+
+The scaling claim behind the whole fabric: one n-node cluster saturates
+at ≈1 op/u (the BENCH_PR5 knee at n=4), so K *independent* clusters
+behind the consistent-hash router should saturate at ≈K× that — the
+shards share no quorum, no register and no message channel, only the
+simulated timeline.  E19 measures it: a saturated closed-loop keyed
+workload (clients scaled with K, uniform key popularity) against
+K ∈ {1, 2, 4, 8} fabrics at n=4, with composed cross-shard cuts taken
+mid-run and the full two-layer linearizability check on every run.
+
+``python -m repro shard --sweep`` serializes the series into
+``BENCH_PR8.json`` (house baseline shape; gated in CI by
+``benchmarks/check_shard_series.py`` — monotone throughput in K and
+K=8 ≥ 5× the single-cluster BENCH_PR5 capacity).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Sequence
+
+from repro.config import scenario_config
+from repro.shard.load import ShardLoadReport, ShardLoadSpec, run_shard_load
+
+__all__ = [
+    "DEFAULT_SHARD_COUNTS",
+    "e19_throughput_vs_shards",
+    "shard_scaling_series",
+    "write_shard_bench",
+]
+
+#: The K ladder E19 measures (fixed n=4 per shard).
+DEFAULT_SHARD_COUNTS = (1, 2, 4, 8)
+
+#: Single-cluster capacity fallback when BENCH_PR5.json is unavailable
+#: (its measured headline: 0.99 op/u at n=4).
+PR5_FALLBACK_CAPACITY = 0.99
+
+
+def _saturated_spec(shards: int, duration: float, seed: int) -> ShardLoadSpec:
+    """A closed-loop spec that saturates K shards.
+
+    Clients scale with K (8 per shard, depth 2) so the offered
+    concurrency covers the fabric's ``K × n`` register slots at every
+    ladder rung; uniform key popularity (skew 0) lets the ring spread
+    them evenly.
+    """
+    return ShardLoadSpec(
+        clients=8 * shards,
+        depth=2,
+        duration=duration,
+        write_fraction=0.8,
+        skew=0.0,
+        composes=2,
+        seed=seed,
+    )
+
+
+def shard_scaling_series(
+    ks: Sequence[int] | None = None,
+    backend: str = "sim",
+    algorithm: str = "ss-nonblocking",
+    n: int = 4,
+    *,
+    duration: float = 60.0,
+    seed: int = 0,
+    delta: float = 2,
+    time_scale: float = 0.002,
+    progress: bool = False,
+) -> list[ShardLoadReport]:
+    """One saturated run per shard count; reports in ladder order."""
+    if ks is None:
+        ks = DEFAULT_SHARD_COUNTS
+    reports = []
+    for shards in ks:
+        report = run_shard_load(
+            backend=backend,
+            shards=shards,
+            algorithm=algorithm,
+            config=scenario_config(n=n, seed=seed, delta=delta),
+            spec=_saturated_spec(shards, duration, seed),
+            time_scale=time_scale,
+        )
+        reports.append(report)
+        if progress:
+            print(f"  {report.summary()}")
+    return reports
+
+
+def baseline_capacity(bench_pr5: str | Path = "BENCH_PR5.json") -> float:
+    """The single-cluster capacity E19 scales against.
+
+    Reads the BENCH_PR5 headline when present so the speedup is against
+    the *recorded* baseline, not a re-measurement.
+    """
+    path = Path(bench_pr5)
+    if path.exists():
+        try:
+            headline = json.loads(path.read_text()).get("headline", {})
+            capacity = headline.get("saturated_throughput")
+            if capacity:
+                return float(capacity)
+        except (ValueError, OSError):
+            pass
+    return PR5_FALLBACK_CAPACITY
+
+
+def e19_throughput_vs_shards(
+    backend: str = "sim", seed: int = 0, duration: float = 60.0
+) -> list[dict]:
+    """E19 rows: aggregate saturated throughput vs shard count."""
+    reports = shard_scaling_series(
+        backend=backend, seed=seed, duration=duration
+    )
+    base = reports[0].throughput if reports else 1.0
+    pr5 = baseline_capacity()
+    rows = []
+    for report in reports:
+        rows.append(
+            {
+                "shards": report.shards,
+                "clients": report.spec.clients,
+                "completed": report.completed,
+                "throughput": round(report.throughput, 3),
+                "speedup_vs_k1": round(report.throughput / base, 2),
+                "vs_pr5_capacity": round(report.throughput / pr5, 2),
+                "p50": round(report.latency["all"]["p50"], 2),
+                "p99": round(report.latency["all"]["p99"], 2),
+                "imbalance": round(report.imbalance, 3),
+                "composed_cuts": report.composes,
+                "linearizable": report.ok,
+            }
+        )
+    return rows
+
+
+def write_shard_bench(
+    path: str | Path,
+    reports: list[ShardLoadReport],
+    extra: dict[str, Any] | None = None,
+) -> Path:
+    """Write ``BENCH_PR8.json`` in the house baseline-file shape."""
+    import os
+    import platform
+
+    path = Path(path)
+    pr5 = baseline_capacity()
+    series = []
+    base = reports[0].throughput if reports else 1.0
+    for report in reports:
+        row = report.row()
+        row["speedup_vs_k1"] = round(report.throughput / base, 2)
+        row["vs_pr5_capacity"] = round(report.throughput / pr5, 2)
+        series.append(row)
+    payload: dict[str, Any] = {
+        "pr": 8,
+        "description": (
+            "Sharded-fabric scaling: aggregate saturated closed-loop "
+            "throughput vs shard count K at fixed n per shard, with "
+            "composed cross-shard snapshots taken mid-run and every run "
+            "checked linearizable per shard and across composed cuts. "
+            "speedup_vs_k1 is against the K=1 rung of this series; "
+            "vs_pr5_capacity is against the recorded single-cluster "
+            "BENCH_PR5 capacity."
+        ),
+        "host": {
+            "python": platform.python_version(),
+            "cpu_count": os.cpu_count(),
+            "platform": platform.platform(),
+        },
+        "baseline": {
+            "source": "BENCH_PR5.json headline",
+            "k1_capacity": pr5,
+        },
+        "series": series,
+    }
+    if reports:
+        last = reports[-1]
+        payload["headline"] = {
+            "backend": last.backend,
+            "algorithm": last.algorithm,
+            "n": last.n,
+            "max_shards": last.shards,
+            "k1_throughput": round(reports[0].throughput, 3),
+            "max_throughput": round(last.throughput, 3),
+            "speedup_vs_k1": round(last.throughput / base, 2),
+            "vs_pr5_capacity": round(last.throughput / pr5, 2),
+            "linearizable": all(report.ok for report in reports),
+        }
+    if extra:
+        payload.update(extra)
+    path.write_text(json.dumps(payload, indent=2) + "\n")
+    return path

@@ -1,0 +1,765 @@
+"""The sharded snapshot fabric: K independent clusters, one object.
+
+A :class:`ShardedFabric` runs ``K`` full snapshot-object deployments —
+each a :class:`~repro.backend.base.ClusterBackend` on any substrate —
+behind the consistent-hash :class:`~repro.shard.ring.ShardMap`.  Client
+keys route to one register *slot* ``(shard, node)``; the fabric is the
+slot's single sequential writer, exactly the paper's SWMR model with the
+fabric playing the clients' role, so every per-shard guarantee (Definition
+1 atomicity, self-stabilization, crash tolerance) applies per key
+unchanged.
+
+Three mechanisms make the composition more than K disjoint objects:
+
+* **per-slot FIFO chains** — operations on a slot dispatch strictly in
+  submission order (the read-modify-write of the slot's key→value map
+  must serialize), while slots — and therefore shards — run genuinely
+  concurrently.  This is the scaling axis E19 measures.
+* **composed snapshots** — a globally-consistent cut across all shards.
+  Per-shard snapshots are atomic and their vector clocks monotone, so a
+  *double collect* (two rounds of parallel per-shard snapshots returning
+  identical vectors) proves every shard's state was unchanged between
+  the two rounds' linearization points, i.e. the composed vector is the
+  true global state at any instant in between — the same argument as the
+  stacked double-collect scan, lifted one level.  Under write pressure
+  the optimistic rounds may never agree, so after ``max_rounds`` the
+  fabric *fences*: it briefly closes the admission gate, drains in-flight
+  operations, and takes one trivially-stable collect (the
+  always-terminating flavour of the same trade-off the paper's
+  Algorithm 2 makes).
+* **epoch-stamped reconfiguration** — a shard split installs a successor
+  :class:`ShardMap` (epoch + 1, decided through the
+  :class:`~repro.shard.epoch.EpochDecider` seam) only at a drained
+  quiescent point; queued operations re-check the installed map when
+  they execute and *hop* to a key's new home if it migrated.  No
+  operation is lost (the gate only pauses, never drops) and none is
+  duplicated (an operation executes exactly once, at its final slot).
+  State moves by taking the drained point as the transfer point and
+  re-publishing moved entries through ordinary paper writes — the same
+  snapshot-as-linearization-point handoff as
+  :func:`repro.reconfig.migration.reconfigure`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Any, Awaitable, Callable
+
+from repro.backend.base import ClusterBackend, backend_class
+from repro.config import ClusterConfig
+from repro.errors import ConfigurationError, ReproError
+from repro.shard.epoch import EpochDecider, LocalEpochDecider
+from repro.shard.ring import DEFAULT_VNODES, ShardMap
+
+__all__ = [
+    "ComposedSnapshot",
+    "KeyView",
+    "ShardedFabric",
+    "SplitReport",
+    "WriteRecord",
+    "build_sim_fabric",
+    "create_fabric",
+    "run_on_fabric",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class WriteRecord:
+    """One fabric-level write, as the per-key checker sees it."""
+
+    key: Any
+    seq: int
+    slot: tuple[int, int]
+    epoch: int
+    invoked: float
+    responded: float
+    ts: int
+
+
+@dataclass(frozen=True, slots=True)
+class KeyView:
+    """A shard-local read: one key projected out of an atomic scan."""
+
+    key: Any
+    seq: int
+    value: Any
+    found: bool
+    shard: int
+    epoch: int
+
+
+@dataclass(frozen=True, slots=True)
+class ComposedSnapshot:
+    """A globally-consistent cut across every shard.
+
+    ``shard_vectors`` maps shard id → that shard's snapshot vector
+    clock; ``shard_slots`` maps shard id → the per-node slot maps
+    (``{key: (seq, value)}`` or ``None`` for never-written registers).
+    ``fenced`` records whether the cut came from the optimistic
+    double-collect (``False``) or the drained fallback (``True``) —
+    both are linearizable; they differ only in how they terminated.
+    """
+
+    epoch: int
+    invoked: float
+    responded: float
+    shard_vectors: dict[int, tuple[int, ...]]
+    shard_slots: dict[int, tuple[Any, ...]]
+    rounds: int
+    fenced: bool
+
+    def vector(self) -> tuple[tuple[int, tuple[int, ...]], ...]:
+        """The composed vector clock: ``((shard_id, vc), …)`` sorted."""
+        return tuple(sorted(self.shard_vectors.items()))
+
+    def items(self) -> dict[Any, tuple[int, Any]]:
+        """Merged ``{key: (seq, value)}`` across every slot of the cut."""
+        merged: dict[Any, tuple[int, Any]] = {}
+        for shard_id in sorted(self.shard_slots):
+            for slot_map in self.shard_slots[shard_id]:
+                if not slot_map:
+                    continue
+                for key, entry in slot_map.items():
+                    current = merged.get(key)
+                    if current is None or entry[0] > current[0]:
+                        merged[key] = entry
+        return merged
+
+    def get(self, key: Any, default: Any = None) -> Any:
+        """The value of ``key`` in the cut (``default`` if unwritten)."""
+        entry = self.items().get(key)
+        return entry[1] if entry is not None else default
+
+    def __contains__(self, key: Any) -> bool:
+        return key in self.items()
+
+
+@dataclass(frozen=True, slots=True)
+class SplitReport:
+    """Outcome of one shard split."""
+
+    old_epoch: int
+    new_epoch: int
+    new_shard_ids: tuple[int, ...]
+    moved_keys: int
+    transfer_vector: tuple[tuple[int, tuple[int, ...]], ...]
+
+
+class ShardedFabric:
+    """K snapshot clusters behind one consistent-hash router.
+
+    Build through :func:`build_sim_fabric` (synchronous, simulator) or
+    :func:`create_fabric` (any backend, inside an event loop); drive
+    whole workloads with :func:`run_on_fabric`.  The documented client
+    entry point wrapping this is
+    :class:`repro.client.SnapshotClient`.
+    """
+
+    def __init__(
+        self,
+        shards: dict[int, ClusterBackend],
+        shard_map: ShardMap,
+        *,
+        backend_name: str,
+        algorithm: str,
+        base_config: ClusterConfig,
+        time_scale: float = 0.002,
+        decider: EpochDecider | None = None,
+    ) -> None:
+        if sorted(shards) != list(shard_map.shard_ids):
+            raise ConfigurationError(
+                f"shard clusters {sorted(shards)} do not match the map "
+                f"{shard_map.shard_ids}"
+            )
+        self._shards = dict(shards)
+        self.map = shard_map
+        self.backend_name = backend_name
+        self.algorithm_name = algorithm
+        self.base_config = base_config
+        self.time_scale = time_scale
+        self.decider = decider if decider is not None else LocalEpochDecider()
+        self.kernel = next(iter(self._shards.values())).kernel
+        self.n = base_config.n
+        #: Authoritative per-slot key→(seq, value) maps.  The fabric is
+        #: each slot's single writer (SWMR), so this is the writer's own
+        #: copy of its register contents — what the paper's node keeps
+        #: in ``reg[i]`` — not a cache that can go stale.
+        self._slots: dict[tuple[int, int], dict[Any, tuple[int, Any]]] = {}
+        self._key_seq: dict[Any, int] = {}
+        #: Per-slot FIFO dispatch chains: every operation touching a
+        #: slot — writes, key scans, composed collects — dispatches in
+        #: submission order, honouring the model's one-sequential-client
+        #: -per-node assumption (the same discipline as
+        #: :meth:`ClusterBackend._submit`).
+        self._chains: dict[tuple[int, int], Any] = {}
+        self._admin_chain: Any = None
+        #: Admission gate: closed while a split or fenced compose holds
+        #: the fabric quiescent.  Closing *pauses* admissions; nothing
+        #: is ever dropped.
+        self._gate = self.kernel.create_gate(True)
+        self._inflight = 0
+        self._drain_event: Any = None
+        self._closed = False
+        #: Fabric-level operation records for the composed checker.
+        self.writes: list[WriteRecord] = []
+        self.composed: list[ComposedSnapshot] = []
+        self.splits: list[SplitReport] = []
+        self._label_shards()
+
+    # -- topology ----------------------------------------------------------
+
+    @property
+    def shard_ids(self) -> tuple[int, ...]:
+        """The live configuration's shard ids."""
+        return self.map.shard_ids
+
+    @property
+    def epoch(self) -> int:
+        """The installed shard-map epoch."""
+        return self.map.epoch
+
+    def shard(self, shard_id: int) -> ClusterBackend:
+        """The cluster backend running shard ``shard_id``."""
+        return self._shards[shard_id]
+
+    def backends(self) -> list[ClusterBackend]:
+        """Every shard's backend, in shard-id order."""
+        return [self._shards[sid] for sid in sorted(self._shards)]
+
+    def slot_of(self, key: Any) -> tuple[int, int]:
+        """Where ``key`` routes under the installed map."""
+        return self.map.slot(key, self.n)
+
+    def _label_shards(self) -> None:
+        """Tag observed shard clusters so blame/health rows name shards."""
+        for shard_id, backend in self._shards.items():
+            obs = getattr(backend, "obs", None)
+            if obs is not None:
+                obs.label = f"shard{shard_id}"
+
+    # -- per-slot FIFO chains ----------------------------------------------
+
+    def _chain(
+        self,
+        slot: tuple[int, int],
+        coro_factory: Callable[[], Awaitable[Any]],
+        name: str,
+    ) -> Any:
+        previous = self._chains.get(slot)
+
+        async def chained() -> Any:
+            if previous is not None:
+                try:
+                    await previous
+                except BaseException:  # noqa: BLE001 - reported on its own handle
+                    pass
+            return await coro_factory()
+
+        task = self.kernel.create_task(chained(), name=name)
+        self._chains[slot] = task
+        return task
+
+    async def _admitted(
+        self,
+        key: Any,
+        slot: tuple[int, int],
+        body: Callable[[int, int], Awaitable[Any]],
+    ) -> Any:
+        """Gate + epoch re-check + in-flight accounting around ``body``.
+
+        Runs at the head of every chained operation.  If the key's home
+        moved while the operation was queued (an epoch change installed
+        a successor map), the operation *hops*: it re-chains itself at
+        the key's new slot and completes there — executed exactly once,
+        under the new epoch.
+        """
+        if self._closed:
+            raise ReproError("fabric is closed")
+        await self._gate.passthrough()
+        current = self.map.slot(key, self.n)
+        if current != slot:
+            return await self._chain(
+                current,
+                lambda: self._admitted(key, current, body),
+                name=f"hop@{current}",
+            )
+        self._inflight += 1
+        try:
+            return await body(*current)
+        finally:
+            self._inflight -= 1
+            if self._inflight == 0 and self._drain_event is not None:
+                self._drain_event.set()
+
+    # -- operations --------------------------------------------------------
+
+    def submit_write(self, key: Any, value: Any) -> Any:
+        """Pipelined write: enqueue at the key's slot, return a task."""
+        slot = self.slot_of(key)
+        invoked = self.kernel.now
+
+        async def body(shard_id: int, node: int) -> int:
+            return await self._write_at(shard_id, node, key, value, invoked)
+
+        return self._chain(
+            slot,
+            lambda: self._admitted(key, slot, body),
+            name=f"w@{slot}",
+        )
+
+    async def write(self, key: Any, value: Any) -> int:
+        """Write ``key`` and return its per-key sequence number."""
+        return await self.submit_write(key, value)
+
+    def submit_scan(self, key: Any) -> Any:
+        """Pipelined shard-local read of ``key`` (an atomic shard scan)."""
+        slot = self.slot_of(key)
+
+        async def body(shard_id: int, node: int) -> KeyView:
+            result = await self._shards[shard_id].snapshot(node)
+            entry = (result.values[node] or {}).get(key)
+            if entry is None:
+                return KeyView(key, 0, None, False, shard_id, self.epoch)
+            return KeyView(
+                key, entry[0], entry[1], True, shard_id, self.epoch
+            )
+
+        return self._chain(
+            slot,
+            lambda: self._admitted(key, slot, body),
+            name=f"s@{slot}",
+        )
+
+    async def scan(self, key: Any) -> KeyView:
+        """Read ``key`` through an atomic scan of its shard."""
+        return await self.submit_scan(key)
+
+    async def _write_at(
+        self, shard_id: int, node: int, key: Any, value: Any, invoked: float
+    ) -> int:
+        seq = self._key_seq.get(key, 0) + 1
+        self._key_seq[key] = seq
+        slot = (shard_id, node)
+        state = dict(self._slots.get(slot, {}))
+        state[key] = (seq, value)
+        self._slots[slot] = state
+        ts = await self._shards[shard_id].write(node, state)
+        self.writes.append(
+            WriteRecord(
+                key=key,
+                seq=seq,
+                slot=slot,
+                epoch=self.epoch,
+                invoked=invoked,
+                responded=self.kernel.now,
+                ts=ts,
+            )
+        )
+        return seq
+
+    # -- composed snapshots ------------------------------------------------
+
+    #: Optimistic double-collect rounds before a compose falls back to
+    #: the fenced (drain-and-collect) path.
+    MAX_OPTIMISTIC_ROUNDS = 4
+
+    async def _collect(self, map_: ShardMap) -> dict[int, Any] | None:
+        """One parallel round of per-shard snapshots under ``map_``.
+
+        Collects route through each shard's node-0 slot chain so they
+        serialize with that slot's keyed operations (one sequential
+        client per node).  Returns ``None`` if an epoch change
+        interleaved.
+        """
+        tasks = {
+            shard_id: self._chain(
+                (shard_id, 0),
+                (lambda sid=shard_id: self._collect_one(sid)),
+                name=f"c@{shard_id}",
+            )
+            for shard_id in map_.shard_ids
+        }
+        results: dict[int, Any] = {}
+        for shard_id, task in tasks.items():
+            results[shard_id] = await task
+        if self.map is not map_:
+            return None
+        return results
+
+    async def _collect_one(self, shard_id: int) -> Any:
+        await self._gate.passthrough()
+        self._inflight += 1
+        try:
+            return await self._shards[shard_id].snapshot(0)
+        finally:
+            self._inflight -= 1
+            if self._inflight == 0 and self._drain_event is not None:
+                self._drain_event.set()
+
+    async def compose_snapshot(
+        self, max_rounds: int | None = None, fence: bool = True
+    ) -> ComposedSnapshot:
+        """A linearizable cut across every shard.
+
+        Runs up to ``max_rounds`` optimistic double-collects; if writers
+        keep the composed vector moving and ``fence`` is true (the
+        default, the always-terminating flavour), falls back to a brief
+        admission fence.  With ``fence=False`` the compose is
+        non-blocking only: it retries until a clean double collect
+        succeeds, like the stacked scan.
+        """
+        if max_rounds is None:
+            max_rounds = self.MAX_OPTIMISTIC_ROUNDS
+        invoked = self.kernel.now
+        rounds = 0
+        while True:
+            map_ = self.map
+            first = await self._collect(map_)
+            if first is None:
+                continue
+            second = await self._collect(map_)
+            if second is None:
+                continue
+            rounds += 1
+            stable = all(
+                first[sid].vector_clock == second[sid].vector_clock
+                for sid in map_.shard_ids
+            )
+            if stable:
+                return self._record_compose(
+                    map_, second, invoked, rounds, fenced=False
+                )
+            if fence and rounds >= max_rounds:
+                return await self._admin(
+                    lambda: self._fenced_compose(invoked, rounds)
+                )
+
+    async def _fenced_compose(
+        self, invoked: float, optimistic_rounds: int
+    ) -> ComposedSnapshot:
+        """Drain in-flight operations, then one trivially-stable collect."""
+        await self._quiesce()
+        try:
+            map_ = self.map
+            results = {
+                sid: await self._shards[sid].snapshot(0)
+                for sid in map_.shard_ids
+            }
+            return self._record_compose(
+                map_, results, invoked, optimistic_rounds + 1, fenced=True
+            )
+        finally:
+            self._release()
+
+    def _record_compose(
+        self,
+        map_: ShardMap,
+        results: dict[int, Any],
+        invoked: float,
+        rounds: int,
+        fenced: bool,
+    ) -> ComposedSnapshot:
+        snap = ComposedSnapshot(
+            epoch=map_.epoch,
+            invoked=invoked,
+            responded=self.kernel.now,
+            shard_vectors={
+                sid: tuple(results[sid].vector_clock)
+                for sid in map_.shard_ids
+            },
+            shard_slots={
+                sid: tuple(results[sid].values) for sid in map_.shard_ids
+            },
+            rounds=rounds,
+            fenced=fenced,
+        )
+        self.composed.append(snap)
+        return snap
+
+    # -- quiescence + admin serialization ----------------------------------
+
+    async def _quiesce(self) -> None:
+        """Close the admission gate and wait until nothing is in flight."""
+        self._gate.close()
+        if self._inflight:
+            self._drain_event = self.kernel.create_event()
+            await self._drain_event.wait()
+            self._drain_event = None
+
+    def _release(self) -> None:
+        self._gate.open()
+
+    async def _admin(self, factory: Callable[[], Awaitable[Any]]) -> Any:
+        """Serialize administrative sections (splits, fenced composes)."""
+        previous = self._admin_chain
+
+        async def chained() -> Any:
+            if previous is not None:
+                try:
+                    await previous
+                except BaseException:  # noqa: BLE001
+                    pass
+            return await factory()
+
+        task = self.kernel.create_task(chained(), name="fabric-admin")
+        self._admin_chain = task
+        return await task
+
+    # -- reconfiguration: shard split --------------------------------------
+
+    async def split(self, new_shard_id: int | None = None) -> SplitReport:
+        """Split the keyspace: add one shard and migrate its keys.
+
+        The successor map is decided through the epoch seam, installed
+        only after the fabric drains, and every moved entry is
+        re-published at its new home through ordinary writes before
+        admissions resume — in-flight and queued operations re-route via
+        the hop path, so none is lost or duplicated across the split.
+        """
+        return await self._admin(lambda: self._do_split(new_shard_id))
+
+    async def _do_split(self, new_shard_id: int | None) -> SplitReport:
+        old_map = self.map
+        proposal = old_map.grown(new_shard_id)
+        decided = self.decider.propose(proposal, old_map)
+        fresh = tuple(
+            sid for sid in decided.shard_ids if sid not in old_map.shard_ids
+        )
+        await self._quiesce()
+        try:
+            for sid in fresh:
+                self._shards[sid] = await self._spawn_shard(sid)
+            self._label_shards()
+            # The drained point is the transfer point: nothing is in
+            # flight, so a plain collect is a stable global cut.
+            transfer = {
+                sid: tuple(
+                    (await self._shards[sid].snapshot(0)).vector_clock
+                )
+                for sid in old_map.shard_ids
+            }
+            moved = await self._migrate(decided)
+            self.map = decided
+        finally:
+            self._release()
+        report = SplitReport(
+            old_epoch=old_map.epoch,
+            new_epoch=decided.epoch,
+            new_shard_ids=fresh,
+            moved_keys=moved,
+            transfer_vector=tuple(sorted(transfer.items())),
+        )
+        self.splits.append(report)
+        return report
+
+    async def _spawn_shard(self, shard_id: int) -> ClusterBackend:
+        cls = backend_class(self.backend_name)
+        config = replace(
+            self.base_config, seed=self.base_config.seed + 101 * shard_id
+        )
+        if cls.capabilities.simulated_time:
+            backend = cls(
+                self.algorithm_name, config, start=False, kernel=self.kernel
+            )
+        else:
+            backend = cls(
+                self.algorithm_name, config, time_scale=self.time_scale
+            )
+        await backend.create()
+        backend.start()
+        return backend
+
+    async def _migrate(self, new_map: ShardMap) -> int:
+        """Move every key whose slot changed; publish both sides."""
+        moved = 0
+        arrivals: dict[tuple[int, int], dict[Any, tuple[int, Any]]] = {}
+        for slot, state in sorted(self._slots.items(), key=lambda kv: kv[0]):
+            moving = {
+                key: entry
+                for key, entry in state.items()
+                if new_map.slot(key, self.n) != slot
+            }
+            if not moving:
+                continue
+            remaining = {
+                key: entry for key, entry in state.items() if key not in moving
+            }
+            self._slots[slot] = remaining
+            shard_id, node = slot
+            await self._shards[shard_id].write(node, remaining)
+            for key, entry in moving.items():
+                arrivals.setdefault(new_map.slot(key, self.n), {})[key] = entry
+            moved += len(moving)
+        for slot, entries in sorted(arrivals.items(), key=lambda kv: kv[0]):
+            state = dict(self._slots.get(slot, {}))
+            state.update(entries)
+            self._slots[slot] = state
+            shard_id, node = slot
+            await self._shards[shard_id].write(node, state)
+        return moved
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def start(self) -> None:
+        """Start every shard's do-forever loops."""
+        for backend in self.backends():
+            backend.start()
+
+    def stop(self) -> None:
+        """Stop every shard's do-forever loops."""
+        for backend in self.backends():
+            backend.stop()
+
+    async def close(self) -> None:
+        """Tear every shard down; idempotent."""
+        if self._closed:
+            return
+        self._closed = True
+        for backend in self.backends():
+            await backend.close()
+
+    # -- verification ------------------------------------------------------
+
+    def check(self) -> list[str]:
+        """Check every shard history and the composed/per-key records."""
+        from repro.shard.check import check_fabric
+
+        return check_fabric(self)
+
+    def __repr__(self) -> str:
+        return (
+            f"<ShardedFabric K={self.map.shards} epoch={self.epoch} "
+            f"n={self.n} backend={self.backend_name} "
+            f"algorithm={self.algorithm_name}>"
+        )
+
+
+# -- factories -------------------------------------------------------------
+
+
+def build_sim_fabric(
+    shards: int = 2,
+    algorithm: str = "ss-nonblocking",
+    config: ClusterConfig | None = None,
+    *,
+    vnodes: int = DEFAULT_VNODES,
+    decider: EpochDecider | None = None,
+) -> ShardedFabric:
+    """Synchronously build a simulator fabric on one shared kernel.
+
+    Every shard cluster shares a single deterministic kernel (one
+    simulated timeline, one tie-break RNG), so a sharded run is exactly
+    as reproducible as a single-cluster run: same seed ⇒ same history.
+    """
+    if shards < 1:
+        raise ConfigurationError(f"need at least 1 shard, got {shards}")
+    base = config if config is not None else ClusterConfig(n=4, delta=2)
+    cls = backend_class("sim")
+    shard_map = ShardMap(epoch=0, shard_ids=tuple(range(shards)), vnodes=vnodes)
+    clusters: dict[int, ClusterBackend] = {}
+    kernel = None
+    for shard_id in shard_map.shard_ids:
+        shard_config = replace(base, seed=base.seed + 101 * shard_id)
+        if kernel is None:
+            backend = cls(algorithm, shard_config, start=True)
+            kernel = backend.kernel
+        else:
+            backend = cls(algorithm, shard_config, start=True, kernel=kernel)
+        clusters[shard_id] = backend
+    return ShardedFabric(
+        clusters,
+        shard_map,
+        backend_name="sim",
+        algorithm=algorithm,
+        base_config=base,
+        decider=decider,
+    )
+
+
+async def create_fabric(
+    backend: str = "sim",
+    shards: int = 2,
+    algorithm: str = "ss-nonblocking",
+    config: ClusterConfig | None = None,
+    *,
+    time_scale: float = 0.002,
+    vnodes: int = DEFAULT_VNODES,
+    decider: EpochDecider | None = None,
+) -> ShardedFabric:
+    """Build and start a fabric on any backend (run inside a loop)."""
+    if backend_class(backend).capabilities.simulated_time:
+        return build_sim_fabric(
+            shards, algorithm, config, vnodes=vnodes, decider=decider
+        )
+    if shards < 1:
+        raise ConfigurationError(f"need at least 1 shard, got {shards}")
+    base = config if config is not None else ClusterConfig(n=4, delta=2)
+    cls = backend_class(backend)
+    shard_map = ShardMap(epoch=0, shard_ids=tuple(range(shards)), vnodes=vnodes)
+    clusters: dict[int, ClusterBackend] = {}
+    for shard_id in shard_map.shard_ids:
+        shard_config = replace(base, seed=base.seed + 101 * shard_id)
+        cluster = cls(algorithm, shard_config, time_scale=time_scale)
+        await cluster.create()
+        cluster.start()
+        clusters[shard_id] = cluster
+    return ShardedFabric(
+        clusters,
+        shard_map,
+        backend_name=backend,
+        algorithm=algorithm,
+        base_config=base,
+        time_scale=time_scale,
+        decider=decider,
+    )
+
+
+def run_on_fabric(
+    backend: str,
+    shards: int,
+    algorithm: str,
+    config: ClusterConfig | None,
+    body: Callable[[ShardedFabric], Awaitable[Any]],
+    *,
+    time_scale: float = 0.002,
+    max_events: int | None = None,
+    vnodes: int = DEFAULT_VNODES,
+    decider: EpochDecider | None = None,
+) -> Any:
+    """Run ``async body(fabric)`` to completion on the named backend.
+
+    The sharded sibling of
+    :func:`repro.backend.base.run_on_backend`: the simulator drives its
+    virtual clock, live backends run under ``asyncio.run``, and the
+    fabric is torn down afterwards either way.
+    """
+    import asyncio
+
+    cls = backend_class(backend)
+    if cls.capabilities.simulated_time:
+        fabric = build_sim_fabric(
+            shards, algorithm, config, vnodes=vnodes, decider=decider
+        )
+        try:
+            return fabric.kernel.run_until_complete(
+                body(fabric), max_events=max_events
+            )
+        finally:
+            fabric.stop()
+
+    async def main() -> Any:
+        fabric = await create_fabric(
+            backend,
+            shards,
+            algorithm,
+            config,
+            time_scale=time_scale,
+            vnodes=vnodes,
+            decider=decider,
+        )
+        try:
+            return await body(fabric)
+        finally:
+            await fabric.close()
+
+    return asyncio.run(main())

@@ -30,7 +30,7 @@ from typing import Callable
 
 from repro.analysis.linearizability import check_snapshot_history
 from repro.config import scenario_config
-from repro.core.cluster import SnapshotCluster
+from repro.backend.sim import SimBackend
 from repro.sim.kernel import TieBreak
 
 __all__ = [
@@ -204,7 +204,7 @@ def explore_snapshot_scenario(
         # without them, i.e. the non-self-stabilizing ones) removes five
         # permanently re-arming timers from every tie group and shrinks
         # the decision tree dramatically.
-        cluster = SnapshotCluster(
+        cluster = SimBackend(
             algorithm, config, tie_break=TieBreak.SCRIPTED, start=start_loops
         )
         # The checker only reads the operation history; skipping message

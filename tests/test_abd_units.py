@@ -1,12 +1,12 @@
 """Fine-grained tests for the ABD register-emulation layer."""
 
-from repro import ClusterConfig, SnapshotCluster
+from repro import ClusterConfig, SimBackend
 from repro.core.register import RegisterArray, TimestampedValue
 from repro.errors import ReproError
 
 
 def make(n=5, seed=0, **kwargs):
-    return SnapshotCluster("stacked", ClusterConfig(n=n, seed=seed, **kwargs))
+    return SimBackend("stacked", ClusterConfig(n=n, seed=seed, **kwargs))
 
 
 class TestAbdStore:

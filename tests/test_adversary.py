@@ -1,13 +1,13 @@
 """Tests for adversarial partition scheduling."""
 
-from repro import ClusterConfig, SnapshotCluster
+from repro import ClusterConfig, SimBackend
 from repro.analysis.linearizability import check_snapshot_history
 from repro.fault import CrashEvent, CrashSchedule, PartitionSchedule, isolate
 from repro.fault.adversary import flapping_partition
 
 
 def make(algorithm="ss-nonblocking", n=5, seed=0, **kwargs):
-    return SnapshotCluster(algorithm, ClusterConfig(n=n, seed=seed, **kwargs))
+    return SimBackend(algorithm, ClusterConfig(n=n, seed=seed, **kwargs))
 
 
 class TestIsolation:

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro import ChannelConfig, ClusterConfig, SnapshotCluster
+from repro import ChannelConfig, ClusterConfig, SimBackend
 from repro.analysis.linearizability import check_snapshot_history
 from repro.errors import ConfigurationError, ReproError
 
@@ -10,7 +10,7 @@ ALL = ["dgfr-nonblocking", "ss-nonblocking", "dgfr-always", "ss-always"]
 
 
 def make(algorithm, n=5, seed=0, delta=2, **kwargs):
-    return SnapshotCluster(
+    return SimBackend(
         algorithm, ClusterConfig(n=n, seed=seed, delta=delta, **kwargs)
     )
 
@@ -155,7 +155,7 @@ class TestCrashTolerance:
 class TestClusterFacade:
     def test_unknown_algorithm_rejected(self):
         with pytest.raises(ConfigurationError):
-            SnapshotCluster("no-such-algorithm")
+            SimBackend("no-such-algorithm")
 
     def test_concurrent_same_node_ops_rejected(self):
         cluster = make("dgfr-nonblocking")

@@ -4,12 +4,12 @@ import math
 
 import pytest
 
-from repro import ClusterConfig, SnapshotCluster, UNBOUNDED_DELTA
+from repro import ClusterConfig, SimBackend, UNBOUNDED_DELTA
 from repro.analysis.linearizability import check_snapshot_history
 
 
 def make(algorithm, n=5, seed=0, delta=0, **kwargs):
-    return SnapshotCluster(
+    return SimBackend(
         algorithm, ClusterConfig(n=n, seed=seed, delta=delta, **kwargs)
     )
 

@@ -2,13 +2,13 @@
 
 import pytest
 
-from repro import ClusterConfig, SnapshotCluster
+from repro import ClusterConfig, SimBackend
 from repro.apps import DistributedCounter, PhaseBarrier, PredicateDetector
 from repro.fault import TransientFaultInjector
 
 
 def make(algorithm="ss-nonblocking", n=4, seed=0, **kwargs):
-    return SnapshotCluster(algorithm, ClusterConfig(n=n, seed=seed, **kwargs))
+    return SimBackend(algorithm, ClusterConfig(n=n, seed=seed, **kwargs))
 
 
 class TestDistributedCounter:

@@ -8,7 +8,7 @@ import pytest
 
 from repro.backend.base import run_on_backend
 from repro.config import scenario_config
-from repro.core.cluster import SnapshotCluster
+from repro.backend.sim import SimBackend
 from repro.load import LoadSpec, run_load
 from repro.load.driver import LoadGenerator
 from repro.obs.alerts import AlertEngine
@@ -78,7 +78,7 @@ class TestBlameAggregate:
 def _observed_spans(seed: int = 0, throttled: int | None = None):
     """Spans from a short observed sim run (optionally one limper)."""
     with session() as obs:
-        cluster = SnapshotCluster("ss-nonblocking", scenario_config(n=4, seed=seed))
+        cluster = SimBackend("ss-nonblocking", scenario_config(n=4, seed=seed))
         if throttled is not None:
             cluster.throttle(throttled, 10.0)
         for i in range(6):

@@ -2,14 +2,14 @@
 
 import pytest
 
-from repro import ClusterConfig, SnapshotCluster
+from repro import ClusterConfig, SimBackend
 from repro.analysis.linearizability import check_snapshot_history
 from repro.errors import ResetInProgressError
 from repro.stabilization.reset import EpochEnvelope, ResetCommitMessage
 
 
 def make(n=5, seed=0, max_int=12, **kwargs):
-    return SnapshotCluster(
+    return SimBackend(
         "bounded-ss-nonblocking",
         ClusterConfig(n=n, seed=seed, max_int=max_int, **kwargs),
     )

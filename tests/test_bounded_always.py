@@ -2,13 +2,13 @@
 
 import pytest
 
-from repro import ClusterConfig, SnapshotCluster
+from repro import ClusterConfig, SimBackend
 from repro.analysis.linearizability import check_snapshot_history
 from repro.errors import ResetInProgressError
 
 
 def make(n=5, seed=0, max_int=12, delta=2, **kwargs):
-    return SnapshotCluster(
+    return SimBackend(
         "bounded-ss-always",
         ClusterConfig(n=n, seed=seed, max_int=max_int, delta=delta, **kwargs),
     )

@@ -36,5 +36,5 @@ class TestChaosCampaign:
     def test_cli_chaos(self, capsys):
         from repro.__main__ import main
 
-        assert main(["chaos", "40", "2"]) == 0
+        assert main(["chaos", "--budget", "40", "--seeds", "2"]) == 0
         assert "events" in capsys.readouterr().out

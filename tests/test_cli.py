@@ -4,6 +4,8 @@ import json
 import sys
 from pathlib import Path
 
+import pytest
+
 from repro.__main__ import main
 
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "benchmarks"))
@@ -121,7 +123,7 @@ class TestObservabilityFlags:
             main(["experiments", "e01", "--trace-out"])
 
     def test_chaos_accepts_stats(self, capsys):
-        assert main(["chaos", "40", "0", "--stats"]) == 0
+        assert main(["chaos", "--budget", "40", "--stats"]) == 0
         out = capsys.readouterr().out
         assert "metrics" in out
         assert "ops.total" in out
@@ -135,13 +137,13 @@ class TestVerifyCommand:
         assert "all schedules OK" in out
 
     def test_verify_single_algorithm(self, capsys):
-        assert main(["verify", "dgfr-nonblocking"]) == 0
+        assert main(
+            ["verify", "--algorithm", "dgfr-nonblocking", "--budget", "50"]
+        ) == 0
 
-    def test_verify_positional_algorithm_warns(self, capsys):
-        assert main(["verify", "dgfr-nonblocking", "--budget", "50"]) == 0
-        captured = capsys.readouterr()
-        assert "deprecated" in captured.err
-        assert "deprecated" not in captured.out
+    def test_verify_positional_algorithm_removed(self):
+        with pytest.raises(SystemExit, match="--algorithm NAME"):
+            main(["verify", "dgfr-nonblocking", "--budget", "50"])
 
     def test_verify_unified_flags(self, capsys):
         assert main(
@@ -177,23 +179,17 @@ class TestCampaignFlagUnification:
         assert "seed 1:" in captured.out
         assert captured.err == ""
 
-    def test_chaos_positional_spelling_warns_but_works(self, capsys):
-        assert main(["chaos", "30", "1"]) == 0
-        captured = capsys.readouterr()
-        assert "deprecated" in captured.err
-        assert "30 events" in captured.out
+    def test_chaos_positional_spelling_removed(self):
+        with pytest.raises(SystemExit, match="--budget N / --seed-start S"):
+            main(["chaos", "30", "1"])
 
-    def test_chaos_events_flag_is_deprecated_alias_of_budget(self, capsys):
-        assert main(["chaos", "--events", "30"]) == 0
-        captured = capsys.readouterr()
-        assert "--events is deprecated; use --budget" in captured.err
-        assert "30 events" in captured.out
+    def test_events_flag_removed_names_budget(self):
+        with pytest.raises(SystemExit, match="use --budget N"):
+            main(["chaos", "--events", "30"])
 
-    def test_algo_flag_is_deprecated_alias_of_algorithm(self, capsys):
-        assert main(
-            ["chaos", "--budget", "30", "--algo", "ss-nonblocking"]
-        ) == 0
-        assert "--algo is deprecated" in capsys.readouterr().err
+    def test_algo_flag_removed_names_algorithm(self):
+        with pytest.raises(SystemExit, match="use --algorithm NAME"):
+            main(["chaos", "--budget", "30", "--algo", "ss-nonblocking"])
 
     def test_seed_start_offsets_the_seed_range(self, capsys):
         assert main(
@@ -245,3 +241,62 @@ class TestFuzzCommand:
 
         with pytest.raises(SystemExit, match="usage"):
             main(["replay"])
+
+
+class TestShardCommands:
+    def test_shard_campaign_runs_and_checks(self, capsys):
+        assert main(
+            ["shard", "--shards", "2", "--seeds", "2", "--budget", "15"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "K=2" in out
+        assert "linearizable" in out
+        assert "seed 0:" in out and "seed 1:" in out
+
+    def test_load_routes_to_fabric_with_shards(self, capsys):
+        assert main(
+            ["load", "--shards", "2", "--clients", "4", "--depth", "1",
+             "--budget", "15"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "K=2" in out and "composed cuts" in out
+
+    def test_chaos_routes_to_fabric_with_shards(self, capsys):
+        assert main(["chaos", "--shards", "2", "--budget", "25"]) == 0
+        out = capsys.readouterr().out
+        assert "splits" in out and "OK" in out
+
+    def test_shards_flag_validation(self):
+        with pytest.raises(SystemExit, match=">= 1"):
+            main(["shard", "--shards", "0"])
+        with pytest.raises(SystemExit, match="integer"):
+            main(["load", "--shards", "two"])
+
+    def test_shard_sweep_writes_bench_file(self, capsys, tmp_path, monkeypatch):
+        from repro.shard import experiments as shard_experiments
+
+        monkeypatch.setattr(
+            shard_experiments, "DEFAULT_SHARD_COUNTS", (1, 2)
+        )
+        out_file = tmp_path / "BENCH_PR8.json"
+        assert main(
+            ["shard", "--sweep", "--budget", "15", "--out", str(out_file)]
+        ) == 0
+        payload = json.loads(out_file.read_text())
+        assert payload["pr"] == 8
+        assert [row["shards"] for row in payload["series"]] == [1, 2]
+        assert payload["headline"]["linearizable"] is True
+
+
+class TestBackendsJson:
+    def test_backends_json_document(self, capsys):
+        assert main(["backends", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert set(payload["backends"]) == {"sim", "asyncio", "udp"}
+        assert payload["backends"]["sim"]["simulated_time"] is True
+        assert payload["backends"]["udp"]["real_sockets"] is True
+        assert "simulated_time" in payload["notes"]
+
+    def test_backends_rejects_unknown_args(self):
+        with pytest.raises(SystemExit, match="unexpected"):
+            main(["backends", "--bogus"])

@@ -2,12 +2,12 @@
 
 import logging
 
-from repro import ClusterConfig, SnapshotCluster
+from repro import ClusterConfig, SimBackend
 from repro.debuglog import attach_debug_logging
 
 
 def test_logs_network_events_and_cycles(caplog):
-    cluster = SnapshotCluster("ss-nonblocking", ClusterConfig(n=3, seed=0))
+    cluster = SimBackend("ss-nonblocking", ClusterConfig(n=3, seed=0))
     detach = attach_debug_logging(cluster)
     with caplog.at_level(logging.DEBUG):
         cluster.write_sync(0, b"x")
@@ -18,7 +18,7 @@ def test_logs_network_events_and_cycles(caplog):
 
 
 def test_detach_stops_network_logging(caplog):
-    cluster = SnapshotCluster("ss-nonblocking", ClusterConfig(n=3, seed=0))
+    cluster = SimBackend("ss-nonblocking", ClusterConfig(n=3, seed=0))
     detach = attach_debug_logging(cluster)
     detach()
     detach()  # idempotent

@@ -17,7 +17,7 @@ hold that line:
 
 import pytest
 
-from repro import ClusterConfig, SnapshotCluster
+from repro import ClusterConfig, SimBackend
 from repro.config import ChannelConfig
 from repro.sim.kernel import TieBreak
 
@@ -34,7 +34,7 @@ GOLDEN_FINGERPRINTS = {
 
 def run_workload(algorithm, seed=7):
     """A small seeded workload touching every hot path (loss, dup, gossip)."""
-    cluster = SnapshotCluster(
+    cluster = SimBackend(
         algorithm,
         ClusterConfig(
             n=4,
@@ -101,7 +101,7 @@ def test_golden_fingerprint_with_tracing_on(algorithm):
 @pytest.mark.parametrize("algorithm", ALGORITHMS)
 def test_scripted_decision_log_replays(algorithm):
     def scripted_run():
-        cluster = SnapshotCluster(
+        cluster = SimBackend(
             algorithm,
             ClusterConfig(
                 n=3, seed=0, channel=ChannelConfig(min_delay=1.0, max_delay=1.0)

@@ -41,8 +41,9 @@ def test_examples_directory_contents():
 
 def test_quickstart():
     out = run_example("quickstart.py")
-    assert "alpha-v2" in out
+    assert "'alpha': (2, b'a2')" in out
     assert "linearizable    : True" in out
+    assert "epoch 0->1" in out
 
 
 def test_distributed_monitoring():

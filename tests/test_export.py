@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro import ClusterConfig, SnapshotCluster
+from repro import ClusterConfig, SimBackend
 from repro.analysis.export import (
     history_from_json,
     history_to_json,
@@ -16,7 +16,7 @@ from repro.errors import HistoryError
 
 
 def run_cluster():
-    cluster = SnapshotCluster("ss-nonblocking", ClusterConfig(n=3, seed=0))
+    cluster = SimBackend("ss-nonblocking", ClusterConfig(n=3, seed=0))
     trace = MessageTrace(cluster.network)
     cluster.write_sync(0, b"binary\x00value")
     cluster.write_sync(1, ("tuple", 2))

@@ -110,7 +110,7 @@ class TestLatencyExperiments:
 
 class TestRegistryAndReport:
     def test_registry_complete(self):
-        assert set(EXPERIMENTS) == {f"e{i:02d}" for i in range(1, 19)}
+        assert set(EXPERIMENTS) == {f"e{i:02d}" for i in range(1, 20)}
 
     def test_run_experiment_by_id(self):
         rows = run_experiment("e01")

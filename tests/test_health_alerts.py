@@ -11,7 +11,7 @@ classification is deterministic per seed.
 import pytest
 
 from repro.config import scenario_config
-from repro.core.cluster import SnapshotCluster
+from repro.backend.sim import SimBackend
 from repro.fault import TransientFaultInjector
 from repro.harness.chaos import ChaosCampaign
 from repro.obs.alerts import (
@@ -34,7 +34,7 @@ from repro.obs.observe import Observability, session
 def _throttled_run(seed: int, factor: float = 12.0) -> HealthReport:
     """Drive a 4-node cluster with node 3 throttled; return the sample."""
     with session() as obs:
-        cluster = SnapshotCluster("ss-nonblocking", scenario_config(n=4, seed=seed))
+        cluster = SimBackend("ss-nonblocking", scenario_config(n=4, seed=seed))
         cluster.throttle(3, factor)
         for i in range(8):
             cluster.write_sync(i % 3, f"w{i}".encode())
@@ -62,7 +62,7 @@ class TestHealthClassification:
     @pytest.mark.parametrize("seed", [0, 1])
     def test_crashed_node_is_classified_crashed(self, seed):
         with session() as obs:
-            cluster = SnapshotCluster(
+            cluster = SimBackend(
                 "ss-nonblocking", scenario_config(n=4, seed=seed)
             )
             for i in range(4):
@@ -79,7 +79,7 @@ class TestHealthClassification:
     @pytest.mark.parametrize("seed", [0, 1])
     def test_corruption_detections_raise_corrupt_suspect(self, seed):
         with session() as obs:
-            cluster = SnapshotCluster(
+            cluster = SimBackend(
                 "ss-always", scenario_config(n=4, seed=seed, delta=2)
             )
             injector = TransientFaultInjector(cluster, seed=seed)
@@ -98,7 +98,7 @@ class TestHealthClassification:
 
     def test_suspect_state_expires_after_the_window(self):
         with session() as obs:
-            cluster = SnapshotCluster(
+            cluster = SimBackend(
                 "ss-always", scenario_config(n=4, seed=0, delta=2)
             )
             injector = TransientFaultInjector(cluster, seed=0)
@@ -119,7 +119,7 @@ class TestHealthClassification:
 
     def test_sample_is_idempotent_per_timestamp(self):
         with session() as obs:
-            cluster = SnapshotCluster(
+            cluster = SimBackend(
                 "ss-nonblocking", scenario_config(n=4, seed=0)
             )
             cluster.write_sync(0, b"x")
@@ -211,10 +211,10 @@ class TestAlertEngine:
         engine = AlertEngine()
         with session() as obs:
             assert engine.evaluate_session(obs) == []  # no clusters yet
-            first = SnapshotCluster(
+            first = SimBackend(
                 "ss-nonblocking", scenario_config(n=3, seed=0)
             )
-            second = SnapshotCluster(
+            second = SimBackend(
                 "ss-nonblocking", scenario_config(n=3, seed=1)
             )
             first.write_sync(0, b"x")

@@ -2,14 +2,14 @@
 
 import pytest
 
-from repro import ChannelConfig, ClusterConfig, SnapshotCluster
+from repro import ChannelConfig, ClusterConfig, SimBackend
 from repro.analysis.history import HistoryRecorder
 from repro.analysis.linearizability import check_snapshot_history
 from repro.fault import TransientFaultInjector
 
 
 def make(algorithm, n=5, seed=0, delta=0, **kwargs):
-    return SnapshotCluster(
+    return SimBackend(
         algorithm, ClusterConfig(n=n, seed=seed, delta=delta, **kwargs)
     )
 

@@ -1,6 +1,6 @@
 """Tests for the Definition-1 consistency predicates."""
 
-from repro import ClusterConfig, SnapshotCluster
+from repro import ClusterConfig, SimBackend
 from repro.analysis.invariants import (
     definition1_consistent,
     sns_consistent,
@@ -13,7 +13,7 @@ from repro.core.ss_always import PendingTask
 
 
 def make(algorithm="ss-always", n=4, **kwargs):
-    return SnapshotCluster(algorithm, ClusterConfig(n=n, seed=0, **kwargs))
+    return SimBackend(algorithm, ClusterConfig(n=n, seed=0, **kwargs))
 
 
 class TestTsConsistency:

@@ -2,14 +2,14 @@
 
 import pytest
 
-from repro import ClusterConfig, SnapshotCluster
+from repro import ClusterConfig, SimBackend
 from repro.core.register import TimestampedValue
 from repro.core.ss_nonblocking import GossipMessage
 from repro.errors import CancelledError
 
 
 def make(algorithm, n=5, seed=0, **kwargs):
-    return SnapshotCluster(algorithm, ClusterConfig(n=n, seed=seed, **kwargs))
+    return SimBackend(algorithm, ClusterConfig(n=n, seed=seed, **kwargs))
 
 
 class TestNonBlockingSemantics:

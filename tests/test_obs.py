@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro import ClusterConfig, SnapshotCluster
+from repro import ClusterConfig, SimBackend
 from repro.errors import ObservabilityError
 from repro.fault import TransientFaultInjector
 from repro.obs import (
@@ -101,13 +101,13 @@ class TestSpanRecorder:
 class TestSessions:
     def test_no_ambient_session_by_default(self):
         assert current_session() is None
-        cluster = SnapshotCluster("ss-nonblocking", ClusterConfig(n=3))
+        cluster = SimBackend("ss-nonblocking", ClusterConfig(n=3))
         assert cluster.obs is None
 
     def test_ambient_session_attaches_clusters(self):
         with session() as obs:
             assert current_session() is obs
-            cluster = SnapshotCluster("ss-nonblocking", ClusterConfig(n=3))
+            cluster = SimBackend("ss-nonblocking", ClusterConfig(n=3))
             assert cluster.obs is not None
             assert cluster.obs.session is obs
             assert obs.clusters == [cluster.obs]
@@ -121,7 +121,7 @@ class TestSessions:
 
     def test_attach_is_idempotent(self):
         obs = Observability()
-        cluster = SnapshotCluster("ss-nonblocking", ClusterConfig(n=3))
+        cluster = SimBackend("ss-nonblocking", ClusterConfig(n=3))
         first = obs.attach(cluster)
         assert obs.attach(cluster) is first
         assert len(obs.clusters) == 1
@@ -130,7 +130,7 @@ class TestSessions:
 class TestOperationSpans:
     def test_write_and_snapshot_spans(self):
         with session() as obs:
-            cluster = SnapshotCluster("ss-nonblocking", ClusterConfig(n=4))
+            cluster = SimBackend("ss-nonblocking", ClusterConfig(n=4))
             cluster.write_sync(0, b"hello")
             cluster.snapshot_sync(1)
         obs.finish()
@@ -151,7 +151,7 @@ class TestOperationSpans:
 
     def test_metric_catalog_populated(self):
         with session() as obs:
-            cluster = SnapshotCluster("ss-always", ClusterConfig(n=4, delta=2))
+            cluster = SimBackend("ss-always", ClusterConfig(n=4, delta=2))
             cluster.write_sync(0, b"x")
             cluster.snapshot_sync(1)
             cluster.run_for(5.0)
@@ -169,7 +169,7 @@ class TestOperationSpans:
 
     def test_heal_counters_fire_on_corruption(self):
         with session() as obs:
-            cluster = SnapshotCluster("ss-nonblocking", ClusterConfig(n=4))
+            cluster = SimBackend("ss-nonblocking", ClusterConfig(n=4))
             cluster.write_sync(0, b"pre")
             TransientFaultInjector(cluster, seed=0).corrupt_registers()
             cluster.tracker.reset()
@@ -180,7 +180,7 @@ class TestOperationSpans:
 
     def test_finish_closes_open_spans(self):
         with session() as obs:
-            cluster = SnapshotCluster("ss-nonblocking", ClusterConfig(n=4))
+            cluster = SimBackend("ss-nonblocking", ClusterConfig(n=4))
             cobs = cluster.obs
             span = cobs.begin_op(0, "write", op_id=0)
             assert cobs.active_span(0) is span

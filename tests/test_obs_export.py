@@ -11,7 +11,7 @@ from pathlib import Path
 
 import pytest
 
-from repro import ClusterConfig, SnapshotCluster
+from repro import ClusterConfig, SimBackend
 from repro.obs import session
 
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "benchmarks"))
@@ -22,7 +22,7 @@ from check_trace_schema import validate  # noqa: E402
 def observed_run():
     """One small lossless run captured under an ambient session."""
     with session() as obs:
-        cluster = SnapshotCluster("ss-nonblocking", ClusterConfig(n=3, seed=1))
+        cluster = SimBackend("ss-nonblocking", ClusterConfig(n=3, seed=1))
         cluster.write_sync(0, b"a")
         cluster.write_sync(1, b"b")
         cluster.snapshot_sync(2)

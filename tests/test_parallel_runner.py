@@ -92,7 +92,9 @@ class TestCli:
     def test_chaos_seeds_flag(self, capsys):
         from repro.__main__ import main
 
-        assert main(["chaos", "25", "0", "--seeds", "2", "--jobs", "2"]) == 0
+        assert main(
+            ["chaos", "--budget", "25", "--seeds", "2", "--jobs", "2"]
+        ) == 0
         out = capsys.readouterr().out
         assert "seed 0:" in out and "seed 1:" in out
 

@@ -9,7 +9,7 @@ import pytest
 from repro.__main__ import main
 from repro.backend.base import run_on_backend
 from repro.config import scenario_config
-from repro.core.cluster import SnapshotCluster
+from repro.backend.sim import SimBackend
 from repro.errors import ConfigurationError, NetworkError
 from repro.load import LoadSpec
 from repro.load.driver import LoadGenerator
@@ -76,7 +76,7 @@ class TestPrometheusText:
 
     def test_full_session_collect_is_renderable(self):
         with session() as obs:
-            cluster = SnapshotCluster(
+            cluster = SimBackend(
                 "ss-nonblocking", scenario_config(n=3, seed=0)
             )
             cluster.write_sync(0, b"x")
@@ -92,7 +92,7 @@ class TestRenderFrame:
     def test_frame_shows_header_health_and_alerts(self):
         engine = AlertEngine()
         with session(Observability(trace_messages=False)) as obs:
-            cluster = SnapshotCluster(
+            cluster = SimBackend(
                 "ss-nonblocking", scenario_config(n=3, seed=0)
             )
             cluster.write_sync(0, b"x")
@@ -109,7 +109,7 @@ class TestRenderFrame:
     def test_frame_lists_active_alerts_and_blame(self):
         engine = AlertEngine()
         with session(Observability(trace_messages=False)) as obs:
-            cluster = SnapshotCluster(
+            cluster = SimBackend(
                 "ss-nonblocking", scenario_config(n=4, seed=1)
             )
             cluster.throttle(3, 12.0)
@@ -174,7 +174,7 @@ class TestTopCommand:
 
 class TestThrottleSemantics:
     def test_throttle_validates_and_restores(self):
-        cluster = SnapshotCluster("ss-nonblocking", scenario_config(n=3, seed=0))
+        cluster = SimBackend("ss-nonblocking", scenario_config(n=3, seed=0))
         with pytest.raises(NetworkError):
             cluster.throttle(0, 0.0)
         with pytest.raises(NetworkError):
@@ -188,7 +188,7 @@ class TestThrottleSemantics:
         """The factor multiplies already-drawn delays: no RNG impact."""
 
         def history(factor):
-            cluster = SnapshotCluster(
+            cluster = SimBackend(
                 "ss-nonblocking", scenario_config(n=4, seed=5)
             )
             if factor != 1.0:

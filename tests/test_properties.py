@@ -10,7 +10,7 @@ import random
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
-from repro import ChannelConfig, ClusterConfig, SnapshotCluster
+from repro import ChannelConfig, ClusterConfig, SimBackend
 from repro.analysis.history import SNAPSHOT, WRITE, HistoryRecorder
 from repro.analysis.invariants import definition1_consistent
 from repro.analysis.linearizability import (
@@ -170,7 +170,7 @@ class TestEndToEndLinearizability:
                 loss_probability=loss, duplication_probability=loss / 2
             ),
         )
-        cluster = SnapshotCluster(algorithm, config)
+        cluster = SimBackend(algorithm, config)
         rng = random.Random(seed)
 
         async def workload():
@@ -201,7 +201,7 @@ class TestEndToEndLinearizability:
     )
     @SIM_SETTINGS
     def test_recovery_from_arbitrary_corruption(self, algorithm, seed):
-        cluster = SnapshotCluster(
+        cluster = SimBackend(
             algorithm, ClusterConfig(n=4, seed=seed, delta=1)
         )
         cluster.write_sync(0, "pre")
@@ -222,7 +222,7 @@ class TestEndToEndLinearizability:
     @SIM_SETTINGS
     def test_crash_minority_never_blocks(self, seed):
         rng = random.Random(seed)
-        cluster = SnapshotCluster(
+        cluster = SimBackend(
             "ss-nonblocking", ClusterConfig(n=5, seed=seed)
         )
         crashed = rng.sample(range(5), 2)
@@ -247,7 +247,7 @@ class TestChannelProperties:
         send counts."""
         from repro.analysis.trace import MessageTrace
 
-        cluster = SnapshotCluster(
+        cluster = SimBackend(
             "ss-nonblocking",
             ClusterConfig(
                 n=4,
@@ -277,7 +277,7 @@ class TestChannelProperties:
         """After an arbitrary partition interval, operations complete and
         the history is linearizable."""
         rng = random.Random(seed)
-        cluster = SnapshotCluster(
+        cluster = SimBackend(
             "ss-nonblocking", ClusterConfig(n=5, seed=seed)
         )
         group = set(rng.sample(range(5), rng.randrange(1, 3)))
@@ -305,7 +305,7 @@ class TestBoundedProperties:
         every reset and the final snapshot reflects the last writes."""
         from repro.errors import ResetInProgressError
 
-        cluster = SnapshotCluster(
+        cluster = SimBackend(
             "bounded-ss-nonblocking",
             ClusterConfig(n=4, seed=seed, max_int=max_int),
         )

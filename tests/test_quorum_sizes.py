@@ -8,7 +8,7 @@ with super-majority quorums safety holds but crash tolerance shrinks.
 
 import pytest
 
-from repro import ChannelConfig, ClusterConfig, SnapshotCluster
+from repro import ChannelConfig, ClusterConfig, SimBackend
 from repro.analysis.linearizability import check_snapshot_history
 from repro.errors import ConfigurationError
 
@@ -31,7 +31,7 @@ class TestSubMajorityQuorumsBreakSafety:
         snapshot served by {4,3} never meet — the snapshot misses the
         completed write and the checker flags the violation."""
         channel = ChannelConfig(min_delay=1.0, max_delay=1.0)
-        cluster = SnapshotCluster(
+        cluster = SimBackend(
             "dgfr-nonblocking",
             ClusterConfig(n=5, seed=0, quorum_size=2, channel=channel),
             start=False,
@@ -60,7 +60,7 @@ class TestSubMajorityQuorumsBreakSafety:
         """The same partition with proper majorities: the write cannot
         complete on the isolated side, so safety is never at risk."""
         channel = ChannelConfig(min_delay=1.0, max_delay=1.0)
-        cluster = SnapshotCluster(
+        cluster = SimBackend(
             "dgfr-nonblocking",
             ClusterConfig(n=5, seed=0, channel=channel),
             start=False,
@@ -88,7 +88,7 @@ class TestSubMajorityQuorumsBreakSafety:
 
 class TestSuperMajorityQuorums:
     def test_full_quorum_blocks_on_single_crash(self):
-        cluster = SnapshotCluster(
+        cluster = SimBackend(
             "dgfr-nonblocking", ClusterConfig(n=4, seed=1, quorum_size=4)
         )
         cluster.write_sync(0, "all-alive")  # works with everyone up
@@ -100,7 +100,7 @@ class TestSuperMajorityQuorums:
             )
 
     def test_super_majority_still_linearizable(self):
-        cluster = SnapshotCluster(
+        cluster = SimBackend(
             "ss-nonblocking", ClusterConfig(n=5, seed=2, quorum_size=4)
         )
         for node in range(5):

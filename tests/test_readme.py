@@ -21,11 +21,19 @@ def test_readme_exists_with_expected_sections():
 def test_quickstart_block_executes():
     blocks = python_blocks()
     assert blocks, "README has no python code blocks"
-    quickstart = blocks[0]
     namespace = {}
-    exec(compile(quickstart, "README-quickstart", "exec"), namespace)  # noqa: S102
+    exec(compile(blocks[0], "README-quickstart", "exec"), namespace)  # noqa: S102
+    cut = namespace["cut"]
+    assert cut.items() == {"alpha": (1, b"a1"), "beta": (1, b"b1")}
+
+
+def test_register_level_block_executes():
+    blocks = python_blocks()
+    assert len(blocks) >= 2, "README lost its register-level example"
+    namespace = {}
+    exec(compile(blocks[1], "README-registers", "exec"), namespace)  # noqa: S102
     result = namespace["result"]
-    assert result.values[:2] == (b"alpha", b"beta")
+    assert result.values == (b"alpha", None, None, None, None)
 
 
 def test_algorithm_table_matches_registry():

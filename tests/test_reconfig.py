@@ -2,14 +2,14 @@
 
 import pytest
 
-from repro import ClusterConfig, SnapshotCluster
+from repro import ClusterConfig, SimBackend
 from repro.analysis.linearizability import check_snapshot_history
 from repro.errors import ConfigurationError
 from repro.reconfig import reconfigure
 
 
 def make(n=4, seed=0, algorithm="ss-nonblocking", **kwargs):
-    return SnapshotCluster(
+    return SimBackend(
         algorithm, ClusterConfig(n=n, seed=seed, **kwargs)
     )
 

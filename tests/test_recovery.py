@@ -8,7 +8,7 @@ of the self-stabilizing algorithms reaches a consistent state (Definition
 
 import pytest
 
-from repro import ChannelConfig, ClusterConfig, SnapshotCluster
+from repro import ChannelConfig, ClusterConfig, SimBackend
 from repro.analysis.history import HistoryRecorder
 from repro.analysis.invariants import (
     definition1_consistent,
@@ -26,7 +26,7 @@ RECOVERY_CYCLES = 8
 
 
 def make(algorithm, n=5, seed=0, delta=2, **kwargs):
-    return SnapshotCluster(
+    return SimBackend(
         algorithm, ClusterConfig(n=n, seed=seed, delta=delta, **kwargs)
     )
 

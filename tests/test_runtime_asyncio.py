@@ -6,7 +6,7 @@ import pytest
 
 from repro import ClusterConfig
 from repro.analysis.linearizability import check_snapshot_history
-from repro.runtime import AsyncioSnapshotCluster
+from repro.backend.aio import AsyncioBackend
 
 pytestmark = pytest.mark.runtime
 
@@ -21,7 +21,7 @@ ALGORITHMS = ["dgfr-nonblocking", "ss-nonblocking", "ss-always", "stacked"]
 @pytest.mark.parametrize("algorithm", ALGORITHMS)
 def test_write_then_snapshot(algorithm):
     async def main():
-        cluster = AsyncioSnapshotCluster(
+        cluster = AsyncioBackend(
             algorithm, ClusterConfig(n=4, delta=1), time_scale=0.002
         )
         cluster.start()
@@ -38,7 +38,7 @@ def test_write_then_snapshot(algorithm):
 
 def test_concurrent_operations_linearizable():
     async def main():
-        cluster = AsyncioSnapshotCluster(
+        cluster = AsyncioBackend(
             "ss-nonblocking", ClusterConfig(n=4, seed=3), time_scale=0.002
         )
         cluster.start()
@@ -58,7 +58,7 @@ def test_concurrent_operations_linearizable():
 
 def test_crash_and_resume_on_asyncio():
     async def main():
-        cluster = AsyncioSnapshotCluster(
+        cluster = AsyncioBackend(
             "ss-nonblocking", ClusterConfig(n=5, seed=4), time_scale=0.002
         )
         cluster.start()
@@ -78,7 +78,7 @@ def test_crash_and_resume_on_asyncio():
 
 def test_gossip_runs_in_wall_clock():
     async def main():
-        cluster = AsyncioSnapshotCluster(
+        cluster = AsyncioBackend(
             "ss-nonblocking",
             ClusterConfig(n=3, gossip_interval=1.0),
             time_scale=0.002,
@@ -98,17 +98,11 @@ def test_unknown_algorithm_rejected():
 
     async def main():
         with pytest.raises(ConfigurationError):
-            AsyncioSnapshotCluster("bogus")
+            AsyncioBackend("bogus")
 
     run(main())
 
 
-def test_facade_emits_deprecation_warning():
-    async def main():
-        with pytest.warns(DeprecationWarning, match="create_backend"):
-            cluster = AsyncioSnapshotCluster(
-                "ss-always", ClusterConfig(n=3), time_scale=0.002
-            )
-        await cluster.close()
-
-    run(main())
+def test_legacy_facade_removed():
+    with pytest.raises(ImportError, match="create_backend"):
+        from repro.runtime import AsyncioSnapshotCluster  # noqa: F401

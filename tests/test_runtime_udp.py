@@ -7,7 +7,7 @@ import pytest
 from repro import ClusterConfig
 from repro.analysis.linearizability import check_snapshot_history
 from repro.errors import ConfigurationError
-from repro.runtime import UdpSnapshotCluster
+from repro.backend.udp import UdpBackend
 
 pytestmark = pytest.mark.runtime
 
@@ -16,21 +16,21 @@ def run(coro):
     return asyncio.run(coro)
 
 
+async def make_cluster(algorithm, config, time_scale=0.002):
+    backend = UdpBackend(algorithm, config, time_scale=time_scale)
+    await backend.create()
+    backend.start()
+    return backend
+
+
 class TestUdpCluster:
-    def test_direct_construction_rejected(self):
-        with pytest.raises(ConfigurationError):
-            UdpSnapshotCluster()
-
     def test_unknown_algorithm_rejected(self):
-        async def main():
-            with pytest.raises(ConfigurationError):
-                await UdpSnapshotCluster.create("bogus")
-
-        run(main())
+        with pytest.raises(ConfigurationError):
+            UdpBackend("bogus")
 
     def test_write_snapshot_over_real_udp(self):
         async def main():
-            cluster = await UdpSnapshotCluster.create(
+            cluster = await make_cluster(
                 "ss-nonblocking", ClusterConfig(n=4, seed=1), time_scale=0.002
             )
             try:
@@ -49,7 +49,7 @@ class TestUdpCluster:
 
     def test_concurrent_ops_linearizable_over_udp(self):
         async def main():
-            cluster = await UdpSnapshotCluster.create(
+            cluster = await make_cluster(
                 "ss-always", ClusterConfig(n=4, seed=2, delta=1),
                 time_scale=0.002,
             )
@@ -76,7 +76,7 @@ class TestUdpCluster:
 
     def test_crash_and_majority_over_udp(self):
         async def main():
-            cluster = await UdpSnapshotCluster.create(
+            cluster = await make_cluster(
                 "ss-nonblocking", ClusterConfig(n=5, seed=3), time_scale=0.002
             )
             try:
@@ -91,12 +91,6 @@ class TestUdpCluster:
         run(main())
 
 
-def test_facade_emits_deprecation_warning():
-    async def main():
-        with pytest.warns(DeprecationWarning, match="create_backend"):
-            cluster = await UdpSnapshotCluster.create(
-                "ss-nonblocking", ClusterConfig(n=3, seed=1), time_scale=0.002
-            )
-        await cluster.close()
-
-    run(main())
+def test_legacy_facade_removed():
+    with pytest.raises(ImportError, match="create_backend"):
+        from repro.runtime import UdpSnapshotCluster  # noqa: F401

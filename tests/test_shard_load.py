@@ -1,0 +1,133 @@
+"""Tests for the sharded load generator, chaos storm, and E19 plumbing."""
+
+import json
+
+import pytest
+
+from repro import ClusterConfig
+from repro.shard import (
+    ShardLoadSpec,
+    run_shard_chaos,
+    run_shard_load,
+    write_shard_bench,
+)
+from repro.shard.experiments import baseline_capacity
+
+pytestmark = pytest.mark.shard
+
+
+def small_spec(**overrides):
+    base = dict(clients=4, depth=1, duration=15.0, composes=2, seed=0)
+    base.update(overrides)
+    return ShardLoadSpec(**base)
+
+
+class TestShardLoad:
+    def test_closed_loop_report_shape(self):
+        report = run_shard_load(
+            shards=2,
+            config=ClusterConfig(n=4, seed=0),
+            spec=small_spec(),
+        )
+        assert report.ok, report.failures
+        assert report.shards == 2 and report.backend == "sim"
+        assert report.completed > 0
+        assert report.submitted >= report.completed
+        assert report.errors == 0
+        assert report.throughput > 0
+        assert set(report.per_shard) == {0, 1}
+        assert report.composes == 2 and report.fenced_composes >= 0
+        assert report.imbalance >= 1.0
+        row = report.row()
+        assert row["shards"] == 2 and "throughput" in row
+        assert "K=2" in report.summary()
+
+    def test_open_loop_mode(self):
+        report = run_shard_load(
+            shards=2,
+            config=ClusterConfig(n=4, seed=1),
+            spec=small_spec(mode="open", rate=1.0),
+        )
+        assert report.ok, report.failures
+        assert report.spec.mode == "open"
+
+    def test_zipf_skew_drives_imbalance(self):
+        uniform = run_shard_load(
+            shards=4,
+            config=ClusterConfig(n=4, seed=2),
+            spec=small_spec(clients=8, duration=20.0, skew=0.0),
+        )
+        skewed = run_shard_load(
+            shards=4,
+            config=ClusterConfig(n=4, seed=2),
+            spec=small_spec(clients=8, duration=20.0, skew=1.5),
+        )
+        assert skewed.ok and uniform.ok
+        # Hot keys concentrate on their home shards.
+        assert skewed.imbalance > uniform.imbalance
+
+    def test_deterministic_given_seed(self):
+        reports = [
+            run_shard_load(
+                shards=2,
+                config=ClusterConfig(n=4, seed=3),
+                spec=small_spec(seed=3),
+            )
+            for _ in range(2)
+        ]
+        assert reports[0].completed == reports[1].completed
+        assert reports[0].throughput == reports[1].throughput
+
+
+class TestShardChaos:
+    def test_storm_with_split_stays_linearizable(self):
+        report = run_shard_chaos(
+            shards=2, config=ClusterConfig(n=4, seed=0), seed=0, events=40
+        )
+        assert report.ok, report.failures
+        assert report.splits == 1
+        assert report.final_shards == 3
+        assert report.composes > 0
+
+    def test_seeds_vary_the_storm(self):
+        a = run_shard_chaos(
+            shards=2, config=ClusterConfig(n=4, seed=1), seed=1, events=30
+        )
+        b = run_shard_chaos(
+            shards=2, config=ClusterConfig(n=4, seed=2), seed=2, events=30
+        )
+        assert a.ok and b.ok
+        assert (a.writes, a.scans, a.crashes) != (b.writes, b.scans, b.crashes)
+
+
+class TestBenchFile:
+    def test_write_shard_bench_schema(self, tmp_path):
+        reports = [
+            run_shard_load(
+                shards=k,
+                config=ClusterConfig(n=4, seed=0),
+                spec=small_spec(clients=4 * k),
+            )
+            for k in (1, 2)
+        ]
+        path = write_shard_bench(tmp_path / "BENCH_PR8.json", reports)
+        payload = json.loads(path.read_text())
+        assert payload["pr"] == 8
+        assert payload["baseline"]["k1_capacity"] > 0
+        assert [row["shards"] for row in payload["series"]] == [1, 2]
+        headline = payload["headline"]
+        assert headline["max_shards"] == 2
+        assert headline["linearizable"] is True
+        assert headline["speedup_vs_k1"] == pytest.approx(
+            payload["series"][1]["throughput"]
+            / payload["series"][0]["throughput"],
+            abs=0.01,
+        )
+
+    def test_baseline_capacity_prefers_recorded_headline(self, tmp_path):
+        bench = tmp_path / "BENCH_PR5.json"
+        bench.write_text(
+            json.dumps({"headline": {"saturated_throughput": 1.23}})
+        )
+        assert baseline_capacity(bench) == 1.23
+        assert baseline_capacity(tmp_path / "missing.json") > 0

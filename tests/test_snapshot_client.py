@@ -1,0 +1,89 @@
+"""Tests for the ``SnapshotClient`` facade over clusters and fabrics."""
+
+import asyncio
+
+import pytest
+
+from repro import ClusterConfig, SimBackend, SnapshotClient
+from repro.errors import ConfigurationError
+
+pytestmark = pytest.mark.shard
+
+
+class TestLocalClient:
+    def test_write_snapshot_roundtrip(self):
+        client = SnapshotClient.local(shards=2, config=ClusterConfig(n=4))
+        assert client.write_sync("a", b"1") == 1
+        assert client.write_sync("a", b"2") == 2
+        cut = client.snapshot_sync()
+        assert cut.items() == {"a": (2, b"2")}
+        assert "a" in cut and cut.get("a") == b"2"
+        assert client.check() == []
+
+    def test_read_single_key(self):
+        client = SnapshotClient.local(shards=2)
+        client.write_sync("k", 42)
+        view = client.read_sync("k")
+        assert view.found and view.value == 42
+        assert not client.read_sync("missing").found
+
+    def test_split_grows_the_deployment(self):
+        client = SnapshotClient.local(shards=1)
+        for i in range(8):
+            client.write_sync(f"k{i}", i)
+        assert client.shards == 1 and client.epoch == 0
+        report = client.split_sync()
+        assert client.shards == 2 and client.epoch == report.new_epoch
+        cut = client.snapshot_sync()
+        assert {k: v for k, (_, v) in cut.items().items()} == {
+            f"k{i}": i for i in range(8)
+        }
+        assert client.check() == []
+
+    def test_defaults_are_single_shard(self):
+        client = SnapshotClient.local()
+        assert client.shards == 1
+
+
+class TestWrappingExistingTargets:
+    def test_wraps_a_cluster_backend(self):
+        backend = SimBackend("ss-nonblocking", ClusterConfig(n=4))
+        client = SnapshotClient(backend)
+        assert client.shards == 1
+        client.write_sync("key", "value")
+        assert client.snapshot_sync().get("key") == "value"
+        assert client.check() == []
+
+    def test_rejects_unknown_targets(self):
+        with pytest.raises(ConfigurationError, match="SnapshotClient"):
+            SnapshotClient(object())
+
+
+class TestConnect:
+    @pytest.mark.runtime
+    def test_connect_on_asyncio_backend(self):
+        async def main():
+            client = await SnapshotClient.connect(
+                "asyncio", shards=2, config=ClusterConfig(n=3),
+                time_scale=0.002,
+            )
+            try:
+                assert await client.write("a", b"live") == 1
+                cut = await asyncio.wait_for(client.snapshot(), timeout=30)
+                assert cut.get("a") == b"live"
+                assert client.check() == []
+            finally:
+                await client.close()
+
+        asyncio.run(main())
+
+    def test_sync_helpers_require_sim(self):
+        client = SnapshotClient.local()
+        # The error machinery: a live-backend client refuses *_sync with
+        # a message that names the backends providing simulated time.
+        caps = client.fabric.backends()[0].capabilities
+        fake = caps.__class__(**{**caps.describe(), "backend": "udp",
+                                 "simulated_time": False})
+        client.fabric.backends()[0].capabilities = fake
+        with pytest.raises(ConfigurationError, match="sim"):
+            client.write_sync("a", 1)

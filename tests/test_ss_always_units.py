@@ -2,7 +2,7 @@
 
 import math
 
-from repro import ClusterConfig, SnapshotCluster, UNBOUNDED_DELTA
+from repro import ClusterConfig, SimBackend, UNBOUNDED_DELTA
 from repro.core.register import RegisterArray, TimestampedValue
 from repro.core.ss_always import (
     PendingTask,
@@ -13,7 +13,7 @@ from repro.core.ss_always import (
 
 
 def make(delta=2, n=4, seed=0):
-    return SnapshotCluster(
+    return SimBackend(
         "ss-always", ClusterConfig(n=n, seed=seed, delta=delta)
     )
 

@@ -1,11 +1,11 @@
 """Tests for the stacked ABD + double-collect snapshot baseline."""
 
-from repro import ChannelConfig, ClusterConfig, SnapshotCluster
+from repro import ChannelConfig, ClusterConfig, SimBackend
 from repro.analysis.linearizability import check_snapshot_history
 
 
 def make(n=5, seed=0, **kwargs):
-    return SnapshotCluster("stacked", ClusterConfig(n=n, seed=seed, **kwargs))
+    return SimBackend("stacked", ClusterConfig(n=n, seed=seed, **kwargs))
 
 
 class TestStackedSemantics:
@@ -73,7 +73,7 @@ class TestStackedCosts:
             stacked.snapshot_sync(1)
         stacked_msgs = window.stats.total_messages
 
-        dgfr = SnapshotCluster(
+        dgfr = SimBackend(
             "dgfr-nonblocking", ClusterConfig(n=n, seed=5)
         )
         dgfr.write_sync(0, "x")

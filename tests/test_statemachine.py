@@ -18,7 +18,7 @@ from hypothesis.stateful import (
 )
 from hypothesis import strategies as st
 
-from repro import ClusterConfig, SnapshotCluster
+from repro import ClusterConfig, SimBackend
 from repro.analysis.linearizability import check_snapshot_history
 
 N = 4
@@ -39,7 +39,7 @@ class SnapshotObjectMachine(RuleBasedStateMachine):
         seed=st.integers(min_value=0, max_value=1000),
     )
     def setup(self, algorithm, seed):
-        self.cluster = SnapshotCluster(
+        self.cluster = SimBackend(
             algorithm, ClusterConfig(n=N, seed=seed, delta=1)
         )
 

@@ -1,13 +1,13 @@
 """Tests for message tracing, space-time rendering, and figure generation."""
 
-from repro import ClusterConfig, SnapshotCluster
+from repro import ClusterConfig, SimBackend
 from repro.analysis.spacetime import render_spacetime
 from repro.analysis.trace import MessageTrace, TraceEvent
 from repro.harness.figures import FIGURES, render_figure
 
 
 def traced_cluster(algorithm="dgfr-nonblocking", n=3, seed=0):
-    cluster = SnapshotCluster(algorithm, ClusterConfig(n=n, seed=seed))
+    cluster = SimBackend(algorithm, ClusterConfig(n=n, seed=seed))
     trace = MessageTrace(cluster.network)
     return cluster, trace
 

@@ -4,7 +4,7 @@ import pytest
 
 from repro.config import ChannelConfig, ClusterConfig
 from repro.core.base import SnapshotResult
-from repro.core.cluster import SnapshotCluster
+from repro.backend.sim import SimBackend
 from repro.sim.kernel import Kernel, TieBreak
 from repro.verify import explore, explore_snapshot_scenario
 
@@ -116,7 +116,7 @@ def _partitioned_run_one(algorithm):
 
     def run_one(script):
         config = ClusterConfig(n=5, seed=0, channel=channel)
-        cluster = SnapshotCluster(
+        cluster = SimBackend(
             algorithm, config, tie_break=TieBreak.SCRIPTED, start=False
         )
         cluster.kernel.decision_script = list(script)
