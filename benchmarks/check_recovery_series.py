@@ -1,0 +1,121 @@
+"""CI gate: consensus-backed reset recovery no worse than coordinator.
+
+ROADMAP item 5 replaced the bounded variants' fixed-coordinator reset
+commit (the paper's sketch) with a decision on the self-stabilizing
+consensus layer. The consensus path must not regress recovery speed in
+the healthy case — the case the legacy sketch was actually good at.
+This gate re-runs the E7/E8 recovery drills (the same deterministic
+cells recorded in EXPERIMENTS.md) at a small n in *both* reset modes
+and asserts, per corruption class:
+
+* the ``bounded+consensus`` cell recovered at all (an integer cycle
+  count, not the ``>CAP`` marker), within ``MAX_CONSENSUS_CYCLES``;
+* it is no more than ``TOLERANCE`` asynchronous cycles slower than the
+  ``bounded+coordinator`` cell — consensus adds at most one decision
+  round trip to a reset, so anything beyond that is a regression.
+
+A coordinator cell that failed to recover cannot bound the consensus
+cell (the crash-liveness cases where consensus is strictly better are
+E20's subject, not this gate's).
+
+Usage: ``python benchmarks/check_recovery_series.py [--n N] [--seed S]``
+"""
+
+import argparse
+import sys
+
+#: Consensus may cost at most this many extra cycles per recovery.
+TOLERANCE = 2
+
+#: Absolute ceiling for any consensus-mode recovery (the paper's O(1)
+#: claim with the decision round trip included; tests pin the same
+#: bound).
+MAX_CONSENSUS_CYCLES = 8
+
+
+def _cells(row):
+    """The corruption-class cycle cells of an E7/E8 row."""
+    return {
+        key: value
+        for key, value in row.items()
+        if key not in ("variant", "n", "detections")
+    }
+
+
+def _by_variant(rows, n):
+    return {
+        row["variant"]: row for row in rows if row["n"] == n
+    }
+
+
+def check_experiment(label, rows, n):
+    problems = []
+    variants = _by_variant(rows, n)
+    for wanted in ("bounded+consensus", "bounded+coordinator"):
+        if wanted not in variants:
+            problems.append(f"{label}: missing variant {wanted!r}")
+    if problems:
+        return problems
+    consensus = _cells(variants["bounded+consensus"])
+    coordinator = _cells(variants["bounded+coordinator"])
+    for name, cycles in consensus.items():
+        if not isinstance(cycles, int):
+            problems.append(
+                f"{label}/{name}: consensus-mode recovery did not "
+                f"complete ({cycles})"
+            )
+            continue
+        if cycles > MAX_CONSENSUS_CYCLES:
+            problems.append(
+                f"{label}/{name}: consensus-mode recovery took {cycles} "
+                f"cycles (> {MAX_CONSENSUS_CYCLES})"
+            )
+        baseline = coordinator.get(name)
+        if isinstance(baseline, int) and cycles > baseline + TOLERANCE:
+            problems.append(
+                f"{label}/{name}: consensus {cycles} cycles vs "
+                f"coordinator {baseline} (tolerance +{TOLERANCE})"
+            )
+    return problems
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--n", type=int, default=4)
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args(argv[1:])
+
+    from repro.harness.recovery import (
+        e07_recovery_nonblocking,
+        e08_recovery_always,
+    )
+
+    problems = []
+    summaries = []
+    for label, runner in (
+        ("E07", e07_recovery_nonblocking),
+        ("E08", e08_recovery_always),
+    ):
+        rows = runner(n_values=(args.n,), seed=args.seed)
+        problems.extend(check_experiment(label, rows, args.n))
+        consensus = _cells(_by_variant(rows, args.n)["bounded+consensus"])
+        summaries.append(
+            f"{label} n={args.n}: "
+            + ", ".join(f"{k}={v}" for k, v in consensus.items())
+        )
+    if problems:
+        for problem in problems:
+            print(problem, file=sys.stderr)
+        return 1
+    for summary in summaries:
+        print(summary)
+    print(
+        "recovery gate ok: consensus-backed reset within "
+        f"+{TOLERANCE} cycles of the coordinator baseline, all cells "
+        f"<= {MAX_CONSENSUS_CYCLES} cycles"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv))

@@ -3,7 +3,7 @@
 Commands
 --------
 ``experiments [ids…]``
-    Run the reproduction experiments (all of E1–E19 by default) and
+    Run the reproduction experiments (all of E1–E20 by default) and
     print their tables.  ``--seeds K`` re-runs each selected experiment
     at K consecutive seeds.  ``--backend {sim,asyncio,udp}`` runs the
     backend-aware experiments (E16–E19) on a chosen runtime.
@@ -80,7 +80,8 @@ capability outright (e.g. ``--jobs 2`` on a live backend) raises a
     composed cuts for linearizability.  ``--skew X`` applies Zipf key
     popularity (hot shards); ``--duration U`` (alias of ``--budget``)
     sets the submission window.  ``--sweep`` runs the E19 scaling ladder
-    (K = 1, 2, 4, 8 at fixed n) and writes ``BENCH_PR8.json``
+    (K = 1, 2, 4, 8 at fixed n, with the consensus-backed epoch decider
+    installed) and writes ``BENCH_PR8.json``
     (``--out FILE`` overrides).  ``chaos --shards K`` likewise runs the
     sharded chaos storm: crashes, online shard splits with live key
     migration, and composed cuts under fire.
@@ -226,6 +227,7 @@ def _cmd_verify(args: list[str]) -> int:
     )
     from repro.verify.explorer import (
         STANDARD_SCENARIO,
+        explore_consensus_decision,
         explore_snapshot_scenario,
         run_verify_campaigns,
     )
@@ -276,6 +278,18 @@ def _cmd_verify(args: list[str]) -> int:
                 if len(options.seeds) > 1:
                     label = f"{'walk' if backend == 'sim' else 'live'} s={seed}"
                 print(f"{algorithm:20s} [{label:11s}] {result.summary()}")
+                for failure in result.failures:
+                    print("FAILURE:", failure)
+                ok = ok and result.ok
+        if backend == "sim":
+            for strategy in ("dfs", "random-walk"):
+                result = explore_consensus_decision(
+                    n=3,
+                    max_runs=options.budget,
+                    max_depth=20,
+                    strategy=strategy,
+                )
+                print(f"{'consensus':20s} [{strategy:11s}] {result.summary()}")
                 for failure in result.failures:
                     print("FAILURE:", failure)
                 ok = ok and result.ok

@@ -68,20 +68,30 @@ class ReliableBroadcast:
     deliver:
         Application callback ``deliver(origin, payload)`` invoked exactly
         once per broadcast message, in arrival order at this node.
+    data_cls, ack_cls:
+        The wire message classes to use.  One process can host several
+        independent reliable-broadcast endpoints as long as each uses its
+        own message kinds — the consensus layer
+        (:mod:`repro.consensus`) rides on dedicated ``CS_RB`` carriers so
+        its traffic never collides with Algorithm 2's ``RB`` stream.
     """
 
     def __init__(
         self,
         process: Process,
         deliver: Callable[[int, Message], None],
+        data_cls: type[RbDataMessage] = RbDataMessage,
+        ack_cls: type[RbAckMessage] = RbAckMessage,
     ) -> None:
         self._process = process
         self._deliver = deliver
+        self._data_cls = data_cls
+        self._ack_cls = ack_cls
         self._seq = itertools.count(1)
         self._known: dict[tuple[int, int], Message] = {}
         self._acked: dict[tuple[int, int], set[int]] = {}
-        process.register_handler(RbDataMessage.KIND, self._on_data)
-        process.register_handler(RbAckMessage.KIND, self._on_ack)
+        process.register_handler(data_cls.KIND, self._on_data)
+        process.register_handler(ack_cls.KIND, self._on_ack)
 
     def broadcast(self, payload: Message) -> None:
         """Reliably broadcast ``payload`` to every node (including self)."""
@@ -93,7 +103,7 @@ class ReliableBroadcast:
     def _on_data(self, sender: int, message: RbDataMessage) -> None:
         message_id = (message.origin, message.seq)
         self._process.send(
-            sender, RbAckMessage(origin=message.origin, seq=message.seq)
+            sender, self._ack_cls(origin=message.origin, seq=message.seq)
         )
         self._learn(message_id, message.payload)
 
@@ -120,7 +130,7 @@ class ReliableBroadcast:
     ) -> None:
         """Push the message to every un-acked peer until all have acked."""
         origin, seq = message_id
-        wire = RbDataMessage(origin=origin, seq=seq, payload=payload)
+        wire = self._data_cls(origin=origin, seq=seq, payload=payload)
         interval = self._process.config.retransmit_interval
         try:
             while True:

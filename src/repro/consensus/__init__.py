@@ -1,0 +1,34 @@
+"""Self-stabilizing multivalued consensus (ROADMAP item 5).
+
+One decision primitive for every reconfiguration step: the bounded
+algorithms' global reset (:mod:`repro.stabilization.bounded`) and the
+sharded fabric's epoch installs
+(:class:`repro.shard.epoch.ConsensusEpochDecider`) both agree on their
+next configuration through :class:`ConsensusEndpoint`.  See
+``docs/consensus.md`` for the protocol sketch and the
+self-stabilization argument.
+"""
+
+from repro.consensus.core import ConsensusEndpoint
+from repro.consensus.messages import (
+    CONSENSUS_KINDS,
+    CsBdecMessage,
+    CsDecideMessage,
+    CsProposalMessage,
+    CsRbAckMessage,
+    CsRbDataMessage,
+    CsVoteMessage,
+    valid_tag,
+)
+
+__all__ = [
+    "CONSENSUS_KINDS",
+    "ConsensusEndpoint",
+    "CsBdecMessage",
+    "CsDecideMessage",
+    "CsProposalMessage",
+    "CsRbAckMessage",
+    "CsRbDataMessage",
+    "CsVoteMessage",
+    "valid_tag",
+]

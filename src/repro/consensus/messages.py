@@ -1,0 +1,159 @@
+"""Wire messages of the self-stabilizing multivalued consensus layer.
+
+Tags
+----
+Every consensus *instance* is named by a ``tag``: a ``(label, number)``
+tuple such as ``("reset", epoch)`` or ``("shard-epoch", e)``.  Tags are
+plain data, so they travel on the wire and survive the codec round trip;
+:func:`valid_tag` is the receiver-side hygiene check that lets a node
+drop garbage tags (a transient fault can place arbitrary bytes in a
+message field) instead of allocating instance state for them.
+
+Carriers
+--------
+Proposals disseminate over :class:`repro.broadcast.reliable
+.ReliableBroadcast` using the dedicated ``CS_RB``/``CS_RB_ACK`` carriers
+below — the same machinery Algorithm 2 uses for ``SNAP``/``END``, on a
+separate message kind so one process can host both endpoints.  The
+binary-round traffic (``CS_VOTE``/``CS_BDEC``) and the decision gossip
+(``CS_DECIDE``) ride the bare unreliable channels and rely on the
+endpoint's own retransmission (every driver pass re-broadcasts the
+current vote, the paper's ``repeat broadcast …`` discipline).
+
+All consensus kinds must *bypass* the bounded algorithms' epoch
+envelope: like the reset messages, a consensus instance that decides the
+next epoch necessarily spans the epoch boundary (see
+``repro.stabilization.bounded``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from repro.broadcast.reliable import RbAckMessage, RbDataMessage
+from repro.net.message import Message
+
+__all__ = [
+    "CONSENSUS_KINDS",
+    "CsBdecMessage",
+    "CsDecideMessage",
+    "CsProposalMessage",
+    "CsRbAckMessage",
+    "CsRbDataMessage",
+    "CsVoteMessage",
+    "PHASE_AUX",
+    "PHASE_EST",
+    "valid_tag",
+]
+
+#: Binary-round phases (Mostéfaoui-Raynal style): first everyone
+#: exchanges round *estimates*, then *auxiliary* values (an estimate a
+#: majority agreed on, or ⊥ encoded as ``-1``).
+PHASE_EST = "est"
+PHASE_AUX = "aux"
+
+#: Longest accepted tag label; anything longer is treated as corruption.
+_MAX_LABEL = 64
+
+
+def valid_tag(tag: Any) -> bool:
+    """Whether ``tag`` is a well-formed instance name.
+
+    The check is deliberately strict — ``(str, int)`` with a short label
+    and a non-negative number — because every message handler uses it as
+    its first line of defense against transiently corrupted fields.
+    """
+    return (
+        isinstance(tag, tuple)
+        and len(tag) == 2
+        and isinstance(tag[0], str)
+        and 0 < len(tag[0]) <= _MAX_LABEL
+        and isinstance(tag[1], int)
+        and not isinstance(tag[1], bool)
+        and tag[1] >= 0
+    )
+
+
+@dataclass(frozen=True)
+class CsRbDataMessage(RbDataMessage):
+    """Reliable-broadcast carrier for consensus proposals."""
+
+    KIND = "CS_RB"
+
+
+@dataclass(frozen=True)
+class CsRbAckMessage(RbAckMessage):
+    """Per-receiver acknowledgement of one consensus carrier."""
+
+    KIND = "CS_RB_ACK"
+
+
+@dataclass(frozen=True)
+class CsProposalMessage(Message):
+    """A proposed value for one instance (travels inside ``CS_RB``)."""
+
+    KIND = "CS_PROP"
+    tag: tuple
+    value: Any
+
+
+@dataclass(frozen=True)
+class CsVoteMessage(Message):
+    """One binary-consensus round vote.
+
+    ``sweep``/``cand`` name the binary instance (candidate ``cand`` of
+    sweep ``sweep``), ``round``/``phase`` position the vote inside it,
+    and ``bit`` is the voted value (``-1`` encodes the AUX phase's ⊥).
+    """
+
+    KIND = "CS_VOTE"
+    tag: tuple
+    sweep: int
+    cand: int
+    round: int
+    phase: str
+    bit: int
+
+
+@dataclass(frozen=True)
+class CsBdecMessage(Message):
+    """A settled binary instance: candidate ``cand`` of ``sweep`` → ``bit``.
+
+    Sent in reply to votes for a binary instance the sender has already
+    finished, so a straggler never stalls waiting for round partners
+    that have moved on.
+    """
+
+    KIND = "CS_BDEC"
+    tag: tuple
+    sweep: int
+    cand: int
+    bit: int
+
+
+@dataclass(frozen=True)
+class CsDecideMessage(Message):
+    """The multivalued decision for one instance.
+
+    Broadcast once on deciding, and re-sent in reply to *any* late
+    traffic for the instance — the catch-up path that lets nodes which
+    slept through the whole agreement adopt its outcome.
+    """
+
+    KIND = "CS_DECIDE"
+    tag: tuple
+    value: Any
+
+
+#: Every consensus message kind (epoch-envelope bypass set).
+CONSENSUS_KINDS = frozenset(
+    {
+        CsRbDataMessage.KIND,
+        CsRbAckMessage.KIND,
+        CsProposalMessage.KIND,
+        CsVoteMessage.KIND,
+        CsBdecMessage.KIND,
+        CsDecideMessage.KIND,
+    }
+)

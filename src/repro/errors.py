@@ -48,6 +48,17 @@ class ConfigurationError(ReproError):
     """An invalid cluster, channel, or algorithm configuration was supplied."""
 
 
+class EpochEvictedError(ReproError):
+    """A decided epoch was asked for after its retention window closed.
+
+    The epoch deciders (:mod:`repro.shard.epoch`) keep only a sliding
+    window of decided shard maps — unbounded retention is exactly the
+    kind of ever-growing state the paper's bounded-space discipline
+    forbids.  Callers that need history older than the window must
+    record it themselves at decision time.
+    """
+
+
 class HistoryError(ReproError):
     """An operation history is malformed (e.g. response without invocation)."""
 

@@ -110,6 +110,50 @@ class TransientFaultInjector:
                 else:
                     task.vc = None
 
+    def corrupt_consensus(self, node_ids: Iterable[int] | None = None) -> None:
+        """Scramble the consensus layer's per-instance state.
+
+        Targets every field the self-stabilization argument of
+        :mod:`repro.consensus` claims to survive: settled binary bits,
+        round machines, vote tallies, and delivered proposals all get
+        arbitrary garbage.  Nodes without a consensus endpoint (or with
+        no live instances) are silently skipped, so the injector works
+        against every algorithm.
+        """
+        from repro.consensus.core import _Binary
+
+        for node_id in self._targets(node_ids):
+            process = self._cluster.node(node_id)
+            endpoint = getattr(process, "consensus", None)
+            if endpoint is None:
+                continue
+            for instance in getattr(endpoint, "_instances", {}).values():
+                choice = self._rng.randrange(4)
+                if choice == 0:
+                    # Forge settled bits (including out-of-range keys).
+                    instance.bdec[(self._rng.randrange(8), self._wild_ts())] = (
+                        self._rng.randrange(4)
+                    )
+                    for position in list(instance.bdec):
+                        instance.bdec[position] = self._rng.randrange(2)
+                elif choice == 1:
+                    for binary in instance.active.values():
+                        binary.round = self._wild_ts()
+                        binary.est = self._rng.randrange(-2, 3)
+                        binary.phase = "garbage"
+                    instance.active[(self._wild_ts(), 0)] = _Binary(1)
+                elif choice == 2:
+                    instance.tallies[(0, 0, self._wild_ts(), "est")] = {
+                        self._wild_ts(): self._rng.randrange(-2, 3)
+                    }
+                    for tally in instance.tallies.values():
+                        for sender in list(tally):
+                            tally[sender] = self._rng.randrange(-2, 3)
+                else:
+                    instance.proposals[self._rng.randrange(16)] = bytes(
+                        [self._rng.randrange(256)]
+                    )
+
     # -- channel corruption ------------------------------------------------------------
 
     def scramble_channels(self, drop_probability: float = 0.3) -> int:
@@ -157,4 +201,5 @@ class TransientFaultInjector:
         self.corrupt_snapshot_indices(node_ids)
         self.corrupt_registers(node_ids)
         self.corrupt_pending_tasks(node_ids)
+        self.corrupt_consensus(node_ids)
         self.scramble_channels()

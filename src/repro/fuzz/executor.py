@@ -31,7 +31,7 @@ from repro.analysis.invariants import definition1_consistent
 from repro.analysis.linearizability import check_snapshot_history
 from repro.core.base import SnapshotResult
 from repro.backend.sim import SimBackend
-from repro.errors import DeadlockError, SimulationError
+from repro.errors import DeadlockError, ResetInProgressError, SimulationError
 from repro.fault import TransientFaultInjector
 from repro.fuzz.spec import ScenarioSpec
 from repro.sim.kernel import TieBreak
@@ -149,6 +149,8 @@ class _SpecRun:
         self.checks = 0
         self.partitioned = False
         self.stabilizing = _is_self_stabilizing(spec.algorithm)
+        self.bounded = spec.algorithm.startswith("bounded")
+        self._history_resets = self._resets_seen()
 
     # -- helpers -----------------------------------------------------------
 
@@ -161,10 +163,36 @@ class _SpecRun:
     def _node_busy(self, node: int) -> bool:
         return bool(self.cluster.node(node)._ops_in_flight)
 
+    def _resets_seen(self) -> tuple[int, int]:
+        """Global-reset evidence: (max epoch, total completed resets)."""
+        epochs = resets = 0
+        for process in self.cluster.processes:
+            epochs = max(epochs, getattr(process, "epoch", 0))
+            resets += getattr(process, "resets_completed", 0)
+        return epochs, resets
+
+    def _void_history(self) -> None:
+        """Start a fresh evidence window (past records impose nothing)."""
+        self.cluster.history = HistoryRecorder()
+        self._history_resets = self._resets_seen()
+
     def _check_history(self, context: str) -> None:
+        if self.bounded and self._resets_seen() != self._history_resets:
+            # A wraparound reset landed inside this window: every index
+            # was rebased to 0, so per-writer monotonicity and vector
+            # comparisons across the reset are meaningless.  Void the
+            # evidence (the reset aborted the operations it caught) and
+            # start checking afresh — same treatment as a corruption
+            # burst, whose recovery also rewrites state wholesale.
+            self._void_history()
+            return
         self.checks += 1
         report = check_snapshot_history(
-            self.cluster.history.records(), self.cluster.config.n
+            self.cluster.history.records(),
+            self.cluster.config.n,
+            # Post-reset windows legitimately observe survivor values at
+            # rebased ts 0 until every node has written again.
+            allow_rebased_init=self.bounded,
         )
         if not report.ok:
             self.failures.append(f"{context}: {report.summary()}")
@@ -200,6 +228,12 @@ class _SpecRun:
         self.applied += 1
         try:
             await cluster.kernel.wait_for(operation, timeout=OP_TERMINATION_BOUND)
+        except ResetInProgressError:
+            # The bounded variants abort operations caught by a global
+            # reset; the backend already marked the op aborted in the
+            # history (aborted ops impose no constraints), so this is
+            # expected behaviour, not a failure.
+            await cluster.kernel.sleep(1.0)
         except TimeoutError:
             if unobstructed:
                 self.failures.append(
@@ -214,7 +248,7 @@ class _SpecRun:
             await cluster.kernel.sleep(1.0)
 
     async def _corrupt(self, index: int, mode: str) -> None:
-        from repro.fuzz.spec import CORRUPTION_MODES
+        from repro.fuzz.spec import BOUNDED_CORRUPTION_MODES
 
         if not self.stabilizing:
             self.skipped += 1
@@ -223,13 +257,15 @@ class _SpecRun:
         # A corruption burst voids past evidence: check the history first,
         # corrupt, then give the algorithm its recovery window.
         self._check_history(f"event {index}: pre-corruption")
-        mode = mode if mode in CORRUPTION_MODES else "ts"
+        mode = mode if mode in BOUNDED_CORRUPTION_MODES else "ts"
         if mode == "ts":
             self.injector.corrupt_write_indices()
         elif mode == "ssn":
             self.injector.corrupt_snapshot_indices()
         elif mode == "registers":
             self.injector.corrupt_registers()
+        elif mode == "consensus":
+            self.injector.corrupt_consensus()
         else:
             self.injector.scramble_channels()
         self.applied += 1
@@ -240,7 +276,7 @@ class _SpecRun:
         cluster.tracker.reset()
         await cluster.tracker.wait_cycles(_RECOVERY_CYCLES)
         self._check_invariants(f"event {index}: post-corruption recovery")
-        cluster.history = HistoryRecorder()
+        self._void_history()
 
     def _crash(self, node: int) -> None:
         cluster = self.cluster

@@ -25,7 +25,14 @@ from pathlib import Path
 from repro.config import ClusterConfig, scenario_config
 from repro.errors import ConfigurationError
 
-__all__ = ["ScenarioEvent", "ScenarioSpec", "generate_spec", "EVENT_KINDS"]
+__all__ = [
+    "ScenarioEvent",
+    "ScenarioSpec",
+    "generate_spec",
+    "EVENT_KINDS",
+    "CORRUPTION_MODES",
+    "BOUNDED_CORRUPTION_MODES",
+]
 
 #: Every event kind the executor understands.
 EVENT_KINDS = (
@@ -42,6 +49,13 @@ EVENT_KINDS = (
 #: Corruption classes a ``corrupt`` event may name (see
 #: :class:`repro.fault.TransientFaultInjector`).
 CORRUPTION_MODES = ("ts", "ssn", "registers", "channels")
+
+#: Extended corruption classes for the bounded algorithms, which carry a
+#: consensus endpoint whose per-instance state is itself a corruption
+#: target.  Kept separate from :data:`CORRUPTION_MODES` so existing
+#: seeds' RNG draw sequences (and thus their pinned counterexamples) are
+#: untouched for every other algorithm.
+BOUNDED_CORRUPTION_MODES = CORRUPTION_MODES + ("consensus",)
 
 
 @dataclass(frozen=True, slots=True)
@@ -109,10 +123,14 @@ class ScenarioSpec:
     duplication: float = 0.0
     events: tuple[ScenarioEvent, ...] = ()
     decision_script: tuple[int, ...] | None = None
+    #: Bounded-variant wraparound threshold; ``None`` keeps the config
+    #: default (effectively unbounded), so specs for the unbounded
+    #: algorithms are unchanged on disk and in behaviour.
+    max_int: int | None = None
 
     def config(self) -> ClusterConfig:
         """The cluster configuration this spec describes."""
-        return scenario_config(
+        overrides = dict(
             n=self.n,
             seed=self.seed,
             delta=self.delta,
@@ -121,6 +139,9 @@ class ScenarioSpec:
             loss=self.loss,
             duplication=self.duplication,
         )
+        if self.max_int is not None:
+            overrides["max_int"] = self.max_int
+        return scenario_config(**overrides)
 
     # -- serialization -----------------------------------------------------
 
@@ -141,6 +162,7 @@ class ScenarioSpec:
                 if self.decision_script is None
                 else list(self.decision_script)
             ),
+            "max_int": self.max_int,
         }
         return payload
 
@@ -161,6 +183,12 @@ class ScenarioSpec:
                 ScenarioEvent.from_dict(event) for event in payload["events"]
             ),
             decision_script=None if script is None else tuple(script),
+            # .get: counterexample files written before the field existed.
+            max_int=(
+                None
+                if payload.get("max_int") is None
+                else int(payload["max_int"])
+            ),
         )
 
     def to_json(self) -> str:
@@ -204,6 +232,10 @@ _EVENT_WEIGHTS = (
 _DELAY_PROFILES = ((0.5, 1.5), (1.0, 1.0), (0.2, 2.0))
 _LOSS_PROFILES = (0.0, 0.05, 0.1)
 _DELTA_PROFILES = (0.0, 1.0, 2.0, 4.0)
+#: Wraparound thresholds drawn for bounded-algorithm specs — small
+#: enough that a 40-event program crosses them and exercises the
+#: consensus-backed global reset.
+_MAX_INT_PROFILES = (8, 16, 48)
 
 
 @dataclass(slots=True)
@@ -223,12 +255,21 @@ def generate_spec(
     Everything — cluster size, δ, the channel model, and the event
     program — derives from ``random.Random(seed)``, so a seed fully
     identifies a spec and a campaign is just a seed range.
+
+    For the bounded algorithms two extra dimensions open up — a small
+    ``max_int`` (so wraparound resets actually fire mid-program) and the
+    ``consensus`` corruption mode — drawn *after* the shared dimensions
+    and only on the bounded path, so every pre-existing seed for the
+    other algorithms maps to the byte-identical spec it always did.
     """
+    bounded = algorithm.startswith("bounded")
     rng = random.Random(seed)
     n = rng.choice((3, 4, 5))
     delta = rng.choice(_DELTA_PROFILES)
     min_delay, max_delay = rng.choice(_DELAY_PROFILES)
     loss = rng.choice(_LOSS_PROFILES)
+    max_int = rng.choice(_MAX_INT_PROFILES) if bounded else None
+    corruption_modes = BOUNDED_CORRUPTION_MODES if bounded else CORRUPTION_MODES
     weighted = _Weighted()
     for kind, weight in _EVENT_WEIGHTS:
         weighted.kinds.extend([kind] * weight)
@@ -249,7 +290,7 @@ def generate_spec(
             mode = "restart" if rng.random() < 0.3 else ""
             event = ScenarioEvent(kind=kind, node=node, mode=mode, gap=gap)
         elif kind == "corrupt":
-            mode = rng.choice(CORRUPTION_MODES)
+            mode = rng.choice(corruption_modes)
             event = ScenarioEvent(kind=kind, mode=mode, gap=gap)
         else:
             event = ScenarioEvent(kind=kind, node=node, gap=gap)
@@ -264,4 +305,5 @@ def generate_spec(
         loss=loss,
         duplication=round(loss / 2, 3),
         events=tuple(program),
+        max_int=max_int,
     )

@@ -1,6 +1,6 @@
 """Experiment registry and command-line runner.
 
-``python -m repro.harness.experiments`` runs every experiment (E1–E19)
+``python -m repro.harness.experiments`` runs every experiment (E1–E20)
 and prints its table; ``python -m repro.harness.experiments e07 e09``
 runs a subset, and ``--jobs N`` fans the selected experiments out across
 ``N`` worker processes (the printed output is byte-identical to a serial
@@ -36,6 +36,7 @@ from repro.harness.recovery import (
     e07_recovery_nonblocking,
     e08_recovery_always,
     e14_bounded_reset,
+    e20_reset_coordinator_crash,
 )
 from repro.harness.report import print_table
 from repro.load.experiments import e17_throughput_vs_n, e18_delta_vs_throughput
@@ -126,6 +127,11 @@ EXPERIMENTS: dict[str, tuple[str, Callable[[], list[dict]]]] = {
     "e19": (
         "E19 / sharding — aggregate saturated throughput vs shard count K",
         e19_throughput_vs_shards,
+    ),
+    "e20": (
+        "E20 / ROADMAP 5 — reset termination under coordinator crash: "
+        "coordinator sketch vs consensus-backed Step 2",
+        e20_reset_coordinator_crash,
     ),
 }
 

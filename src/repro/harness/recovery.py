@@ -1,4 +1,15 @@
-"""Recovery experiments: E7, E8 (Theorems 1–2) and E14 (Section 5)."""
+"""Recovery experiments: E7, E8 (Theorems 1–2), E14 (Section 5), E20.
+
+E7/E8 measure each corruption class twice over: for the paper's
+unbounded algorithms (the original Theorem 1/2 claims) and for the
+bounded variants under both reset modes — the consensus-backed Step-2
+reset must recover no slower than the legacy coordinator sketch
+(``benchmarks/check_recovery_series.py`` gates on exactly these rows).
+E20 is the liveness experiment behind that refactor: with the
+would-be coordinator crashed mid-reset, the coordinator sketch stalls
+forever while the consensus-backed reset completes and re-enables
+operations.
+"""
 
 from __future__ import annotations
 
@@ -17,6 +28,7 @@ __all__ = [
     "e07_recovery_nonblocking",
     "e08_recovery_always",
     "e14_bounded_reset",
+    "e20_reset_coordinator_crash",
 ]
 
 #: Upper bound on the cycles we wait before declaring non-recovery.
@@ -29,6 +41,48 @@ _CORRUPTIONS = {
     "channels": lambda inj: inj.scramble_channels(),
     "everything": lambda inj: inj.scramble_everything(),
 }
+
+#: MAXINT for the bounded E7/E8 rows: small enough that the injector's
+#: wild indices (< 1e6) usually overflow it — so those recoveries
+#: include a full global reset, which is the thing the two reset modes
+#: differ on — yet far above anything a legitimate run reaches.
+_BOUNDED_MAX_INT = 100_000
+
+
+def _reset_settled(cluster: SimBackend) -> bool:
+    """No reset in flight and every node in the same epoch."""
+    if any(getattr(p, "resetting", False) for p in cluster.processes):
+        return False
+    return len({getattr(p, "epoch", 0) for p in cluster.processes}) == 1
+
+
+def _recovery_variants(base: str, n: int, seed: int, **extra):
+    """The (variant, algorithm, config) triples an E7/E8 row set covers."""
+    return (
+        ("unbounded", f"ss-{base}", scenario_config(n=n, seed=seed, **extra)),
+        (
+            "bounded+consensus",
+            f"bounded-ss-{base}",
+            scenario_config(
+                n=n,
+                seed=seed,
+                max_int=_BOUNDED_MAX_INT,
+                reset_mode="consensus",
+                **extra,
+            ),
+        ),
+        (
+            "bounded+coordinator",
+            f"bounded-ss-{base}",
+            scenario_config(
+                n=n,
+                seed=seed,
+                max_int=_BOUNDED_MAX_INT,
+                reset_mode="coordinator",
+                **extra,
+            ),
+        ),
+    )
 
 
 def _cycles_until(cluster: SimBackend, predicate) -> int | None:
@@ -82,6 +136,37 @@ def _recovery_cell(algorithm, config, corrupt, predicate):
     return cycles, detections
 
 
+def _recovery_rows(base, n_values, seed, corruptions, invariant, **extra):
+    """Shared E7/E8 driver: every variant × n × corruption class.
+
+    The invariant for the bounded variants additionally requires the
+    reset machinery to be quiescent (no reset in flight, one epoch) —
+    corrupted wild indices overflow ``max_int``, so these recoveries
+    run a full global reset under the row's reset mode.
+    """
+    rows = []
+    for variant_index in range(3):
+        for n in n_values:
+            variant, algorithm, config = _recovery_variants(
+                base, n, seed, **extra
+            )[variant_index]
+            if variant == "unbounded":
+                predicate = invariant
+            else:
+                predicate = lambda c: invariant(c) and _reset_settled(c)
+            row = {"variant": variant, "n": n}
+            detections = 0
+            for name, corrupt in corruptions.items():
+                cycles, healed = _recovery_cell(
+                    algorithm, config, corrupt, predicate
+                )
+                detections += healed
+                row[name] = cycles if cycles is not None else f">{_CYCLE_CAP}"
+            row["detections"] = detections
+            rows.append(row)
+    return rows
+
+
 def e07_recovery_nonblocking(n_values=(4, 8, 12), seed=0):
     """E7 (Theorem 1): Algorithm 1 recovery cycles per corruption class.
 
@@ -90,49 +175,39 @@ def e07_recovery_nonblocking(n_values=(4, 8, 12), seed=0):
     ``detections`` column reports ``stabilization.corrupted_state_detections``
     summed over the row's corruption classes: how many cleanup-line
     executions actually repaired state during those recoveries.
+
+    Three row blocks: the unbounded baseline, then the bounded variant
+    under the consensus-backed reset and under the legacy coordinator
+    sketch (wild corrupted indices overflow MAXINT, so these rows time a
+    corruption-triggered global reset end to end).
     """
-    rows = []
-    for n in n_values:
-        row = {"n": n}
-        detections = 0
-        for name, corrupt in _CORRUPTIONS.items():
-            cycles, healed = _recovery_cell(
-                "ss-nonblocking",
-                scenario_config(n=n, seed=seed),
-                corrupt,
-                lambda c: ts_consistent(c).ok and ssn_consistent(c).ok,
-            )
-            detections += healed
-            row[name] = cycles if cycles is not None else f">{_CYCLE_CAP}"
-        row["detections"] = detections
-        rows.append(row)
-    return rows
+    return _recovery_rows(
+        "nonblocking",
+        n_values,
+        seed,
+        _CORRUPTIONS,
+        lambda c: ts_consistent(c).ok and ssn_consistent(c).ok,
+    )
 
 
 def e08_recovery_always(n_values=(4, 8, 12), seed=0, delta=2):
     """E8 (Theorem 2): Algorithm 3 cycles to a Definition-1 state.
 
     As in E7, ``detections`` comes from the observability registry's
-    ``stabilization.corrupted_state_detections``.
+    ``stabilization.corrupted_state_detections``, and the bounded row
+    blocks compare the consensus-backed reset against the coordinator
+    sketch.
     """
     corruptions = dict(_CORRUPTIONS)
     corruptions["pndTsk"] = lambda inj: inj.corrupt_pending_tasks()
-    rows = []
-    for n in n_values:
-        row = {"n": n}
-        detections = 0
-        for name, corrupt in corruptions.items():
-            cycles, healed = _recovery_cell(
-                "ss-always",
-                scenario_config(n=n, seed=seed, delta=delta),
-                corrupt,
-                lambda c: definition1_consistent(c).ok,
-            )
-            detections += healed
-            row[name] = cycles if cycles is not None else f">{_CYCLE_CAP}"
-        row["detections"] = detections
-        rows.append(row)
-    return rows
+    return _recovery_rows(
+        "always",
+        n_values,
+        seed,
+        corruptions,
+        lambda c: definition1_consistent(c).ok,
+        delta=delta,
+    )
 
 
 def e14_bounded_reset(max_int=10, rounds=25, n=5, seed=0):
@@ -177,3 +252,84 @@ def e14_bounded_reset(max_int=10, rounds=25, n=5, seed=0):
             "final_epoch": epochs.pop(),
         }
     ]
+
+
+def e20_reset_coordinator_crash(n=5, seed=0, max_int=8):
+    """E20 (ROADMAP 5): reset termination with the coordinator crashed.
+
+    Node 0 — the fixed coordinator of the legacy Step-2 sketch — is
+    crashed, then node 1's writes overflow MAXINT and trigger a global
+    reset.  Under ``reset_mode="coordinator"`` the reset cannot commit
+    (the decision point is dead): the row reports ``>CYCLE_CAP`` cycles
+    and operations stay disabled.  Under ``reset_mode="consensus"`` the
+    surviving majority decides the commit and operations resume; a third
+    row re-runs the consensus scenario with the injector scrambling the
+    consensus state itself mid-reset (the self-stabilization claim).
+    """
+    rows = []
+    scenarios = (
+        ("coordinator", False),
+        ("consensus", False),
+        ("consensus", True),
+    )
+    for reset_mode, corrupt_consensus in scenarios:
+        cluster = SimBackend(
+            "bounded-ss-nonblocking",
+            scenario_config(
+                n=n, seed=seed, max_int=max_int, reset_mode=reset_mode
+            ),
+        )
+        injector = TransientFaultInjector(cluster, seed=seed)
+        alive = [node for node in range(n) if node != 0]
+
+        def settled() -> bool:
+            procs = [cluster.node(node) for node in alive]
+            if any(p.resetting for p in procs):
+                return False
+            return all(p.epoch >= 1 for p in procs)
+
+        async def drive():
+            cluster.crash(0)
+            # Overflow node 1's write index to trigger the global reset.
+            for index in range(max_int + 1):
+                try:
+                    await cluster.write(1, (0, index))
+                except ResetInProgressError:
+                    break
+            if corrupt_consensus:
+                # The reset window is open: scramble the consensus
+                # instances deciding the commit, mid-decision.
+                await cluster.tracker.wait_cycles(1)
+                injector.corrupt_consensus()
+            cluster.tracker.reset()
+            cycles = None
+            for _ in range(_CYCLE_CAP):
+                if settled():
+                    cycles = cluster.tracker.cycles_elapsed
+                    break
+                await cluster.tracker.wait_cycles(1)
+            write_ok = False
+            try:
+                await cluster.kernel.wait_for(
+                    cluster.write(1, b"post-reset"), timeout=50.0
+                )
+                write_ok = True
+            except (TimeoutError, ResetInProgressError):
+                pass
+            return cycles, write_ok
+
+        cycles, write_ok = cluster.run_until(drive(), max_events=None)
+        epochs = {cluster.node(node).epoch for node in alive}
+        rows.append(
+            {
+                "reset_mode": reset_mode,
+                "corrupt_consensus": corrupt_consensus,
+                "reset_completed": cycles is not None,
+                "recovery_cycles": (
+                    cycles if cycles is not None else f">{_CYCLE_CAP}"
+                ),
+                "epochs_agree": len(epochs) == 1,
+                "writes_reenabled": write_ok,
+            }
+        )
+    return rows

@@ -64,6 +64,7 @@ def _ensure_registry() -> None:
     if _MESSAGE_TYPES:
         return
     from repro.broadcast import reliable
+    from repro.consensus import messages as consensus_messages
     from repro.core import base, dgfr_always, dgfr_nonblocking, ss_always
     from repro.core import ss_nonblocking
     from repro.stabilization import reset
@@ -78,6 +79,7 @@ def _ensure_registry() -> None:
         reliable,
         reset,
         abd,
+        consensus_messages,
     ):
         for name in dir(module):
             obj = getattr(module, name)

@@ -101,6 +101,10 @@ class ProcessObs:
         "vc_clears",
         "task_repairs",
         "reset_invocations",
+        "consensus_rounds",
+        "consensus_decides",
+        "consensus_heals",
+        "consensus_recycled",
         "_rounds",
     )
 
@@ -113,6 +117,16 @@ class ProcessObs:
         self.vc_clears = 0
         self.task_repairs = 0
         self.reset_invocations = 0
+        #: Consensus-layer counters (:mod:`repro.consensus`): binary
+        #: round transitions, multivalued decides, corrupted-state
+        #: repairs, and whole-instance recycles.  The heals stay *out*
+        #: of :attr:`detections` — that sum drives the health monitor's
+        #: corrupt-suspect classification, which is calibrated on the
+        #: snapshot algorithms' own cleanup lines.
+        self.consensus_rounds = 0
+        self.consensus_decides = 0
+        self.consensus_heals = 0
+        self.consensus_recycled = 0
         #: Recent quorum rounds per awaited ack kind (bounded FIFO).
         #: Replies attribute to the *oldest* round still missing that
         #: sender, so a straggler's ack for round k is timed against
@@ -354,6 +368,26 @@ class ClusterObs:
             totals,
             "stabilization.resets_completed",
             sum(getattr(p, "resets_completed", 0) for p in cluster.processes),
+        )
+        _add(
+            totals,
+            "consensus.rounds",
+            sum(p.consensus_rounds for p in self.process_obs),
+        )
+        _add(
+            totals,
+            "consensus.decides",
+            sum(p.consensus_decides for p in self.process_obs),
+        )
+        _add(
+            totals,
+            "consensus.heals",
+            sum(p.consensus_heals for p in self.process_obs),
+        )
+        _add(
+            totals,
+            "consensus.recycled",
+            sum(p.consensus_recycled for p in self.process_obs),
         )
         _add(
             totals,

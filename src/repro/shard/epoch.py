@@ -11,26 +11,43 @@ and all correct participants decide the *same* candidate, even from a
 transiently corrupted starting state.
 
 This module defines the seam the fabric calls through —
-:class:`EpochDecider` — plus the single-router trivial implementation
-used today.  When ROADMAP item 5 lands the consensus algorithm, it slots
-in behind the same two methods and multi-router deployments inherit
-agreed epoch changes without the fabric changing.
+:class:`EpochDecider` — plus two implementations: the single-router
+:class:`LocalEpochDecider` shortcut and the consensus-backed
+:class:`ConsensusEpochDecider`, which runs every epoch install through
+:class:`repro.consensus.ConsensusEndpoint` on one shard's node cluster.
+Both keep only a sliding window of decided epochs (bounded space);
+:meth:`decided` raises :class:`~repro.errors.EpochEvictedError` for
+epochs older than the window.
 """
 
 from __future__ import annotations
 
-from typing import Protocol
+from collections import OrderedDict
+from typing import Awaitable, Protocol
 
-from repro.errors import ConfigurationError
+from repro.consensus import ConsensusEndpoint
+from repro.errors import ConfigurationError, EpochEvictedError
 from repro.shard.ring import ShardMap
 
-__all__ = ["EpochDecider", "LocalEpochDecider"]
+__all__ = [
+    "EpochDecider",
+    "LocalEpochDecider",
+    "ConsensusEpochDecider",
+    "DECIDED_EPOCH_WINDOW",
+]
+
+#: How many decided epochs a decider retains.  Reconfigurations are
+#: rare and callers consult recent epochs only (the fabric installs a
+#: decision as soon as it is made), so a short window suffices — and an
+#: unbounded decided map is exactly the ever-growing state the paper's
+#: bounded-space discipline forbids.
+DECIDED_EPOCH_WINDOW = 16
 
 
 class EpochDecider(Protocol):
     """Decides which shard map governs each epoch.
 
-    Contract (what the consensus implementation must provide):
+    Contract (what the consensus implementation provides):
 
     * **Agreement** — every caller that decides epoch ``e`` decides the
       same :class:`ShardMap`.
@@ -41,31 +58,69 @@ class EpochDecider(Protocol):
       decider recovers to a state where the above hold for all future
       epochs (this is what Lundström/Raynal/Schiller's multivalued
       consensus adds over a textbook implementation).
+
+    ``propose`` may be synchronous or return an awaitable — the fabric
+    awaits the result if needed (the consensus decider must wait for
+    the cluster to agree; the local one never waits).
     """
 
-    def propose(self, proposal: ShardMap, current: ShardMap) -> ShardMap:
+    def propose(
+        self, proposal: ShardMap, current: ShardMap
+    ) -> "ShardMap | Awaitable[ShardMap]":
         """Propose ``proposal`` as the successor of ``current``; return
-        the decided map for ``current.epoch + 1`` (not necessarily the
-        proposal)."""
+        (or resolve to) the decided map for ``current.epoch + 1`` — not
+        necessarily the proposal."""
         ...
 
     def decided(self, epoch: int) -> ShardMap | None:
-        """The map decided for ``epoch``, or ``None`` if undecided."""
+        """The map decided for ``epoch``, ``None`` if undecided; raises
+        :class:`~repro.errors.EpochEvictedError` once evicted."""
         ...
+
+
+class _DecidedWindow:
+    """Sliding window of decided epochs shared by both deciders."""
+
+    def __init__(self, window: int = DECIDED_EPOCH_WINDOW) -> None:
+        if window < 1:
+            raise ConfigurationError(f"window must be >= 1, got {window}")
+        self._window = window
+        self._decisions: "OrderedDict[int, ShardMap]" = OrderedDict()
+        self._evicted_through = -1
+
+    def get(self, epoch: int) -> ShardMap | None:
+        decision = self._decisions.get(epoch)
+        if decision is not None:
+            return decision
+        if epoch <= self._evicted_through:
+            raise EpochEvictedError(
+                f"epoch {epoch} left the decided window "
+                f"(evicted through {self._evicted_through}, "
+                f"window={self._window}); record decisions at install "
+                f"time if you need deep history"
+            )
+        return None
+
+    def record(self, decision: ShardMap) -> None:
+        self._decisions[decision.epoch] = decision
+        self._decisions.move_to_end(decision.epoch)
+        while len(self._decisions) > self._window:
+            evicted, _ = self._decisions.popitem(last=False)
+            self._evicted_through = max(self._evicted_through, evicted)
 
 
 class LocalEpochDecider:
     """Trivial single-router decider: every proposal wins.
 
     Correct while exactly one :class:`~repro.shard.fabric.ShardedFabric`
-    instance routes a deployment (today's topology).  It still enforces
-    the *shape* of the contract — epochs are sequential and a decided
-    epoch is immutable — so swapping in the consensus-backed decider is
-    behaviour-preserving for a single router.
+    instance routes a deployment.  It still enforces the *shape* of the
+    contract — epochs are sequential, a decided epoch is immutable, and
+    retention is window-bounded — so swapping in the consensus-backed
+    decider is behaviour-preserving for a single router.
     """
 
-    def __init__(self) -> None:
-        self._decisions: dict[int, ShardMap] = {}
+    def __init__(self, window: int = DECIDED_EPOCH_WINDOW) -> None:
+        self._window = _DecidedWindow(window)
 
     def propose(self, proposal: ShardMap, current: ShardMap) -> ShardMap:
         """Decide the successor map (first proposal per epoch wins)."""
@@ -74,12 +129,98 @@ class LocalEpochDecider:
                 f"epoch proposal must be {current.epoch + 1}, "
                 f"got {proposal.epoch}"
             )
-        existing = self._decisions.get(proposal.epoch)
+        existing = self._window.get(proposal.epoch)
         if existing is not None:
             return existing
-        self._decisions[proposal.epoch] = proposal
+        self._window.record(proposal)
         return proposal
 
     def decided(self, epoch: int) -> ShardMap | None:
         """The map decided at ``epoch``, or ``None`` if none yet."""
-        return self._decisions.get(epoch)
+        return self._window.get(epoch)
+
+
+def _shard_map_validator(expected_epoch: int):
+    """Accept only well-formed ``(epoch, shard_ids, vnodes)`` proposals.
+
+    Runs inside the consensus layer at every node, so a transiently
+    corrupted proposal is purged there instead of being installed as a
+    routing table.
+    """
+
+    def validate(value) -> bool:
+        if not isinstance(value, tuple) or len(value) != 3:
+            return False
+        epoch, shard_ids, vnodes = value
+        if not isinstance(epoch, int) or epoch != expected_epoch:
+            return False
+        if not isinstance(vnodes, int) or vnodes < 1:
+            return False
+        return (
+            isinstance(shard_ids, tuple)
+            and len(shard_ids) > 0
+            and all(
+                isinstance(sid, int) and not isinstance(sid, bool) and sid >= 0
+                for sid in shard_ids
+            )
+            and len(set(shard_ids)) == len(shard_ids)
+        )
+
+    return validate
+
+
+class ConsensusEpochDecider:
+    """Consensus-backed decider: the cluster agrees on each epoch.
+
+    Runs every install through the self-stabilizing multivalued
+    consensus layer (:mod:`repro.consensus`) on the nodes of one
+    backing cluster — the fabric uses its lowest shard, which always
+    exists (shards are only ever added).  The map travels as a plain
+    ``(epoch, shard_ids, vnodes)`` tuple — :class:`ShardMap` derives
+    its ring locally — under the instance tag ``("shard-epoch", e)``,
+    so several routers proposing different successors for the same
+    epoch decide one common map: exactly the split-brain guard the
+    :class:`EpochDecider` contract asks for.
+    """
+
+    def __init__(self, backend, window: int = DECIDED_EPOCH_WINDOW) -> None:
+        if not getattr(backend, "processes", None):
+            raise ConfigurationError(
+                "ConsensusEpochDecider needs a created backend with processes"
+            )
+        self._backend = backend
+        self._window = _DecidedWindow(window)
+        for process in backend.processes:
+            ConsensusEndpoint.ensure(process)
+
+    async def propose(self, proposal: ShardMap, current: ShardMap) -> ShardMap:
+        """Propose and await the cluster's decision for the next epoch."""
+        if proposal.epoch != current.epoch + 1:
+            raise ConfigurationError(
+                f"epoch proposal must be {current.epoch + 1}, "
+                f"got {proposal.epoch}"
+            )
+        existing = self._window.get(proposal.epoch)
+        if existing is not None:
+            return existing
+        endpoint = self._backend.processes[0].consensus
+        value = (proposal.epoch, tuple(proposal.shard_ids), proposal.vnodes)
+        decided = await endpoint.propose(
+            ("shard-epoch", proposal.epoch),
+            value,
+            validator=_shard_map_validator(proposal.epoch),
+        )
+        if not _shard_map_validator(proposal.epoch)(decided):
+            # The decision fell out of the consensus retention window
+            # (or was corrupted past the validator at a non-proposer);
+            # our own — validated — proposal is the fallback.
+            decided = value
+        shard_map = ShardMap(
+            epoch=decided[0], shard_ids=decided[1], vnodes=decided[2]
+        )
+        self._window.record(shard_map)
+        return shard_map
+
+    def decided(self, epoch: int) -> ShardMap | None:
+        """The map this router saw decided at ``epoch``."""
+        return self._window.get(epoch)

@@ -69,8 +69,15 @@ def shard_scaling_series(
     delta: float = 2,
     time_scale: float = 0.002,
     progress: bool = False,
+    decider: str = "consensus",
 ) -> list[ShardLoadReport]:
-    """One saturated run per shard count; reports in ladder order."""
+    """One saturated run per shard count; reports in ladder order.
+
+    The fabric runs with the consensus-backed epoch decider installed
+    (the production configuration since ROADMAP item 5 landed), so the
+    BENCH_PR8 bar is measured against the same decision path a split
+    would take.
+    """
     if ks is None:
         ks = DEFAULT_SHARD_COUNTS
     reports = []
@@ -82,6 +89,7 @@ def shard_scaling_series(
             config=scenario_config(n=n, seed=seed, delta=delta),
             spec=_saturated_spec(shards, duration, seed),
             time_scale=time_scale,
+            decider=decider,
         )
         reports.append(report)
         if progress:

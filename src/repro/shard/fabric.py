@@ -42,13 +42,18 @@ Three mechanisms make the composition more than K disjoint objects:
 
 from __future__ import annotations
 
+import inspect
 from dataclasses import dataclass, field, replace
 from typing import Any, Awaitable, Callable
 
 from repro.backend.base import ClusterBackend, backend_class
 from repro.config import ClusterConfig
 from repro.errors import ConfigurationError, ReproError
-from repro.shard.epoch import EpochDecider, LocalEpochDecider
+from repro.shard.epoch import (
+    ConsensusEpochDecider,
+    EpochDecider,
+    LocalEpochDecider,
+)
 from repro.shard.ring import DEFAULT_VNODES, ShardMap
 
 __all__ = [
@@ -164,7 +169,7 @@ class ShardedFabric:
         algorithm: str,
         base_config: ClusterConfig,
         time_scale: float = 0.002,
-        decider: EpochDecider | None = None,
+        decider: EpochDecider | str | None = None,
     ) -> None:
         if sorted(shards) != list(shard_map.shard_ids):
             raise ConfigurationError(
@@ -177,7 +182,20 @@ class ShardedFabric:
         self.algorithm_name = algorithm
         self.base_config = base_config
         self.time_scale = time_scale
-        self.decider = decider if decider is not None else LocalEpochDecider()
+        if decider is None or decider == "local":
+            self.decider: EpochDecider = LocalEpochDecider()
+        elif decider == "consensus":
+            # The lowest shard always exists (shards are only added),
+            # so its cluster is the stable home for epoch agreement.
+            anchor = self._shards[min(self._shards)]
+            self.decider = ConsensusEpochDecider(anchor)
+        elif isinstance(decider, str):
+            raise ConfigurationError(
+                f"unknown decider {decider!r}: use 'local', 'consensus', "
+                f"or an EpochDecider instance"
+            )
+        else:
+            self.decider = decider
         self.kernel = next(iter(self._shards.values())).kernel
         self.n = base_config.n
         #: Authoritative per-slot key→(seq, value) maps.  The fabric is
@@ -522,6 +540,10 @@ class ShardedFabric:
         old_map = self.map
         proposal = old_map.grown(new_shard_id)
         decided = self.decider.propose(proposal, old_map)
+        if inspect.isawaitable(decided):
+            # The consensus decider blocks until the backing cluster
+            # has agreed on the successor configuration.
+            decided = await decided
         fresh = tuple(
             sid for sid in decided.shard_ids if sid not in old_map.shard_ids
         )
@@ -643,7 +665,7 @@ def build_sim_fabric(
     config: ClusterConfig | None = None,
     *,
     vnodes: int = DEFAULT_VNODES,
-    decider: EpochDecider | None = None,
+    decider: EpochDecider | str | None = None,
 ) -> ShardedFabric:
     """Synchronously build a simulator fabric on one shared kernel.
 
@@ -684,7 +706,7 @@ async def create_fabric(
     *,
     time_scale: float = 0.002,
     vnodes: int = DEFAULT_VNODES,
-    decider: EpochDecider | None = None,
+    decider: EpochDecider | str | None = None,
 ) -> ShardedFabric:
     """Build and start a fabric on any backend (run inside a loop)."""
     if backend_class(backend).capabilities.simulated_time:
@@ -724,7 +746,7 @@ def run_on_fabric(
     time_scale: float = 0.002,
     max_events: int | None = None,
     vnodes: int = DEFAULT_VNODES,
-    decider: EpochDecider | None = None,
+    decider: EpochDecider | str | None = None,
 ) -> Any:
     """Run ``async body(fabric)`` to completion on the named backend.
 

@@ -347,6 +347,7 @@ def run_shard_load(
     *,
     time_scale: float = 0.002,
     check: bool = True,
+    decider=None,
 ) -> ShardLoadReport:
     """Run one sharded load pass on the named backend.
 
@@ -355,7 +356,8 @@ def run_shard_load(
     (default: a closed-loop mixed workload with mid-run composed cuts),
     and returns a :class:`ShardLoadReport`.  With ``check`` (the
     default) the full two-layer checker runs at the end; violations
-    land in ``report.failures``.
+    land in ``report.failures``.  ``decider`` passes through to the
+    fabric (``"consensus"`` makes mid-run splits consensus-backed).
     """
     spec = spec if spec is not None else ShardLoadSpec()
     config = config if config is not None else scenario_config(n=4, delta=2)
@@ -372,7 +374,13 @@ def run_shard_load(
         return generator.report(backend, failures)
 
     return run_on_fabric(
-        backend, shards, algorithm, config, body, time_scale=time_scale
+        backend,
+        shards,
+        algorithm,
+        config,
+        body,
+        time_scale=time_scale,
+        decider=decider,
     )
 
 

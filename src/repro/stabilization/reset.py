@@ -8,7 +8,11 @@ MAXINT:
   (merging arriving maxima) until all nodes share them;
 * **Step 2** — a consensus-based global reset replaces, per operation
   type, the highest index with its initial value 0 while keeping all
-  register *values*; then operations are re-enabled.
+  register *values*; then operations are re-enabled.  The decision is
+  reached through the self-stabilizing consensus layer
+  (:mod:`repro.consensus`) on the instance tag ``("reset", epoch)``; a
+  legacy fixed-coordinator mode survives behind
+  ``ClusterConfig.reset_mode`` for comparison experiments.
 
 Epoch hygiene: every algorithm message is wrapped in an
 :class:`EpochEnvelope`; receivers drop envelopes from other epochs, so
@@ -62,10 +66,12 @@ class ResetJoinMessage(Message):
     """A node's vote: it stopped operations and reports its maximal state.
 
     Carrying the full register array implements Step 1's "gossip the
-    maximal indices while merging arriving information": the coordinator's
-    pointwise join of all votes is the state whose *values* survive the
-    reset.  Zeroing timestamps without first agreeing on values would
-    leave divergent ts-0 entries that ``max⪯`` ties could never reconcile.
+    maximal indices while merging arriving information": the pointwise
+    join of the votes is the state whose *values* survive the reset.
+    Zeroing timestamps without first agreeing on values would leave
+    divergent ts-0 entries that ``max⪯`` ties could never reconcile.
+    In consensus mode joins are broadcast so every node can assemble
+    the merge; in the legacy coordinator mode they go to node 0 alone.
     """
 
     KIND = "RESET_JOIN"
@@ -75,10 +81,13 @@ class ResetJoinMessage(Message):
 
 @dataclass(frozen=True)
 class ResetCommitMessage(Message):
-    """The coordinator's decision: move to ``new_epoch``.
+    """The decided reset: move to ``new_epoch``.
 
     ``values`` is the agreed maximal register array; every node installs
-    its values with all operation indices reset to 0.
+    its values with all operation indices reset to 0.  In consensus mode
+    this message only *replays* a decision already reached through
+    :mod:`repro.consensus` (straggler catch-up); in the legacy
+    coordinator mode it carries the coordinator's unilateral decision.
     """
 
     KIND = "RESET_COMMIT"
@@ -90,7 +99,7 @@ class ResetCommitMessage(Message):
 class ResetCommitAckMessage(Message):
     """A node's confirmation that it applied the commit."""
 
-    KIND = "RESET_COMMITack"
+    KIND = "RESET_COMMIT_ACK"
     new_epoch: int
 
 

@@ -5,6 +5,7 @@ from repro.verify.explorer import (
     ExplorationResult,
     Violation,
     explore,
+    explore_consensus_decision,
     explore_snapshot_scenario,
     explore_standard_scenario,
     run_verify_campaigns,
@@ -14,6 +15,7 @@ __all__ = [
     "ExplorationResult",
     "Violation",
     "explore",
+    "explore_consensus_decision",
     "explore_snapshot_scenario",
     "explore_standard_scenario",
     "run_verify_campaigns",

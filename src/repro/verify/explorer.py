@@ -37,6 +37,7 @@ __all__ = [
     "ExplorationResult",
     "Violation",
     "explore",
+    "explore_consensus_decision",
     "explore_snapshot_scenario",
     "explore_standard_scenario",
     "run_verify_campaigns",
@@ -235,6 +236,75 @@ def explore_snapshot_scenario(
             cluster.history.records(), n, check_values=check_values
         )
         return cluster.kernel.decision_log, report.ok, report.summary()
+
+    return explore(
+        run_one,
+        max_runs=max_runs,
+        max_depth=max_depth,
+        strategy=strategy,
+        seed=seed,
+    )
+
+
+def explore_consensus_decision(
+    n: int = 3,
+    proposals: tuple | None = None,
+    max_runs: int = 200,
+    max_depth: int = 20,
+    strategy: str = "random-walk",
+    seed: int = 0,
+) -> ExplorationResult:
+    """Model-check the consensus layer's agreement and validity.
+
+    Every node concurrently proposes its own value for one instance of
+    :class:`repro.consensus.ConsensusEndpoint`; the explored property is
+    the consensus contract itself — all nodes decide, they decide the
+    *same* value, and that value is one of the proposals.  Same
+    explorer machinery as the snapshot scenarios: each same-instant
+    delivery group is a choice point, so the binary-consensus rounds,
+    URB deliveries, and adoption races interleave differently on every
+    branch of the decision tree.
+    """
+    from repro.consensus import ConsensusEndpoint
+
+    values = proposals if proposals is not None else tuple(
+        f"v{node}" for node in range(n)
+    )
+
+    def run_one(script: list[int]):
+        config = scenario_config(n=n, seed=0, fixed_delay=1.0)
+        cluster = SimBackend(
+            "ss-nonblocking", config, tie_break=TieBreak.SCRIPTED
+        )
+        cluster.metrics.disable()
+        cluster.kernel.decision_script = list(script)
+        endpoints = [
+            ConsensusEndpoint.ensure(process)
+            for process in cluster.processes
+        ]
+
+        async def scenario():
+            tasks = [
+                cluster.spawn(
+                    endpoints[node].propose(
+                        ("verify", 0), values[node % len(values)]
+                    )
+                )
+                for node in range(n)
+            ]
+            return await cluster.kernel.gather(tasks)
+
+        decisions = cluster.run_until(scenario(), max_events=500_000)
+        agreed = len({repr(d) for d in decisions}) == 1
+        valid = decisions and decisions[0] in values
+        ok = bool(agreed and valid)
+        details = (
+            ""
+            if ok
+            else f"agreement/validity broken: decided {decisions!r} "
+            f"from proposals {values!r}"
+        )
+        return cluster.kernel.decision_log, ok, details
 
     return explore(
         run_one,

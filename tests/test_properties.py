@@ -323,7 +323,11 @@ class TestBoundedProperties:
                     except ResetInProgressError:
                         await cluster.tracker.wait_cycles(3)
             await cluster.tracker.wait_cycles(3)
-            return await cluster.snapshot(0)
+            while True:
+                try:
+                    return await cluster.snapshot(0)
+                except ResetInProgressError:
+                    await cluster.tracker.wait_cycles(3)
 
         result = cluster.run_until(churn(), max_events=None)
         for node, value in last.items():
