@@ -1,0 +1,185 @@
+"""CI gate: BENCH_PR10.json must show the amortized-batching win.
+
+Usage: ``python benchmarks/check_batch_series.py [path]`` (defaults to
+the repository-root ``BENCH_PR10.json``).  The file is written by
+``python -m repro load --batch-series`` and carries three sweeps on one
+offered-rate ladder: the ``ss-nonblocking`` baseline, the ``amortized``
+variant, and amortized plus a transport batch window.
+
+Beyond structural checks (every rung linearizable and error-free, the
+ladder sorted, a knee located per sweep), the gate asserts the PR 10
+headline claims:
+
+* **capacity** — the best amortized sweep saturates above
+  ``CAPACITY_FLOOR`` ops per simulated time unit at n=4, and beats the
+  baseline's capacity by at least ``CAPACITY_GAIN``×;
+* **knee flattening** — at the top (most oversaturated) rung of the
+  shared ladder, the amortized p50 stays below ``P50_CEILING`` and
+  below half the baseline's p50 at that same rung.  The baseline's
+  open-loop queue diverges past its knee (p50 1.9u → 230u); shared
+  rounds keep the amortized pipeline's median flat.
+
+Exits non-zero, printing one line per problem, if anything is off.
+"""
+
+import json
+import sys
+from pathlib import Path
+
+#: Minimum saturated capacity (op/u) for the best amortized sweep at n=4.
+CAPACITY_FLOOR = 1.5
+#: Minimum capacity ratio of best amortized sweep over the baseline.
+CAPACITY_GAIN = 1.5
+#: Top-rung p50 ceiling (simulated time units) for the amortized sweeps.
+P50_CEILING = 50.0
+
+POINT_KEYS = (
+    "backend", "algorithm", "n", "mode", "offered_rate", "submitted",
+    "completed", "errors", "elapsed", "throughput", "p50", "p99",
+    "linearizable",
+)
+
+
+def _check_point(label, point, problems):
+    if not isinstance(point, dict):
+        problems.append(f"{label}: point is not an object")
+        return
+    for key in POINT_KEYS:
+        if key not in point:
+            problems.append(f"{label}: point missing {key!r}")
+    if point.get("linearizable") is not True:
+        problems.append(f"{label}: rung at offered_rate="
+                        f"{point.get('offered_rate')} not linearizable")
+    if point.get("errors"):
+        problems.append(f"{label}: rung at offered_rate="
+                        f"{point.get('offered_rate')} had operation errors")
+    throughput = point.get("throughput")
+    if not isinstance(throughput, (int, float)) or throughput <= 0:
+        problems.append(f"{label}: non-positive throughput")
+
+
+def _check_sweep(label, sweep, problems):
+    if not isinstance(sweep, dict):
+        problems.append(f"{label}: sweep is not an object")
+        return
+    if "batch" not in sweep:
+        problems.append(f"{label}: sweep missing 'batch' (window or null)")
+    points = sweep.get("points")
+    if not isinstance(points, list) or not points:
+        problems.append(f"{label}: missing or empty 'points'")
+        return
+    for index, point in enumerate(points):
+        _check_point(f"{label} point {index}", point, problems)
+    knee = sweep.get("knee_rate")
+    if not isinstance(knee, (int, float)) or knee <= 0:
+        problems.append(f"{label}: no knee located (knee_rate={knee!r})")
+    offers = [p.get("offered_rate") for p in points if isinstance(p, dict)]
+    if offers != sorted(offers):
+        problems.append(f"{label}: points not sorted by offered_rate")
+
+
+def _top_p50(sweep):
+    """p50 latency at the sweep's highest offered rung."""
+    points = sweep.get("points") or []
+    if not points:
+        return None
+    top = max(points, key=lambda p: p.get("offered_rate") or 0)
+    return top.get("p50")
+
+
+def check(path):
+    try:
+        payload = json.loads(Path(path).read_text())
+    except FileNotFoundError:
+        return [f"{path}: not found"]
+    except json.JSONDecodeError as exc:
+        return [f"{path}: invalid JSON ({exc})"]
+    problems = []
+    if payload.get("pr") != 10:
+        problems.append(f"{path}: expected 'pr': 10")
+    for section in ("description", "host", "headline"):
+        if not payload.get(section):
+            problems.append(f"{path}: missing {section!r} section")
+    sweeps = payload.get("sweeps")
+    if not isinstance(sweeps, list) or not sweeps:
+        problems.append(f"{path}: missing or empty 'sweeps'")
+        return problems
+    for index, sweep in enumerate(sweeps):
+        name = (
+            f"{sweep.get('algorithm', '?')}/batch={sweep.get('batch')}"
+            if isinstance(sweep, dict)
+            else index
+        )
+        _check_sweep(f"{path} sweep[{name}]", sweep, problems)
+
+    baseline = next(
+        (s for s in sweeps
+         if isinstance(s, dict) and s.get("algorithm") != "amortized"),
+        None,
+    )
+    amortized = [
+        s for s in sweeps
+        if isinstance(s, dict) and s.get("algorithm") == "amortized"
+    ]
+    if baseline is None or not amortized:
+        problems.append(
+            f"{path}: series needs a non-amortized baseline sweep and at "
+            "least one amortized sweep"
+        )
+        return problems
+
+    best = max(amortized, key=lambda s: s.get("saturated_throughput") or 0)
+    capacity = best.get("saturated_throughput") or 0
+    base_capacity = baseline.get("saturated_throughput") or 0
+    if capacity < CAPACITY_FLOOR:
+        problems.append(
+            f"{path}: amortized capacity {capacity} op/u below the "
+            f"{CAPACITY_FLOOR} op/u floor"
+        )
+    if base_capacity and capacity < CAPACITY_GAIN * base_capacity:
+        problems.append(
+            f"{path}: amortized capacity {capacity} op/u is not "
+            f"{CAPACITY_GAIN}x the baseline's {base_capacity} op/u"
+        )
+    base_p50 = _top_p50(baseline)
+    for sweep in amortized:
+        p50 = _top_p50(sweep)
+        label = f"amortized/batch={sweep.get('batch')}"
+        if not isinstance(p50, (int, float)):
+            problems.append(f"{path}: {label} has no top-rung p50")
+            continue
+        if p50 > P50_CEILING:
+            problems.append(
+                f"{path}: {label} top-rung p50 {p50}u exceeds the "
+                f"{P50_CEILING}u knee-flattening ceiling"
+            )
+        if isinstance(base_p50, (int, float)) and p50 > base_p50 / 2:
+            problems.append(
+                f"{path}: {label} top-rung p50 {p50}u is not below half "
+                f"the baseline's {base_p50}u — the knee did not flatten"
+            )
+    return problems
+
+
+def main(argv):
+    default = Path(__file__).resolve().parent.parent / "BENCH_PR10.json"
+    path = argv[1] if len(argv) > 1 else str(default)
+    problems = check(path)
+    if problems:
+        for problem in problems:
+            print(problem, file=sys.stderr)
+        return 1
+    payload = json.loads(Path(path).read_text())
+    sweeps = payload["sweeps"]
+    rungs = sum(len(s["points"]) for s in sweeps)
+    headline = payload["headline"]
+    print(
+        f"{path}: ok ({len(sweeps)} sweeps, {rungs} rungs, capacity "
+        f"{headline['saturated_throughput']} op/u via "
+        f"{headline['algorithm']}/batch={headline['batch']})"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv))

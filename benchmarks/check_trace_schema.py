@@ -14,6 +14,9 @@ contract the Perfetto UI relies on:
 * flow-arrow pairing: every finish (``f``) id matches some start (``s``);
 * tail-latency attribution: op slices carrying an ``attribution`` arg
   name a slowest responder, a dominant phase, and at least one round;
+* transport batching: op slices carrying a ``batching`` arg report at
+  least one bundle, and at least as many bundled messages as bundles
+  (present only when the run used ``--batch`` > 1);
 * health records: ``otherData.health`` entries carry one classified
   node dict per node, with a known state and its matching state code.
 
@@ -68,6 +71,27 @@ def _check_attribution(where, attribution, problems):
     if not isinstance(attribution["dominant_phase"], str):
         problems.append(
             f"{where}: bad dominant_phase {attribution['dominant_phase']!r}"
+        )
+
+
+def _check_batching(where, batching, problems):
+    """Validate one op slice's ``batching`` argument."""
+    if not isinstance(batching, dict):
+        problems.append(f"{where}: batching is not an object")
+        return
+    missing = {"bundles", "messages"} - batching.keys()
+    if missing:
+        problems.append(f"{where}: batching missing {sorted(missing)}")
+        return
+    bundles, messages = batching["bundles"], batching["messages"]
+    if not isinstance(bundles, int) or bundles < 1:
+        problems.append(f"{where}: batching bundles {bundles!r}")
+        return
+    if not isinstance(messages, int) or messages < bundles:
+        # Singletons bypass the batcher, so every reported bundle
+        # carried at least one message — usually more.
+        problems.append(
+            f"{where}: batching messages {messages!r} < bundles {bundles}"
         )
 
 
@@ -137,6 +161,8 @@ def _check_event(index, event, problems):
                 problems.append(f"{where}: op slice missing op_id/status args")
             if "attribution" in args:
                 _check_attribution(where, args["attribution"], problems)
+            if "batching" in args:
+                _check_batching(where, args["batching"], problems)
     if phase in ("s", "f"):
         if "id" not in event:
             problems.append(f"{where}: flow event missing id")

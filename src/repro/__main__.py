@@ -70,8 +70,14 @@ capability outright (e.g. ``--jobs 2`` on a live backend) raises a
     ``--budget`` is the submission window in simulated time units.
     ``--sweep`` ladders the offered rate to locate the saturation knee
     and writes the result to ``BENCH_PR5.json`` (``--out FILE``
-    overrides).  ``--shards K`` drives the same keyed workload against a
-    K-shard fabric instead of one cluster (see ``docs/sharding.md``).
+    overrides).  ``--batch N`` coalesces up to N messages per channel
+    into one wire bundle (``ChannelConfig.batch_window``; works with
+    every mode and backend).  ``--batch-series`` runs the PR 10
+    comparison — baseline vs the ``amortized`` variant vs amortized
+    plus a transport batch window, one ladder each — and writes
+    ``BENCH_PR10.json``.  ``--shards K`` drives the same keyed workload
+    against a K-shard fabric instead of one cluster (see
+    ``docs/sharding.md``).
 ``shard``
     Sharded-fabric campaigns (see ``docs/sharding.md``): drive a keyed
     closed-loop workload against ``--shards K`` independent clusters
@@ -161,6 +167,27 @@ def _extract_shards(argv: list[str]) -> tuple[int | None, list[str]]:
         else:
             rest.append(arg)
     return shards, rest
+
+
+def _extract_batch(argv: list[str]) -> tuple[int | None, list[str]]:
+    """Split ``--batch N`` out of an argv list (None when absent)."""
+    batch: int | None = None
+    rest: list[str] = []
+    it = iter(argv)
+    for arg in it:
+        if arg == "--batch" or arg.startswith("--batch="):
+            value = arg.split("=", 1)[1] if "=" in arg else next(it, None)
+            if value is None:
+                raise SystemExit("--batch requires a value")
+            try:
+                batch = int(value)
+            except ValueError:
+                raise SystemExit(f"--batch must be an integer, got {value!r}")
+            if batch < 1:
+                raise SystemExit(f"--batch must be >= 1, got {batch}")
+        else:
+            rest.append(arg)
+    return batch, rest
 
 
 def _cmd_figures(args: list[str]) -> int:
@@ -464,9 +491,11 @@ def _cmd_load(args: list[str]) -> int:
     from repro.harness.parallel import extract_jobs
     from repro.load import (
         LoadSpec,
+        batch_series,
         parse_mix,
         run_load_campaigns,
         sweep_rates,
+        write_batch_bench,
         write_bench,
     )
     from repro.obs.cli import (
@@ -479,6 +508,7 @@ def _cmd_load(args: list[str]) -> int:
     jobs, args = extract_jobs(args)
     backend, args = extract_backend(args, default="sim")
     shards, args = _extract_shards(args)
+    batch, args = _extract_batch(args)
     # --duration is load's natural spelling of the shared --budget knob
     # (the submission window in simulated time units); both are accepted.
     args = [
@@ -491,12 +521,15 @@ def _cmd_load(args: list[str]) -> int:
     rate: float | None = None
     write_fraction, skew = 0.8, 0.0
     sweep = False
+    series = False
     out: str | None = None
     it = iter(rest)
     leftover: list[str] = []
     for arg in it:
         if arg == "--sweep":
             sweep = True
+        elif arg == "--batch-series":
+            series = True
         elif arg in ("--clients", "--depth", "--rate", "--mix", "--skew",
                      "--n", "--out"):
             value = next(it, None)
@@ -544,10 +577,27 @@ def _cmd_load(args: list[str]) -> int:
                 backend=backend,
                 spec=spec,
                 n=n,
+                batch=batch,
             )
             ok = print_reports(options.seeds, reports)
         return 0 if ok else 1
     with observe_cli(obs_flags):
+        if series:
+            results = batch_series(
+                backend=backend,
+                n=n,
+                duration=float(options.budget),
+                seed=options.seeds[0],
+                batch=batch if batch is not None else 8,
+                progress=True,
+            )
+            for result in results:
+                print(result.summary())
+                for failure in result.failures:
+                    print("FAILURE:", failure)
+            path = write_batch_bench(out or "BENCH_PR10.json", results)
+            print(f"wrote {path}")
+            return 0 if all(result.ok for result in results) else 1
         if sweep:
             result = sweep_rates(
                 backend=backend,
@@ -557,6 +607,7 @@ def _cmd_load(args: list[str]) -> int:
                 write_fraction=write_fraction,
                 skew=skew,
                 seed=options.seeds[0],
+                batch=batch,
             )
             print(result.summary())
             for failure in result.failures:
@@ -580,6 +631,7 @@ def _cmd_load(args: list[str]) -> int:
             backend=backend,
             spec=spec,
             n=n,
+            batch=batch,
         )
         ok = print_reports(options.seeds, reports)
     return 0 if ok else 1

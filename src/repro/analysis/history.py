@@ -145,12 +145,18 @@ class HistoryRecorder:
     def __len__(self) -> int:
         return len(self._records)
 
-    def validate_well_formed(self) -> None:
+    def validate_well_formed(self, sequential: bool = True) -> None:
         """Check structural sanity: per-node operations are sequential.
 
         The model assumes one sequential client per node; overlapping
-        operations from the same node indicate harness misuse.
+        operations from the same node indicate harness misuse.  Pass
+        ``sequential=False`` for algorithms that explicitly admit
+        concurrent local clients (``CONCURRENT_CLIENTS``, the amortized
+        variant) — overlap is then the intended workload shape and only
+        the per-record invariants enforced at recording time apply.
         """
+        if not sequential:
+            return
         by_node: dict[int, list[OperationRecord]] = {}
         for record in self.records():
             by_node.setdefault(record.node_id, []).append(record)

@@ -42,9 +42,17 @@ class InvariantReport:
 
 
 def _in_flight_messages(cluster: SimBackend):
+    from repro.net.batch import BatchMessage
+
     for channel in cluster.network.channels():
         for message in channel.in_flight_messages():
-            yield channel.src, channel.dst, message
+            # A transport bundle is not itself protocol state; the
+            # invariants apply to the messages it carries.
+            if isinstance(message, BatchMessage):
+                for inner in message.messages:
+                    yield channel.src, channel.dst, inner
+            else:
+                yield channel.src, channel.dst, message
 
 
 def ts_consistent(cluster: SimBackend) -> InvariantReport:

@@ -28,6 +28,13 @@ class MetricsSnapshot:
     dropped_loss: int
     dropped_capacity: int
     duplicated: int
+    #: Transport batching (``ChannelConfig.batch_window > 1``): wire
+    #: bundles emitted, and how many logical messages rode inside them.
+    #: ``messages_by_kind`` keeps counting the *inner* messages — the
+    #: paper's complexity claims are per logical message — so these two
+    #: measure the coalescing on top, not instead.
+    batches: int = 0
+    batched_messages: int = 0
 
     @property
     def total_messages(self) -> int:
@@ -55,6 +62,8 @@ class MetricsSnapshot:
             dropped_loss=self.dropped_loss - earlier.dropped_loss,
             dropped_capacity=self.dropped_capacity - earlier.dropped_capacity,
             duplicated=self.duplicated - earlier.duplicated,
+            batches=self.batches - earlier.batches,
+            batched_messages=self.batched_messages - earlier.batched_messages,
         )
 
     def messages(self, *kinds: str) -> int:
@@ -117,6 +126,8 @@ class MetricsCollector:
         "dropped_loss",
         "dropped_capacity",
         "duplicated",
+        "batches",
+        "batched_messages",
     )
 
     def __init__(self, enabled: bool = True) -> None:
@@ -132,6 +143,8 @@ class MetricsCollector:
         self.dropped_loss = 0
         self.dropped_capacity = 0
         self.duplicated = 0
+        self.batches = 0
+        self.batched_messages = 0
 
     @property
     def enabled(self) -> bool:
@@ -172,6 +185,11 @@ class MetricsCollector:
         """Account a spontaneous channel duplication."""
         self.duplicated += 1
 
+    def record_batch(self, occupancy: int) -> None:
+        """Account one wire bundle carrying ``occupancy`` logical messages."""
+        self.batches += 1
+        self.batched_messages += occupancy
+
     def sender_messages(self, src: int, kind: str | None = None) -> int:
         """Messages sent by one node, optionally restricted to a kind.
 
@@ -191,6 +209,8 @@ class MetricsCollector:
             dropped_loss=self.dropped_loss,
             dropped_capacity=self.dropped_capacity,
             duplicated=self.duplicated,
+            batches=self.batches,
+            batched_messages=self.batched_messages,
         )
 
     @contextmanager

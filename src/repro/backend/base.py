@@ -243,6 +243,18 @@ class ClusterBackend:
         #: :meth:`submit_write`): node id → the most recently submitted
         #: operation's task.  Submissions to a node run strictly FIFO.
         self._op_chains: dict[int, Any] = {}
+        #: Algorithms that batch concurrent local operations into shared
+        #: rounds (``CONCURRENT_CLIENTS = True``, e.g. ``amortized``)
+        #: must *not* have the backend serialize submissions per node —
+        #: FIFO chaining would defeat the batching.  Their submitted ops
+        #: dispatch immediately and are tracked in ``_outstanding``.
+        self._concurrent_clients = bool(
+            getattr(algorithm_cls, "CONCURRENT_CLIENTS", False)
+        )
+        # Insertion-ordered (dict-as-set): ``outstanding_ops()`` must list
+        # tasks in submission order, or draining them would perturb the
+        # deterministic sim schedule run-to-run.
+        self._outstanding: dict = {}
         ambient = current_session()
         if ambient is not None:
             ambient.attach(self)
@@ -360,7 +372,20 @@ class ClusterBackend:
         A failed operation rejects only its own handle; later submissions
         on the same node still dispatch (the chain swallows predecessors'
         exceptions — they are reported where they were submitted).
+
+        Algorithms with ``CONCURRENT_CLIENTS = True`` (the amortized
+        variant) batch concurrent local operations into shared protocol
+        rounds; for those, per-node FIFO chaining would serialize exactly
+        the concurrency the batching needs, so submissions dispatch
+        immediately and are tracked in :meth:`outstanding_ops` instead.
         """
+        if self._concurrent_clients:
+            task = self.kernel.create_task(factory(), name=f"op@{node_id}")
+            self._outstanding[task] = None
+            task.add_done_callback(
+                lambda t: self._outstanding.pop(t, None)
+            )
+            return task
         previous = self._op_chains.get(node_id)
 
         async def chained() -> Any:
@@ -387,6 +412,22 @@ class ClusterBackend:
     def submit_snapshot(self, node_id: int) -> Any:
         """Pipelined :meth:`snapshot`: enqueue and return a task handle."""
         return self._submit(node_id, lambda: self.snapshot(node_id))
+
+    @property
+    def concurrent_clients(self) -> bool:
+        """Whether the deployed algorithm admits overlapping local clients."""
+        return self._concurrent_clients
+
+    def outstanding_ops(self) -> list:
+        """Task handles that must be awaited to drain submitted operations.
+
+        Under FIFO chaining this is the tail of each node's chain (awaiting
+        the tail awaits everything before it); under concurrent dispatch
+        (``CONCURRENT_CLIENTS`` algorithms) it is every unfinished task.
+        """
+        if self._concurrent_clients:
+            return list(self._outstanding)
+        return list(self._op_chains.values())
 
     def pipeline(self, depth: int = 4) -> "OperationPipeline":
         """A depth-``depth`` client window over the submit path."""

@@ -38,6 +38,13 @@ class ChannelConfig:
     loss_probability: float = 0.0
     duplication_probability: float = 0.0
     capacity: int = 64
+    #: Transport-level op batching: coalesce up to this many messages per
+    #: ordered (src, dst) pair into one wire bundle (one loss/delay/
+    #: duplication draw for the whole bundle), unbundled FIFO on deliver.
+    #: ``1`` (the default) disables batching entirely — the send path is
+    #: byte-identical to the pre-batching transport, so seeded schedules
+    #: and determinism goldens are unchanged.
+    batch_window: int = 1
 
     def __post_init__(self) -> None:
         if self.min_delay < 0 or self.max_delay < self.min_delay:
@@ -56,6 +63,10 @@ class ChannelConfig:
             )
         if self.capacity < 1:
             raise ConfigurationError(f"capacity must be >= 1, got {self.capacity}")
+        if self.batch_window < 1:
+            raise ConfigurationError(
+                f"batch_window must be >= 1, got {self.batch_window}"
+            )
 
     def reliable(self) -> "ChannelConfig":
         """A copy with loss and duplication disabled (delays kept)."""
@@ -167,6 +178,7 @@ def scenario_config(
     loss: float = 0.0,
     duplication: float | None = None,
     capacity: int | None = None,
+    batch: int | None = None,
     **overrides,
 ) -> ClusterConfig:
     """One factory for every scenario-style cluster configuration.
@@ -181,7 +193,9 @@ def scenario_config(
     the explorer needs — coincident timestamps are its choice points);
     otherwise ``min_delay``/``max_delay`` default to the
     :class:`ChannelConfig` defaults.  ``duplication`` defaults to
-    ``loss / 2``, the chaos campaigns' convention.  Remaining keyword
+    ``loss / 2``, the chaos campaigns' convention.  ``batch`` sets the
+    transport batch window (``ChannelConfig.batch_window``; ``None``
+    keeps the unbatched default of 1).  Remaining keyword
     arguments (``retransmit_interval``, ``max_int``, ``quorum_size``, …)
     pass through to :class:`ClusterConfig` unchanged.
     """
@@ -198,6 +212,8 @@ def scenario_config(
         channel_kwargs["max_delay"] = max_delay
     if capacity is not None:
         channel_kwargs["capacity"] = capacity
+    if batch is not None:
+        channel_kwargs["batch_window"] = batch
     channel_kwargs["duplication_probability"] = (
         loss / 2 if duplication is None else duplication
     )

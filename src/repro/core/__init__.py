@@ -8,8 +8,12 @@
   et al.'s always-terminating algorithm (Algorithm 2, baseline).
 * :class:`~repro.core.ss_always.SelfStabilizingAlwaysTerminating` — the
   paper's Algorithm 3 (with the δ latency/communication knob).
+* :class:`~repro.core.amortized.AmortizedSnapshot` — Algorithm 1 with
+  Garg-et-al.-style operation batching: concurrent local operations
+  share quorum rounds, amortized O(1) rounds per operation.
 """
 
+from repro.core.amortized import AmortizedSnapshot
 from repro.core.base import SnapshotAlgorithm, SnapshotResult
 from repro.core.cluster import ALGORITHMS
 from repro.core.dgfr_always import DgfrAlwaysTerminating
@@ -20,6 +24,7 @@ from repro.core.ss_nonblocking import SelfStabilizingNonBlocking
 
 __all__ = [
     "ALGORITHMS",
+    "AmortizedSnapshot",
     "BOTTOM",
     "DgfrAlwaysTerminating",
     "DgfrNonBlocking",

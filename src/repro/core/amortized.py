@@ -1,0 +1,204 @@
+"""Amortized constant-round snapshot variant (batched shared rounds).
+
+Follows the idea of Garg, Kumar, Tseng and Zheng, *Amortized Constant
+Round Atomic Snapshot in Message-Passing Systems*: when several local
+operations are pending at once, they share protocol rounds instead of
+each paying their own, so a pipeline of k concurrent operations
+completes in amortized O(1) rounds rather than O(k).
+
+Concretely, on top of the self-stabilizing non-blocking object:
+
+* **Write batching (group commit).**  All locally pending writes are
+  drained together: each gets its own timestamp (``ts += 1`` per write,
+  so per-writer timestamps stay strictly monotone), the *last* value is
+  installed in ``reg``, and one shared WRITE quorum round acknowledges
+  the whole batch.  The intermediate values of a batch are never
+  observable by any snapshot — they linearize immediately before the
+  batch's final write, which is exactly the "never-observed write"
+  case the linearizability checker admits.
+* **Scan sharing.**  All locally pending snapshots share query rounds.
+  Each round is literally the DGFR loop body — capture ``prev``, bump
+  ``ssn``, run one majority query, return ``reg`` iff ``prev = reg`` —
+  but one round's interference-free success resolves *every* scan that
+  was pending when the round began.  Scans enqueued mid-round wait for
+  the next round, which preserves real-time order.  The termination
+  class is unchanged: non-blocking (a scan can be starved by an endless
+  stream of remote writes), demonstrated by the same E12-style probe.
+
+Because operations must genuinely overlap for batching to pay off, this
+variant sets :attr:`AmortizedSnapshot.CONCURRENT_CLIENTS`, which tells
+the cluster backends *not* to FIFO-chain submissions per node.  The
+sequential-client discipline of the other variants (``_begin_operation``
+raising on overlap) is intentionally replaced by unique in-flight
+tokens: overlapping local operations are the whole point here, and the
+engine serializes them into shared rounds internally.
+
+The variant reuses the WRITE/SNAPSHOT/GOSSIP message kinds and server
+handlers of its parents unchanged — the wire protocol is identical;
+only the client-side round scheduling differs.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.core.base import SnapshotResult, WriteAckMessage, WriteMessage
+from repro.core.register import TimestampedValue
+from repro.core.ss_nonblocking import SelfStabilizingNonBlocking
+from repro.net.message import Message
+from repro.net.quorum import AckCollector, broadcast_until
+
+__all__ = ["AmortizedSnapshot"]
+
+
+class _PendingOp:
+    """One enqueued local operation awaiting a shared round."""
+
+    __slots__ = ("value", "event", "result")
+
+    def __init__(self, kernel, value: Any = None) -> None:
+        self.value = value
+        self.event = kernel.create_event()
+        self.result: Any = None
+
+    def resolve(self, result: Any) -> None:
+        self.result = result
+        self.event.set()
+
+
+class AmortizedSnapshot(SelfStabilizingNonBlocking):
+    """Self-stabilizing snapshot object with amortized-O(1)-round batching."""
+
+    SELF_STABILIZING = True
+    #: Cluster backends must not serialize submissions per node — pending
+    #: local operations are what the engine batches into shared rounds.
+    CONCURRENT_CLIENTS = True
+
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        # Pending queues and the engine handle live here, NOT in
+        # initialize_state(): a detectable restart re-runs the latter,
+        # and must reset the protocol state (ts, reg, ssn) without
+        # orphaning clients already waiting on enqueued operations.
+        self._pending_writes: list[_PendingOp] = []
+        self._pending_scans: list[_PendingOp] = []
+        self._engine_task = None
+        self._op_counter = 0
+
+    # -- client side ------------------------------------------------------------
+
+    async def write(self, value: Any) -> int:
+        """Enqueue a write; resolves with its timestamp after a shared round."""
+        token = self._claim_token("write")
+        try:
+            op = _PendingOp(self.kernel, value)
+            self._pending_writes.append(op)
+            self._ensure_engine()
+            await op.event.wait()
+            return op.result
+        finally:
+            self._ops_in_flight.discard(token)
+
+    async def snapshot(self) -> SnapshotResult:
+        """Enqueue a scan; resolves after a shared interference-free round."""
+        token = self._claim_token("snapshot")
+        try:
+            op = _PendingOp(self.kernel)
+            self._pending_scans.append(op)
+            self._ensure_engine()
+            await op.event.wait()
+            return op.result
+        finally:
+            self._ops_in_flight.discard(token)
+
+    def _claim_token(self, name: str) -> str:
+        """Unique in-flight token (overlap is legal here, unlike the base)."""
+        self._op_counter += 1
+        token = f"{name}#{self._op_counter}"
+        self._ops_in_flight.add(token)
+        return token
+
+    # -- the round engine ----------------------------------------------------------
+
+    def _ensure_engine(self) -> None:
+        if self._engine_task is None or self._engine_task.done():
+            self._engine_task = self.kernel.create_task(
+                self._engine(), name=f"node{self.node_id}.batch_engine"
+            )
+
+    async def _engine(self) -> None:
+        """Run shared rounds until no local operation is pending.
+
+        Alternates one write round and one scan round per lap so neither
+        kind starves the other locally (a scan can still be starved by
+        *remote* writers — the inherited non-blocking guarantee).
+        """
+        try:
+            while self._pending_writes or self._pending_scans:
+                if self._pending_writes:
+                    await self._write_round()
+                if self._pending_scans:
+                    await self._scan_round()
+        finally:
+            self._engine_task = None
+
+    async def _write_round(self) -> None:
+        """Group commit: drain pending writes, one shared quorum round.
+
+        Timestamps are assigned per write so each caller gets a distinct,
+        per-writer-monotone index; only the last value is installed, so
+        the earlier writes of the batch are never observed (they
+        linearize immediately before the final one).
+        """
+        batch, self._pending_writes = self._pending_writes, []
+        for op in batch:
+            self.ts += 1
+            self.reg[self.node_id] = TimestampedValue(self.ts, op.value)
+            op.result = self.ts
+        if self.obs is not None:
+            self.obs.phase("write.batch_round")
+        l_reg = self.reg.copy()
+
+        def matches(sender: int, msg: Message) -> bool:
+            return l_reg.precedes_or_equals(msg.reg)
+
+        with AckCollector(
+            self, WriteAckMessage.KIND, self.majority, match=matches
+        ) as collector:
+            await broadcast_until(
+                self, lambda: WriteMessage(reg=self.reg.copy()), collector
+            )
+            replies = collector.reply_messages()
+        self.merge(msg.reg for msg in replies)
+        for op in batch:
+            op.event.set()
+
+    async def _scan_round(self) -> None:
+        """One shared DGFR query round for every scan pending at its start.
+
+        On interference (``prev != reg`` after the round) the batch is
+        re-enqueued at the *front* so it merges with newly arrived scans
+        in the next round; the engine loop interleaves write rounds in
+        between, so pending local writes still make progress.
+        """
+        batch, self._pending_scans = self._pending_scans, []
+        prev = self.reg.copy()
+        self.ssn += 1
+        if self.obs is not None:
+            self.obs.phase("snapshot.batch_round")
+        await self._query_round()
+        if prev == self.reg:
+            result = SnapshotResult.from_registers(self.reg)
+            for op in batch:
+                op.resolve(result)
+        else:
+            self._pending_scans = batch + self._pending_scans
+
+    # -- lifecycle ------------------------------------------------------------------
+
+    def stop(self) -> None:
+        """Also cancel the round engine (end of an experiment)."""
+        super().stop()
+        if self._engine_task is not None:
+            self._engine_task.cancel()
+            self._engine_task = None

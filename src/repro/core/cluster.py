@@ -14,6 +14,7 @@ code), and the documented keyed entry point is
 
 from __future__ import annotations
 
+from repro.core.amortized import AmortizedSnapshot
 from repro.core.dgfr_always import DgfrAlwaysTerminating
 from repro.core.dgfr_nonblocking import DgfrNonBlocking
 from repro.core.ss_always import SelfStabilizingAlwaysTerminating
@@ -31,6 +32,7 @@ ALGORITHMS: dict[str, type] = {
     "ss-nonblocking": SelfStabilizingNonBlocking,
     "dgfr-always": DgfrAlwaysTerminating,
     "ss-always": SelfStabilizingAlwaysTerminating,
+    "amortized": AmortizedSnapshot,
 }
 
 

@@ -50,7 +50,9 @@ _RECOVERY_CYCLES = 8
 
 #: Prefixes of algorithm names that claim transient-fault recovery;
 #: ``corrupt`` events are skipped (not failed) for anything else.
-_SELF_STABILIZING_PREFIXES = ("ss-", "bounded-ss")
+#: ``amortized`` batches Algorithm 1's quorum rounds but inherits its
+#: merge/gossip recovery unchanged, so it keeps the same claim.
+_SELF_STABILIZING_PREFIXES = ("ss-", "bounded-ss", "amortized")
 
 
 @dataclass(frozen=True, slots=True)

@@ -127,6 +127,10 @@ class ScenarioSpec:
     #: default (effectively unbounded), so specs for the unbounded
     #: algorithms are unchanged on disk and in behaviour.
     max_int: int | None = None
+    #: Transport batch window (maps to ``ChannelConfig.batch_window``);
+    #: ``None`` keeps the default unbatched send path, so specs for the
+    #: other algorithms are unchanged on disk and in behaviour.
+    batch_window: int | None = None
 
     def config(self) -> ClusterConfig:
         """The cluster configuration this spec describes."""
@@ -141,6 +145,8 @@ class ScenarioSpec:
         )
         if self.max_int is not None:
             overrides["max_int"] = self.max_int
+        if self.batch_window is not None:
+            overrides["batch"] = self.batch_window
         return scenario_config(**overrides)
 
     # -- serialization -----------------------------------------------------
@@ -163,6 +169,7 @@ class ScenarioSpec:
                 else list(self.decision_script)
             ),
             "max_int": self.max_int,
+            "batch_window": self.batch_window,
         }
         return payload
 
@@ -188,6 +195,11 @@ class ScenarioSpec:
                 None
                 if payload.get("max_int") is None
                 else int(payload["max_int"])
+            ),
+            batch_window=(
+                None
+                if payload.get("batch_window") is None
+                else int(payload["batch_window"])
             ),
         )
 
@@ -236,6 +248,9 @@ _DELTA_PROFILES = (0.0, 1.0, 2.0, 4.0)
 #: enough that a 40-event program crosses them and exercises the
 #: consensus-backed global reset.
 _MAX_INT_PROFILES = (8, 16, 48)
+#: Transport batch windows drawn for ``amortized`` specs (plus ``None``,
+#: so the unbatched send path stays in the fuzzed mix too).
+_BATCH_WINDOW_PROFILES = (None, 2, 4, 8)
 
 
 @dataclass(slots=True)
@@ -261,14 +276,18 @@ def generate_spec(
     ``consensus`` corruption mode — drawn *after* the shared dimensions
     and only on the bounded path, so every pre-existing seed for the
     other algorithms maps to the byte-identical spec it always did.
+    The ``amortized`` variant likewise draws a transport
+    ``batch_window`` after the shared dimensions, on its path only.
     """
     bounded = algorithm.startswith("bounded")
+    amortized = algorithm == "amortized"
     rng = random.Random(seed)
     n = rng.choice((3, 4, 5))
     delta = rng.choice(_DELTA_PROFILES)
     min_delay, max_delay = rng.choice(_DELAY_PROFILES)
     loss = rng.choice(_LOSS_PROFILES)
     max_int = rng.choice(_MAX_INT_PROFILES) if bounded else None
+    batch_window = rng.choice(_BATCH_WINDOW_PROFILES) if amortized else None
     corruption_modes = BOUNDED_CORRUPTION_MODES if bounded else CORRUPTION_MODES
     weighted = _Weighted()
     for kind, weight in _EVENT_WEIGHTS:
@@ -306,4 +325,5 @@ def generate_spec(
         duplication=round(loss / 2, 3),
         events=tuple(program),
         max_int=max_int,
+        batch_window=batch_window,
     )

@@ -36,8 +36,10 @@ from repro.load.experiments import e17_throughput_vs_n, e18_delta_vs_throughput
 from repro.load.sweep import (
     KNEE_EFFICIENCY,
     SweepResult,
+    batch_series,
     default_rate_ladder,
     sweep_rates,
+    write_batch_bench,
     write_bench,
 )
 
@@ -48,6 +50,7 @@ __all__ = [
     "LoadReport",
     "LoadSpec",
     "SweepResult",
+    "batch_series",
     "default_rate_ladder",
     "e17_throughput_vs_n",
     "e18_delta_vs_throughput",
@@ -55,5 +58,6 @@ __all__ = [
     "run_load",
     "run_load_campaigns",
     "sweep_rates",
+    "write_batch_bench",
     "write_bench",
 ]

@@ -333,10 +333,11 @@ class LoadGenerator:
                 await client
         else:
             await self._open_generator(deadline)
-        # Drain: every per-node chain tail subsumes its predecessors.
-        for tail in list(self.cluster._op_chains.values()):
+        # Drain: under FIFO chaining each tail subsumes its predecessors;
+        # under concurrent dispatch this is every unfinished task.
+        for handle in self.cluster.outstanding_ops():
             try:
-                await tail
+                await handle
             except Exception:
                 pass
 
@@ -437,7 +438,9 @@ def run_load(
         await generator.run()
         failures: list[str] = []
         if check:
-            cluster.history.validate_well_formed()
+            cluster.history.validate_well_formed(
+                sequential=not cluster.concurrent_clients
+            )
             verdict = check_snapshot_history(
                 cluster.history.records(), n=cluster.config.n
             )
@@ -470,14 +473,17 @@ def run_load_campaigns(
     spec: LoadSpec | None = None,
     n: int = 4,
     delta: float = 2,
+    batch: int | None = None,
     time_scale: float = 0.002,
 ) -> list[LoadReport]:
     """One load run per seed — the unified campaign entry point.
 
     ``budget`` is the submission-window duration in simulated time
-    units.  Load measurements are throughput-sensitive, so runs always
-    execute serially; asking for ``--jobs`` > 1 off-sim raises the
-    shared capability error.
+    units.  ``batch`` sets the transport batch window
+    (``ChannelConfig.batch_window``; ``None``/1 = unbatched).  Load
+    measurements are throughput-sensitive, so runs always execute
+    serially; asking for ``--jobs`` > 1 off-sim raises the shared
+    capability error.
     """
     from repro.backend import backend_capabilities
 
@@ -488,7 +494,7 @@ def run_load_campaigns(
     reports = []
     for seed in seeds:
         run_spec = replace(base, seed=seed, duration=float(budget))
-        config = scenario_config(n=n, seed=seed, delta=delta)
+        config = scenario_config(n=n, seed=seed, delta=delta, batch=batch)
         reports.append(
             run_load(
                 backend=backend,

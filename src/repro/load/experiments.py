@@ -34,16 +34,19 @@ def e17_throughput_vs_n(
     """E17 / deployment — saturated throughput vs cluster size.
 
     For each ``n``, drives ``n`` closed-loop clients (80:20
-    write:snapshot mix) twice: serial clients (``depth=1``, today's
-    one-round-trip-at-a-time behaviour) and pipelined clients
-    (``depth=4``).  Tabulates achieved throughput and tail latency;
-    ``pipelining_gain`` is the throughput ratio.
+    write:snapshot mix) three times: serial clients (``depth=1``,
+    today's one-round-trip-at-a-time behaviour), pipelined clients
+    (``depth=4``), and pipelined clients against the ``amortized``
+    variant with a transport batch window of 8 — the PR 10 batched row,
+    where concurrent local operations share quorum rounds instead of
+    paying full message cost each.  ``pipelining_gain`` is the
+    depth-4/serial throughput ratio; ``amortized_gain`` is the
+    amortized-batched/depth-4 ratio.
     """
     backend = backend or "sim"
     rows = []
     for n in ns:
-        by_depth = {}
-        for depth in (1, 4):
+        def drive(algorithm, depth, batch=None):
             spec = LoadSpec(
                 mode=CLOSED,
                 clients=n,
@@ -52,13 +55,16 @@ def e17_throughput_vs_n(
                 write_fraction=0.8,
                 seed=seed,
             )
-            by_depth[depth] = run_load(
+            return run_load(
                 backend=backend,
-                algorithm="ss-nonblocking",
-                config=scenario_config(n=n, seed=seed, delta=2),
+                algorithm=algorithm,
+                config=scenario_config(n=n, seed=seed, delta=2, batch=batch),
                 spec=spec,
             )
-        serial, pipelined = by_depth[1], by_depth[4]
+
+        serial = drive("ss-nonblocking", depth=1)
+        pipelined = drive("ss-nonblocking", depth=4)
+        amortized = drive("amortized", depth=4, batch=8)
         rows.append(
             {
                 "backend": backend,
@@ -69,9 +75,16 @@ def e17_throughput_vs_n(
                 "pipelining_gain": round(
                     pipelined.throughput / max(serial.throughput, 1e-9), 2
                 ),
+                "throughput_amortized_b8": round(amortized.throughput, 2),
+                "amortized_gain": round(
+                    amortized.throughput / max(pipelined.throughput, 1e-9), 2
+                ),
                 "p50_depth4": round(pipelined.latency["all"]["p50"], 1),
                 "p99_depth4": round(pipelined.latency["all"]["p99"], 1),
-                "linearizable": serial.ok and pipelined.ok,
+                "p50_amortized_b8": round(
+                    amortized.latency["all"]["p50"], 1
+                ),
+                "linearizable": serial.ok and pipelined.ok and amortized.ok,
             }
         )
     return rows
@@ -87,33 +100,47 @@ def e18_delta_vs_throughput(
     Larger δ lets writes run longer before snapshot helping blocks them —
     higher write throughput, longer snapshot tails — the same trade-off
     E10 showed in messages, now in operations per time unit.
+
+    Each δ also runs with a transport batch window of 8 (the PR 10
+    batched row): clients here are FIFO-serialized per node, so the
+    window mostly coalesces retransmissions and gossip that share an
+    instant with operation traffic — the measurement shows transport
+    batching is safe (and roughly neutral) for serialized clients, in
+    contrast to the ``amortized`` variant's shared-round win in E17.
     """
     backend = backend or "sim"
     rows = []
     for delta in deltas:
-        spec = LoadSpec(
-            mode=CLOSED,
-            clients=n,
-            depth=2,
-            duration=duration,
-            write_fraction=0.7,
-            seed=seed,
-        )
-        report = run_load(
-            backend=backend,
-            algorithm="ss-always",
-            config=scenario_config(n=n, seed=seed, delta=delta),
-            spec=spec,
-        )
+        def drive(batch=None):
+            spec = LoadSpec(
+                mode=CLOSED,
+                clients=n,
+                depth=2,
+                duration=duration,
+                write_fraction=0.7,
+                seed=seed,
+            )
+            return run_load(
+                backend=backend,
+                algorithm="ss-always",
+                config=scenario_config(
+                    n=n, seed=seed, delta=delta, batch=batch
+                ),
+                spec=spec,
+            )
+
+        report = drive()
+        batched = drive(batch=8)
         rows.append(
             {
                 "backend": backend,
                 "delta": delta,
                 "throughput": round(report.throughput, 2),
+                "throughput_batch8": round(batched.throughput, 2),
                 "write_p50": round(report.latency["write"]["p50"], 1),
                 "snapshot_p50": round(report.latency["snapshot"]["p50"], 1),
                 "snapshot_p99": round(report.latency["snapshot"]["p99"], 1),
-                "linearizable": report.ok,
+                "linearizable": report.ok and batched.ok,
             }
         )
     return rows

@@ -33,8 +33,10 @@ from repro.load.driver import OPEN, LoadReport, LoadSpec, run_load
 __all__ = [
     "KNEE_EFFICIENCY",
     "SweepResult",
+    "batch_series",
     "default_rate_ladder",
     "sweep_rates",
+    "write_batch_bench",
     "write_bench",
 ]
 
@@ -59,6 +61,8 @@ class SweepResult:
     backend: str
     algorithm: str
     n: int
+    #: Transport batch window the sweep ran with (``None`` = unbatched).
+    batch: int | None = None
     points: list[LoadReport] = field(default_factory=list)
 
     @property
@@ -95,6 +99,7 @@ class SweepResult:
             "backend": self.backend,
             "algorithm": self.algorithm,
             "n": self.n,
+            "batch": self.batch,
             "knee_rate": self.knee_rate,
             "saturated_throughput": round(self.saturated_throughput, 3),
             "linearizable": self.ok,
@@ -142,6 +147,7 @@ def sweep_rates(
     skew: float = 0.0,
     seed: int = 0,
     delta: float = 2,
+    batch: int | None = None,
     time_scale: float = 0.002,
     progress: bool = False,
 ) -> SweepResult:
@@ -149,12 +155,13 @@ def sweep_rates(
 
     Each rung is an independent open-loop :func:`run_load` pass (fresh
     cluster, same seed) at one offered rate.  ``rates`` defaults to
-    :func:`default_rate_ladder`.
+    :func:`default_rate_ladder`.  ``batch`` sets the transport batch
+    window (``ChannelConfig.batch_window``) for every rung.
     """
     rates = rates if rates is not None else default_rate_ladder(n)
     if not rates:
         raise ConfigurationError("sweep needs at least one offered rate")
-    result = SweepResult(backend=backend, algorithm=algorithm, n=n)
+    result = SweepResult(backend=backend, algorithm=algorithm, n=n, batch=batch)
     for rate in rates:
         spec = LoadSpec(
             mode=OPEN,
@@ -167,7 +174,7 @@ def sweep_rates(
         report = run_load(
             backend=backend,
             algorithm=algorithm,
-            config=scenario_config(n=n, seed=seed, delta=delta),
+            config=scenario_config(n=n, seed=seed, delta=delta, batch=batch),
             spec=spec,
             time_scale=time_scale,
         )
@@ -175,6 +182,103 @@ def sweep_rates(
         if progress:
             print(f"  {report.summary()}")
     return result
+
+
+def batch_series(
+    backend: str = "sim",
+    n: int = 4,
+    *,
+    duration: float = 60.0,
+    seed: int = 0,
+    batch: int = 8,
+    time_scale: float = 0.002,
+    progress: bool = False,
+) -> list[SweepResult]:
+    """The PR 10 amortized-batching series: three sweeps on one ladder.
+
+    1. ``ss-nonblocking`` unbatched — the pre-batching baseline whose
+       knee sits near 1 op/u at n=4;
+    2. ``amortized`` unbatched — operation batching alone (concurrent
+       local ops share quorum rounds);
+    3. ``amortized`` with a transport batch window — operation *and*
+       message coalescing.
+
+    All three run the same offered-rate ladder, seed, and mix, so rows
+    compare directly; every rung is linearizability-checked.
+    """
+    variants: list[tuple[str, int | None]] = [
+        ("ss-nonblocking", None),
+        ("amortized", None),
+        ("amortized", batch),
+    ]
+    results = []
+    for algorithm, window in variants:
+        if progress:
+            label = f"batch={window}" if window else "unbatched"
+            print(f"sweeping {algorithm} ({label}) on {backend!r}…")
+        results.append(
+            sweep_rates(
+                backend=backend,
+                algorithm=algorithm,
+                n=n,
+                duration=duration,
+                seed=seed,
+                batch=window,
+                time_scale=time_scale,
+                progress=progress,
+            )
+        )
+    return results
+
+
+def write_batch_bench(
+    path: str | Path,
+    sweeps: list[SweepResult],
+    extra: dict[str, Any] | None = None,
+) -> Path:
+    """Write ``BENCH_PR10.json`` in the house baseline-file shape.
+
+    The headline is the best sweep of the series (highest saturated
+    throughput — the amortized/batched configuration when it wins).
+    """
+    import os
+    import platform
+
+    path = Path(path)
+    best = max(
+        sweeps, key=lambda s: s.saturated_throughput, default=None
+    ) if sweeps else None
+    payload: dict[str, Any] = {
+        "pr": 10,
+        "description": (
+            "Amortized constant-round batching: offered-rate sweeps for "
+            "the ss-nonblocking baseline, the amortized variant "
+            "(concurrent local ops share quorum rounds), and amortized "
+            "plus a transport batch window, all on one ladder.  Every "
+            "rung is linearizability-checked; saturated_throughput is "
+            "measured capacity in ops per simulated time unit."
+        ),
+        "host": {
+            "python": platform.python_version(),
+            "cpu_count": os.cpu_count(),
+            "platform": platform.platform(),
+        },
+        "sweeps": [sweep.to_dict() for sweep in sweeps],
+    }
+    if best is not None:
+        payload["headline"] = {
+            "backend": best.backend,
+            "algorithm": best.algorithm,
+            "n": best.n,
+            "batch": best.batch,
+            "knee_rate": best.knee_rate,
+            "saturated_throughput": round(best.saturated_throughput, 3),
+            "linearizable": all(sweep.ok for sweep in sweeps),
+        }
+    if extra:
+        payload.update(extra)
+    path.write_text(json.dumps(payload, indent=2) + "\n")
+    return path
 
 
 def write_bench(

@@ -1,0 +1,123 @@
+"""Transport-level op batching: coalesce concurrent sends per node pair.
+
+The paper's quorum rounds pay one wire packet per message; under a
+pipeline of concurrent operations many of those packets travel the same
+ordered ``(src, dst)`` edge at the same instant (a broadcast from a node
+running k concurrent ops emits k messages to each peer back-to-back).
+:class:`BatchWindow` coalesces them: messages pushed within one
+scheduling instant accumulate in a per-edge buffer and flush as a single
+:class:`BatchMessage` bundle — one channel submission, hence one
+loss/delay/duplication draw and one capacity slot for the whole bundle —
+which the receiving fabric unbundles back into the original messages in
+FIFO order before delivery.
+
+Batching is a *transport* optimization: algorithms never see a
+``BatchMessage`` (unbundling happens below ``Process.deliver``), message
+metrics still count the inner messages (the paper's complexity claims
+are per logical message), and a bundle of one is forwarded bare, so a
+``batch_window`` of 1 — the default — leaves the wire byte-identical to
+the unbatched transport.  FIFO per edge is preserved (buffers flush in
+push order; bundles deliver their contents in order), so the SWMR
+one-client-per-node model and the determinism goldens are untouched.
+
+The flush scheduling uses ``kernel.call_soon``, which under the default
+``RANDOM`` tie-break draws a priority from the kernel RNG — that is why
+the fabric only constructs a :class:`BatchWindow` when
+``ChannelConfig.batch_window > 1``: the unbatched path must not consume
+extra RNG draws.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.analysis.metrics import MetricsCollector
+from repro.net.message import Message
+
+__all__ = ["BatchMessage", "BatchWindow"]
+
+
+@dataclass(frozen=True)
+class BatchMessage(Message):
+    """A bundle of messages travelling one edge as a single wire packet.
+
+    Created only by :class:`BatchWindow`; the delivering fabric unbundles
+    it before any process sees it, so no algorithm registers a handler
+    for ``"BATCH"``.
+    """
+
+    KIND = "BATCH"
+
+    messages: tuple[Message, ...]
+
+
+class BatchWindow:
+    """Bounded per-edge send coalescing for one network fabric.
+
+    ``push`` buffers a message for its ``(src, dst)`` edge.  A buffer
+    flushes when it reaches ``window`` messages, or at the end of the
+    current scheduling instant (the first buffered message schedules a
+    ``call_soon`` flush), whichever comes first — batching therefore
+    never *delays* a message past the instant it was sent, it only
+    merges messages that were already simultaneous.
+
+    ``forward(src, dst, message)`` receives the flush output: the bare
+    message for a buffer of one, a :class:`BatchMessage` for two or
+    more.  Occupancy lands in the metrics collector
+    (:meth:`~repro.analysis.metrics.MetricsCollector.record_batch`).
+    """
+
+    __slots__ = ("_kernel", "_window", "_forward", "_metrics", "_buffers")
+
+    def __init__(
+        self,
+        kernel,
+        window: int,
+        forward: Callable[[int, int, Message], None],
+        metrics: MetricsCollector | None = None,
+    ) -> None:
+        self._kernel = kernel
+        self._window = window
+        self._forward = forward
+        self._metrics = metrics
+        self._buffers: dict[tuple[int, int], list[Message]] = {}
+
+    def push(self, src: int, dst: int, message: Message) -> None:
+        """Buffer one message for its edge, flushing when the window fills."""
+        key = (src, dst)
+        buffer = self._buffers.get(key)
+        if buffer is None:
+            buffer = self._buffers[key] = []
+        buffer.append(message)
+        if len(buffer) >= self._window:
+            self.flush(key)
+        elif len(buffer) == 1:
+            self._kernel.call_soon(self.flush, key)
+
+    def flush(self, key: tuple[int, int]) -> None:
+        """Emit the buffered messages for one edge (no-op when empty).
+
+        A stale end-of-instant flush (its buffer already emptied by a
+        window-full flush) is harmless — it finds nothing to do, or
+        flushes a younger buffer a little early, shrinking that bundle.
+        """
+        buffer = self._buffers.pop(key, None)
+        if not buffer:
+            return
+        src, dst = key
+        if len(buffer) == 1:
+            self._forward(src, dst, buffer[0])
+            return
+        if self._metrics is not None:
+            self._metrics.record_batch(len(buffer))
+        self._forward(src, dst, BatchMessage(messages=tuple(buffer)))
+
+    def flush_all(self) -> None:
+        """Flush every pending buffer now (close/teardown hook)."""
+        for key in list(self._buffers):
+            self.flush(key)
+
+    def pending(self) -> int:
+        """Messages currently buffered across all edges (introspection)."""
+        return sum(len(buffer) for buffer in self._buffers.values())

@@ -65,8 +65,9 @@ def _ensure_registry() -> None:
         return
     from repro.broadcast import reliable
     from repro.consensus import messages as consensus_messages
-    from repro.core import base, dgfr_always, dgfr_nonblocking, ss_always
-    from repro.core import ss_nonblocking
+    from repro.core import amortized, base, dgfr_always, dgfr_nonblocking
+    from repro.core import ss_always, ss_nonblocking
+    from repro.net import batch
     from repro.stabilization import reset
     from repro.stacked import abd
 
@@ -76,10 +77,12 @@ def _ensure_registry() -> None:
         ss_nonblocking,
         dgfr_always,
         ss_always,
+        amortized,
         reliable,
         reset,
         abd,
         consensus_messages,
+        batch,
     ):
         for name in dir(module):
             obj = getattr(module, name)

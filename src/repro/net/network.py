@@ -15,6 +15,7 @@ from typing import TYPE_CHECKING
 from repro.analysis.metrics import MetricsCollector
 from repro.config import ClusterConfig
 from repro.errors import NetworkError
+from repro.net.batch import BatchMessage, BatchWindow
 from repro.net.channel import Channel
 from repro.net.message import Message
 from repro.sim.kernel import Kernel
@@ -58,6 +59,19 @@ class Network:
                     self._deliver,
                     self.metrics,
                 )
+        # Transport batching exists only when asked for: the flush path
+        # schedules kernel callbacks (extra RNG draws under the RANDOM
+        # tie-break), so the default window of 1 must not construct it —
+        # that keeps seeded schedules byte-identical to the pre-batching
+        # fabric.
+        self._batcher: BatchWindow | None = None
+        if config.channel.batch_window > 1:
+            self._batcher = BatchWindow(
+                kernel,
+                config.channel.batch_window,
+                self._channel_send,
+                self.metrics,
+            )
 
     # -- wiring ------------------------------------------------------------------
 
@@ -112,14 +126,34 @@ class Network:
             kind = message.KIND
             for listener in self.trace_listeners:
                 listener("send", now, src, dst, kind)
+        if self._batcher is not None:
+            if (src, dst) not in self._channels:
+                raise NetworkError(f"no channel {src}->{dst}")
+            self._batcher.push(src, dst, message)
+            return
         channel = self._channels.get((src, dst))
         if channel is None:
             raise NetworkError(f"no channel {src}->{dst}")
         channel.send(message)
 
+    def _channel_send(self, src: int, dst: int, message: Message) -> None:
+        """Batcher flush target: submit one (possibly bundled) packet."""
+        self._channels[(src, dst)].send(message)
+
     def _deliver(self, src: int, dst: int, message: Message) -> None:
         process = self._processes.get(dst)
         if process is None:
+            return
+        if type(message) is BatchMessage:
+            # Unbundle below the process layer, preserving FIFO order:
+            # algorithms only ever see the original messages.
+            for inner in message.messages:
+                if self.trace_listeners and src != dst:
+                    for listener in self.trace_listeners:
+                        listener(
+                            "deliver", self.kernel.now, src, dst, inner.KIND
+                        )
+                process.deliver(src, inner)
             return
         if self.trace_listeners and src != dst:
             for listener in self.trace_listeners:

@@ -160,6 +160,11 @@ def chrome_trace(obs: "Observability") -> dict:
             "messages_by_kind": dict(span.messages_by_kind),
             "message_bytes": span.message_bytes,
         }
+        if span.batch_bundles:
+            args["batching"] = {
+                "bundles": span.batch_bundles,
+                "messages": span.batch_messages,
+            }
         if span.rounds:
             record = attribute_op(span)
             if record is not None:

@@ -290,6 +290,8 @@ class ClusterObs:
                 stats = holder.stats
                 span.messages_by_kind = dict(stats.messages_by_kind)
                 span.message_bytes = stats.total_bytes
+                span.batch_bundles = stats.batches
+                span.batch_messages = stats.batched_messages
                 break
         self.session.recorder.end(
             span, end=self.cluster.kernel.now, status=status
@@ -340,6 +342,8 @@ class ClusterObs:
         _add(totals, "net.dropped_loss", snap.dropped_loss)
         _add(totals, "net.dropped_capacity", snap.dropped_capacity)
         _add(totals, "net.duplicated", snap.duplicated)
+        _add(totals, "net.batches", snap.batches)
+        _add(totals, "net.batched_messages", snap.batched_messages)
         _add(totals, "net.in_flight", cluster.network.in_flight_total())
         _add(
             totals,

@@ -47,6 +47,11 @@ class Span:
     #: Message traffic sent while the span was open, by kind.
     messages_by_kind: dict[str, int] = field(default_factory=dict)
     message_bytes: int = 0
+    #: Transport batching observed while the span was open: wire bundles
+    #: flushed and the logical messages they carried (zero when batching
+    #: is off — ``messages_by_kind`` always counts the logical messages).
+    batch_bundles: int = 0
+    batch_messages: int = 0
     #: Quorum rounds executed inside the span
     #: (:class:`repro.obs.attribution.QuorumRound`); late replies keep
     #: landing in a round after the span closes, so attribution sees the
@@ -77,6 +82,8 @@ class Span:
             "phases": [list(phase) for phase in self.phases],
             "messages_by_kind": dict(self.messages_by_kind),
             "message_bytes": self.message_bytes,
+            "batch_bundles": self.batch_bundles,
+            "batch_messages": self.batch_messages,
             "rounds": [r.to_dict() for r in self.rounds],
         }
 

@@ -32,6 +32,7 @@ from typing import Any, Callable
 from repro.analysis.metrics import MetricsCollector
 from repro.config import ChannelConfig, ClusterConfig
 from repro.errors import NetworkError
+from repro.net.batch import BatchMessage, BatchWindow
 from repro.net.codec import CodecError, decode_message, encode_message
 from repro.net.message import Message
 from repro.runtime.asyncio_kernel import AsyncioKernel
@@ -221,6 +222,17 @@ class UdpNetwork:
             self._transmit,
             self.metrics,
         )
+        # Transport batching: bundle concurrent same-edge messages into
+        # one datagram (one fault-gate pass per bundle).  Constructed
+        # only when asked for, mirroring the simulated fabric.
+        self._batcher: BatchWindow | None = None
+        if config.channel.batch_window > 1:
+            self._batcher = BatchWindow(
+                kernel,
+                config.channel.batch_window,
+                self._gate_send,
+                self.metrics,
+            )
 
     async def open(self) -> None:
         """Bind one localhost UDP socket per node."""
@@ -264,6 +276,13 @@ class UdpNetwork:
             kind = message.KIND
             for listener in self.trace_listeners:
                 listener("send", now, src, dst, kind)
+        if self._batcher is not None:
+            self._batcher.push(src, dst, message)
+            return
+        self._gate_send(src, dst, message)
+
+    def _gate_send(self, src: int, dst: int, message: Message) -> None:
+        """Encode one (possibly bundled) message and pass it to the gate."""
         # encode_message caches on the instance: a broadcast encodes once
         # and reuses the bytes for every destination datagram.
         payload = struct.pack(">I", src) + encode_message(message)
@@ -293,6 +312,17 @@ class UdpNetwork:
     def _deliver(self, src: int, dst: int, message: Message) -> None:
         process = self._processes.get(dst)
         if process is None:
+            return
+        if type(message) is BatchMessage:
+            # Unbundle below the process layer (FIFO order preserved):
+            # algorithms only ever see the original messages.
+            for inner in message.messages:
+                if self.trace_listeners and src != dst:
+                    for listener in self.trace_listeners:
+                        listener(
+                            "deliver", self.kernel.now, src, dst, inner.KIND
+                        )
+                process.deliver(src, inner)
             return
         if self.trace_listeners and src != dst:
             for listener in self.trace_listeners:

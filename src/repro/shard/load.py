@@ -393,18 +393,20 @@ def run_shard_load_campaigns(
     spec: ShardLoadSpec | None = None,
     n: int = 4,
     delta: float = 2,
+    batch: int | None = None,
     time_scale: float = 0.002,
 ) -> list[ShardLoadReport]:
     """One sharded load run per seed — the campaign entry point.
 
     ``budget`` is the submission-window duration in simulated time
-    units, matching the single-cluster load campaigns.
+    units, matching the single-cluster load campaigns.  ``batch`` sets
+    every shard's transport batch window (``ChannelConfig.batch_window``).
     """
     base = spec if spec is not None else ShardLoadSpec()
     reports = []
     for seed in seeds:
         run_spec = replace(base, seed=seed, duration=float(budget))
-        config = scenario_config(n=n, seed=seed, delta=delta)
+        config = scenario_config(n=n, seed=seed, delta=delta, batch=batch)
         reports.append(
             run_shard_load(
                 backend=backend,

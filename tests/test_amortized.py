@@ -1,0 +1,172 @@
+"""Behaviour of the ``amortized`` variant (Garg et al.-style batching).
+
+Concurrent local operations share quorum rounds: a group-commit write
+round installs every pending write with one broadcast, and a shared scan
+round resolves every pending snapshot together.  The variant inherits
+Algorithm 1's merge/gossip recovery unchanged, so it keeps the
+self-stabilization claim — the fuzz executor corrupts it like any other
+``ss-`` algorithm.
+"""
+
+import pytest
+
+from repro import ClusterConfig, SimBackend
+from repro.analysis.linearizability import check_snapshot_history
+from repro.config import ChannelConfig
+from repro.core.amortized import AmortizedSnapshot
+from repro.core.cluster import ALGORITHMS
+
+
+def make(n=4, seed=0, **kwargs):
+    return SimBackend("amortized", ClusterConfig(n=n, seed=seed, **kwargs))
+
+
+class TestRegistration:
+    def test_registered_in_algorithms(self):
+        assert ALGORITHMS["amortized"] is AmortizedSnapshot
+
+    def test_claims_self_stabilization_and_concurrent_clients(self):
+        assert AmortizedSnapshot.SELF_STABILIZING
+        assert AmortizedSnapshot.CONCURRENT_CLIENTS
+
+
+class TestBasicSemantics:
+    def test_write_then_snapshot(self):
+        cluster = make()
+        assert cluster.write_sync(0, "hello") == 1
+        result = cluster.snapshot_sync(1)
+        assert result.values[0] == "hello"
+
+    def test_sequential_writes_get_increasing_timestamps(self):
+        cluster = make()
+        for expected in (1, 2, 3):
+            assert cluster.write_sync(2, f"v{expected}") == expected
+
+
+class TestGroupCommit:
+    def test_concurrent_writes_all_get_distinct_timestamps(self):
+        cluster = make(seed=3)
+
+        async def workload():
+            tasks = [cluster.write(0, f"w{i}") for i in range(8)]
+            return await cluster.kernel.gather(tasks)
+
+        timestamps = cluster.run_until(workload())
+        assert sorted(timestamps) == list(range(1, 9))
+        # Only the batch's final value is installed and observable.
+        final = cluster.snapshot_sync(1)
+        assert final.values[0] == f"w{timestamps.index(8)}"
+
+    def test_concurrent_writes_share_broadcast_rounds(self):
+        """8 pipelined writes cost far fewer WRITE messages than 8 serial."""
+
+        def write_messages(cluster):
+            return cluster.metrics.snapshot().messages_by_kind.get("WRITE", 0)
+
+        serial = make(seed=5)
+        for i in range(8):
+            serial.write_sync(0, f"w{i}")
+
+        batched = make(seed=5)
+
+        async def workload():
+            await batched.kernel.gather(
+                [batched.write(0, f"w{i}") for i in range(8)]
+            )
+
+        batched.run_until(workload())
+        assert write_messages(batched) < write_messages(serial) / 2
+
+    def test_concurrent_scans_share_query_rounds(self):
+        cluster = make(seed=7)
+        cluster.write_sync(0, "x")
+        node = cluster.node(1)
+        ssn_before = node.ssn
+
+        async def workload():
+            tasks = [cluster.snapshot(1) for _ in range(6)]
+            return await cluster.kernel.gather(tasks)
+
+        results = cluster.run_until(workload())
+        assert all(r.values == results[0].values for r in results)
+        # One shared scan round (plus at most one confirming re-run)
+        # serves the whole batch — not one round per scan.
+        assert node.ssn - ssn_before < 6
+
+
+class TestRestartSafety:
+    def test_detectable_restart_does_not_wedge_the_node(self):
+        """``initialize_state`` re-runs on restart; the op queues survive
+        in ``__init__`` so later operations still find a working engine."""
+        cluster = make(seed=11)
+        cluster.write_sync(0, "before")
+        cluster.crash(0)
+        cluster.resume(0, restart=True)
+
+        async def after_recovery():
+            # Give gossip its absorption window so the restarted node's
+            # ts recovers before the next write (standard ss behaviour).
+            await cluster.tracker.wait_cycles(4)
+            ts = await cluster.write(0, "after")
+            assert ts > 1
+            return await cluster.snapshot(2)
+
+        result = cluster.run_until(after_recovery())
+        assert result.values[0] == "after"
+
+
+class TestLinearizability:
+    def test_concurrent_mixed_workload_under_loss_is_linearizable(self):
+        cluster = make(
+            n=4,
+            seed=13,
+            channel=ChannelConfig(
+                loss_probability=0.1, duplication_probability=0.05
+            ),
+        )
+
+        async def workload():
+            tasks = []
+            for node in range(4):
+                for i in range(3):
+                    tasks.append(cluster.write(node, f"n{node}w{i}"))
+                tasks.append(cluster.snapshot(node))
+            await cluster.kernel.gather(tasks)
+
+        cluster.run_until(workload())
+        cluster.history.validate_well_formed(sequential=False)
+        report = check_snapshot_history(cluster.history.records(), 4)
+        assert report.ok, report.summary()
+
+    def test_history_rejects_sequential_validation(self):
+        """The backend flags concurrent clients so the load driver skips
+        the per-node overlap check — overlap is the whole point here."""
+        cluster = make(seed=17)
+        assert cluster.concurrent_clients
+
+        async def workload():
+            await cluster.kernel.gather(
+                [cluster.write(0, f"w{i}") for i in range(4)]
+            )
+
+        cluster.run_until(workload())
+        cluster.history.validate_well_formed(sequential=False)  # passes
+
+
+class TestFuzzRegressionSeeds:
+    """Pinned generated seeds that exercise batching + corruption bursts.
+
+    Seeds 0 and 3 both draw ``batch_window=8`` with channel loss, and
+    their event programs include corruption bursts.  Both must stay
+    green — they are the checked-in regression evidence that the
+    amortized engine survives the fuzz event mix.
+    """
+
+    @pytest.mark.parametrize("seed", [0, 3])
+    def test_pinned_seed_runs_clean(self, seed):
+        from repro.fuzz import generate_spec, run_spec
+
+        spec = generate_spec(seed, algorithm="amortized", events=25)
+        assert spec.batch_window == 8
+        outcome = run_spec(spec)
+        assert outcome.ok, outcome.failures

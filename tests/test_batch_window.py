@@ -1,0 +1,253 @@
+"""Transport batch-window edge cases (``ChannelConfig.batch_window``).
+
+The contract under test: batching is invisible above the transport.  A
+window of 1 leaves every seeded run byte-identical to the unbatched
+path, bundles split by partitions heal like any other lost packet, and
+loss/duplication applied to a bundle (one channel draw for the whole
+bundle) still yields linearizable histories on every backend.
+"""
+
+import asyncio
+from dataclasses import dataclass
+
+import pytest
+
+from repro import ClusterConfig, SimBackend
+from repro.analysis.linearizability import check_snapshot_history
+from repro.analysis.metrics import MetricsCollector
+from repro.config import ChannelConfig, scenario_config
+from repro.net.batch import BatchMessage, BatchWindow
+from repro.net.message import Message
+
+
+@dataclass(frozen=True)
+class _Probe(Message):
+    KIND = "PROBE"
+
+    tag: int
+
+
+class _FakeKernel:
+    """Records ``call_soon`` callbacks so tests control flush timing."""
+
+    def __init__(self):
+        self.scheduled = []
+
+    def call_soon(self, fn, *args):
+        self.scheduled.append((fn, args))
+
+    def run_scheduled(self):
+        pending, self.scheduled = self.scheduled, []
+        for fn, args in pending:
+            fn(*args)
+
+
+def window(size, metrics=None):
+    kernel = _FakeKernel()
+    sent = []
+    batcher = BatchWindow(
+        kernel, size, lambda src, dst, msg: sent.append((src, dst, msg)),
+        metrics=metrics,
+    )
+    return kernel, batcher, sent
+
+
+class TestBatchWindowUnit:
+    def test_buffers_until_end_of_instant(self):
+        kernel, batcher, sent = window(8)
+        batcher.push(0, 1, _Probe(tag=1))
+        batcher.push(0, 1, _Probe(tag=2))
+        assert not sent and batcher.pending() == 2
+        kernel.run_scheduled()
+        assert batcher.pending() == 0
+        assert len(sent) == 1
+        bundle = sent[0][2]
+        assert isinstance(bundle, BatchMessage)
+        assert [m.tag for m in bundle.messages] == [1, 2]
+
+    def test_window_full_flushes_eagerly(self):
+        kernel, batcher, sent = window(2)
+        batcher.push(0, 1, _Probe(tag=1))
+        batcher.push(0, 1, _Probe(tag=2))
+        assert len(sent) == 1  # flushed before the end-of-instant callback
+        kernel.run_scheduled()  # the stale callback finds nothing to do
+        assert len(sent) == 1
+
+    def test_singleton_forwarded_bare(self):
+        kernel, batcher, sent = window(8)
+        batcher.push(2, 3, _Probe(tag=9))
+        kernel.run_scheduled()
+        assert sent == [(2, 3, _Probe(tag=9))]
+
+    def test_edges_are_independent(self):
+        kernel, batcher, sent = window(8)
+        batcher.push(0, 1, _Probe(tag=1))
+        batcher.push(0, 2, _Probe(tag=2))
+        kernel.run_scheduled()
+        assert len(sent) == 2  # one bare message per edge, no cross-bundling
+        assert all(not isinstance(m, BatchMessage) for _, _, m in sent)
+
+    def test_flush_all_drains_every_edge(self):
+        kernel, batcher, sent = window(8)
+        for dst in (1, 2, 3):
+            batcher.push(0, dst, _Probe(tag=dst))
+            batcher.push(0, dst, _Probe(tag=dst + 10))
+        batcher.flush_all()
+        assert batcher.pending() == 0
+        assert len(sent) == 3
+
+    def test_metrics_count_bundles_and_inner_messages(self):
+        metrics = MetricsCollector()
+        kernel, batcher, sent = window(4, metrics=metrics)
+        for tag in range(4):
+            batcher.push(0, 1, _Probe(tag=tag))  # window-full flush
+        batcher.push(0, 1, _Probe(tag=99))  # singleton: no bundle recorded
+        kernel.run_scheduled()
+        snap = metrics.snapshot()
+        assert snap.batches == 1
+        assert snap.batched_messages == 4
+
+
+def fingerprint(cluster, snap):
+    return (
+        tuple(snap.values),
+        cluster.metrics.snapshot().total_messages,
+        cluster.kernel.events_processed,
+        round(cluster.kernel.now, 9),
+    )
+
+
+def seeded_run(config):
+    cluster = SimBackend("amortized", config)
+
+    async def workload():
+        await cluster.kernel.gather(
+            [cluster.write(i % 4, f"v{i}") for i in range(8)]
+        )
+        return await cluster.snapshot(0)
+
+    snap = cluster.run_until(workload())
+    return fingerprint(cluster, snap)
+
+
+class TestWindowOfOne:
+    def test_window_one_is_byte_identical_to_default(self):
+        """``batch_window=1`` must not construct a batcher (no extra RNG
+        draws), so the seeded schedule matches the default exactly."""
+        default = seeded_run(scenario_config(n=4, seed=21))
+        explicit = seeded_run(
+            ClusterConfig(
+                n=4, seed=21,
+                channel=ChannelConfig(batch_window=1),
+            )
+        )
+        assert default == explicit
+
+    def test_batched_run_coalesces_on_the_wire(self):
+        cluster = SimBackend("amortized", scenario_config(n=4, seed=21, batch=8))
+
+        async def workload():
+            await cluster.kernel.gather(
+                [cluster.write(0, f"v{i}") for i in range(8)]
+            )
+
+        cluster.run_until(workload())
+        snap = cluster.metrics.snapshot()
+        assert snap.batches > 0
+        assert snap.batched_messages >= 2 * snap.batches
+
+
+class TestPartitionAndLoss:
+    def test_batch_split_across_partition_heals(self):
+        cluster = SimBackend("amortized", scenario_config(n=4, seed=23, batch=8))
+
+        async def workload():
+            cluster.network.partition({3}, {0, 1, 2})
+            majority = [cluster.write(0, f"m{i}") for i in range(4)]
+            stranded = cluster.spawn(cluster.write(3, "stranded"))
+            await cluster.kernel.gather(majority)
+            assert not stranded.done()
+            cluster.network.heal()
+            await stranded
+            return await cluster.snapshot(1)
+
+        result = cluster.run_until(workload())
+        assert result.values[3] == "stranded"
+        report = check_snapshot_history(cluster.history.records(), 4)
+        assert report.ok, report.summary()
+
+    def test_batched_ops_under_loss_and_duplication_linearizable(self):
+        """One loss/duplication draw covers a whole bundle; dropping or
+        doubling bundles must not break linearizability."""
+        cluster = SimBackend(
+            "amortized",
+            scenario_config(
+                n=4, seed=29, loss=0.15, duplication=0.1, batch=4
+            ),
+        )
+
+        async def workload():
+            tasks = []
+            for node in range(4):
+                tasks.extend(
+                    cluster.write(node, f"n{node}w{i}") for i in range(3)
+                )
+                tasks.append(cluster.snapshot(node))
+            await cluster.kernel.gather(tasks)
+
+        cluster.run_until(workload())
+        report = check_snapshot_history(cluster.history.records(), 4)
+        assert report.ok, report.summary()
+
+
+@pytest.mark.runtime
+class TestLiveBackends:
+    """The same bundle/unbundle path over real event loops and sockets."""
+
+    def test_batched_ops_linearizable_on_asyncio(self):
+        from repro.backend.aio import AsyncioBackend
+
+        async def main():
+            cluster = AsyncioBackend(
+                "amortized",
+                scenario_config(n=4, seed=31, batch=4),
+                time_scale=0.002,
+            )
+            cluster.start()
+            try:
+                writes = [cluster.write(node, node * 3) for node in range(4)]
+                await asyncio.wait_for(asyncio.gather(*writes), timeout=15)
+                result = await asyncio.wait_for(cluster.snapshot(2), timeout=15)
+                assert result.values == (0, 3, 6, 9)
+                report = check_snapshot_history(cluster.history.records(), 4)
+                assert report.ok, report.summary()
+            finally:
+                cluster.stop()
+
+        asyncio.run(main())
+
+    def test_batched_ops_linearizable_over_udp(self):
+        from repro.backend.udp import UdpBackend
+
+        async def main():
+            cluster = UdpBackend(
+                "amortized",
+                scenario_config(n=4, seed=37, batch=4),
+                time_scale=0.002,
+            )
+            await cluster.create()
+            cluster.start()
+            try:
+                writes = [
+                    cluster.write(node, f"u{node}".encode())
+                    for node in range(4)
+                ]
+                await asyncio.wait_for(asyncio.gather(*writes), timeout=20)
+                result = await asyncio.wait_for(cluster.snapshot(1), timeout=20)
+                assert result.values == (b"u0", b"u1", b"u2", b"u3")
+                report = check_snapshot_history(cluster.history.records(), 4)
+                assert report.ok, report.summary()
+            finally:
+                await cluster.close()
+
+        asyncio.run(main())

@@ -97,8 +97,8 @@ def test_every_doc_has_been_collected():
     # A rename that empties DOCS would silently skip everything above.
     names = {path.name for path in DOCS}
     assert {
-        "api.md", "architecture.md", "benchmarking.md", "faq.md",
-        "observability.md", "runtimes.md", "verification.md",
+        "algorithms.md", "api.md", "architecture.md", "benchmarking.md",
+        "faq.md", "observability.md", "runtimes.md", "verification.md",
     } <= names
 
 
